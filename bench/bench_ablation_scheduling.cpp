@@ -1,0 +1,60 @@
+// Ablation (paper §4.4): behavioural scheduling modes.  The unoptimised
+// behavioural model keeps "handshaking in loops" (the free-floating I/O
+// scheduling mode); the optimisation replaces it with a fixed cycle
+// scheme.  This bench quantifies the schedule-length and area cost of the
+// handshake states and of the pessimistic bit-widths, separately.
+#include <benchmark/benchmark.h>
+
+#include "flow/synthesis_flow.hpp"
+#include "hls/src_beh.hpp"
+
+namespace {
+
+using namespace scflow;
+
+void build_config(benchmark::State& state, const hls::BehConfig& cfg) {
+  hls::Schedule sched;
+  double area_total = 0.0, comb = 0.0;
+  std::size_t flops = 0;
+  for (auto _ : state) {
+    const rtl::Design d = hls::build_beh_src_design(cfg, &sched);
+    const nl::Netlist gates = flow::synthesize_to_gates(d);
+    const auto rep = nl::report_area(gates);
+    area_total = rep.total();
+    comb = rep.combinational;
+    flops = rep.flop_count;
+    benchmark::DoNotOptimize(area_total);
+  }
+  state.counters["slots_per_iter"] = static_cast<double>(sched.num_slots);
+  state.counters["steps_per_iter"] = static_cast<double>(sched.num_steps);
+  state.counters["area_um2"] = area_total;
+  state.counters["comb_um2"] = comb;
+  state.counters["flops"] = static_cast<double>(flops);
+}
+
+void Ablation_Beh_Unopt(benchmark::State& s) { build_config(s, hls::beh_unopt_config()); }
+void Ablation_Beh_Opt(benchmark::State& s) { build_config(s, hls::beh_opt_config()); }
+void Ablation_Beh_HandshakeOnly(benchmark::State& s) {
+  // Pessimistic widths fixed (opt values), handshake kept: isolates the
+  // schedule effect.
+  hls::BehConfig cfg = hls::beh_opt_config();
+  cfg.name = "src_beh_handshake_only";
+  cfg.ram_handshake_states = 1;
+  build_config(s, cfg);
+}
+void Ablation_Beh_WideWidthsOnly(benchmark::State& s) {
+  // Fixed cycle scheme, pessimistic widths: isolates the width effect.
+  hls::BehConfig cfg = hls::beh_unopt_config();
+  cfg.name = "src_beh_wide_only";
+  cfg.ram_handshake_states = 0;
+  build_config(s, cfg);
+}
+
+BENCHMARK(Ablation_Beh_Unopt)->Unit(benchmark::kMillisecond)->Iterations(3);
+BENCHMARK(Ablation_Beh_Opt)->Unit(benchmark::kMillisecond)->Iterations(3);
+BENCHMARK(Ablation_Beh_HandshakeOnly)->Unit(benchmark::kMillisecond)->Iterations(3);
+BENCHMARK(Ablation_Beh_WideWidthsOnly)->Unit(benchmark::kMillisecond)->Iterations(3);
+
+}  // namespace
+
+BENCHMARK_MAIN();

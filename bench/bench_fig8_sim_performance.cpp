@@ -1,0 +1,67 @@
+// Figure 8: simulation performance (simulated clock cycles per second of
+// wall time) across the abstraction levels of the refinement flow.
+// As in the paper, the unclocked levels (C++ and channel-SystemC) are
+// scaled assuming the 25 MHz system clock.
+//
+// Paper values (Sun Blade 100, 500 MHz, gcc 2.95 era): a monotone ladder
+// with C++ fastest, then SystemC-with-channels, then the clocked levels.
+// Absolute numbers differ by decades of hardware; the *ordering* and the
+// rough magnitude of the gaps are the reproduction target.
+#include <benchmark/benchmark.h>
+
+#include "core/run.hpp"
+#include "dsp/stimulus.hpp"
+
+namespace {
+
+using namespace scflow;
+using model::RefinementLevel;
+using P = dsp::SrcParams;
+
+const std::vector<dsp::SrcEvent>& schedule_for(std::size_t samples) {
+  static std::map<std::size_t, std::vector<dsp::SrcEvent>> cache;
+  auto& ev = cache[samples];
+  if (ev.empty()) {
+    const auto inputs = dsp::make_sine_stimulus(samples, 1000.0, 44100.0);
+    ev = dsp::make_schedule(inputs, P::kPeriod44k1Ps, samples, P::kPeriod48kPs);
+  }
+  return ev;
+}
+
+void run_level_bench(benchmark::State& state, RefinementLevel level, std::size_t samples) {
+  const auto& events = schedule_for(samples);
+  std::uint64_t total_cycles = 0;
+  std::size_t outputs = 0;
+  for (auto _ : state) {
+    const auto r = model::run_level(level, dsp::SrcMode::k44_1To48, events);
+    benchmark::DoNotOptimize(r.outputs.data());
+    total_cycles += r.simulated_cycles;
+    outputs = r.outputs.size();
+  }
+  // The paper's y-axis: simulated clock cycles per wall-clock second.
+  state.counters["cyc_per_s"] =
+      benchmark::Counter(static_cast<double>(total_cycles), benchmark::Counter::kIsRate);
+  state.counters["outputs"] = static_cast<double>(outputs);
+}
+
+void Fig8_Cpp_Algorithmic(benchmark::State& s) {
+  run_level_bench(s, RefinementLevel::kAlgorithmicCpp, 2000);
+}
+void Fig8_SystemC_Channels(benchmark::State& s) {
+  run_level_bench(s, RefinementLevel::kChannelSystemC, 2000);
+}
+void Fig8_Behavioural(benchmark::State& s) {
+  run_level_bench(s, RefinementLevel::kBehOpt, 120);
+}
+void Fig8_RTL(benchmark::State& s) {
+  run_level_bench(s, RefinementLevel::kRtlOpt, 120);
+}
+
+BENCHMARK(Fig8_Cpp_Algorithmic)->Unit(benchmark::kMillisecond);
+BENCHMARK(Fig8_SystemC_Channels)->Unit(benchmark::kMillisecond);
+BENCHMARK(Fig8_Behavioural)->Unit(benchmark::kMillisecond);
+BENCHMARK(Fig8_RTL)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

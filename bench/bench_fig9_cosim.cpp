@@ -1,0 +1,102 @@
+// Figure 9: simulation performance of the HDL artefacts — the RTL design
+// (interpreted), the gate netlist from the behavioural flow and the gate
+// netlist from the RTL flow — each simulated (a) in the native interpreted
+// "VHDL testbench" and (b) co-simulated with the compiled SystemC-style
+// testbench.  The paper's finding: co-simulation is *slightly faster*,
+// because the testbench runs compiled and the synchronisation overhead is
+// smaller than the interpretation overhead it replaces.
+#include <benchmark/benchmark.h>
+
+#include "cosim/bridge.hpp"
+#include "dsp/stimulus.hpp"
+#include "flow/synthesis_flow.hpp"
+#include "hdlsim/dut.hpp"
+#include "hdlsim/testbench_vm.hpp"
+#include "hls/src_beh.hpp"
+#include "rtl/src_design.hpp"
+
+namespace {
+
+using namespace scflow;
+using P = dsp::SrcParams;
+
+constexpr std::size_t kSamples = 60;
+
+const std::vector<dsp::SrcEvent>& events() {
+  static const auto ev = [] {
+    const auto inputs = dsp::make_sine_stimulus(kSamples, 1000.0, 44100.0);
+    return dsp::make_schedule(inputs, P::kPeriod44k1Ps, kSamples, P::kPeriod48kPs);
+  }();
+  return ev;
+}
+
+enum class DutKind { kRtl, kGateBeh, kGateRtl };
+
+std::unique_ptr<hdlsim::Dut> make_dut(DutKind kind) {
+  static const rtl::Design rtl_design = rtl::build_src_design(rtl::rtl_opt_config());
+  static const nl::Netlist gates_beh =
+      flow::synthesize_to_gates(hls::build_beh_src_design(hls::beh_opt_config()));
+  static const nl::Netlist gates_rtl = flow::synthesize_to_gates(rtl_design);
+  std::unique_ptr<hdlsim::Dut> dut;
+  switch (kind) {
+    case DutKind::kRtl: dut = std::make_unique<hdlsim::RtlDut>(rtl_design); break;
+    case DutKind::kGateBeh: dut = std::make_unique<hdlsim::GateDut>(gates_beh); break;
+    case DutKind::kGateRtl: dut = std::make_unique<hdlsim::GateDut>(gates_rtl); break;
+  }
+  if (kind != DutKind::kRtl) {
+    dut->set_input("scan_in", 0);
+    dut->set_input("scan_enable", 0);
+  }
+  return dut;
+}
+
+void native_bench(benchmark::State& state, DutKind kind) {
+  const auto prog = hdlsim::build_src_testbench(events(), dsp::SrcMode::k44_1To48);
+  std::uint64_t cycles = 0, tb_instructions = 0;
+  for (auto _ : state) {
+    auto dut = make_dut(kind);
+    const auto r = hdlsim::run_testbench_vm(*dut, prog);
+    benchmark::DoNotOptimize(r.outputs.data());
+    cycles += r.cycles;
+    tb_instructions += r.instructions_executed;
+  }
+  state.counters["cyc_per_s"] =
+      benchmark::Counter(static_cast<double>(cycles), benchmark::Counter::kIsRate);
+  state.counters["tb_instr"] = static_cast<double>(tb_instructions);
+}
+
+void cosim_bench(benchmark::State& state, DutKind kind) {
+  std::uint64_t cycles = 0, syncs = 0;
+  for (auto _ : state) {
+    auto dut = make_dut(kind);
+    const auto r = cosim::run_cosim(*dut, dsp::SrcMode::k44_1To48, events());
+    benchmark::DoNotOptimize(r.outputs.data());
+    cycles += r.cycles;
+    syncs += r.syncs;
+  }
+  state.counters["cyc_per_s"] =
+      benchmark::Counter(static_cast<double>(cycles), benchmark::Counter::kIsRate);
+  state.counters["syncs"] = static_cast<double>(syncs);
+}
+
+void Fig9_RTL_VhdlTestbench(benchmark::State& s) { native_bench(s, DutKind::kRtl); }
+void Fig9_RTL_SystemCTestbench(benchmark::State& s) { cosim_bench(s, DutKind::kRtl); }
+void Fig9_GateBEH_VhdlTestbench(benchmark::State& s) { native_bench(s, DutKind::kGateBeh); }
+void Fig9_GateBEH_SystemCTestbench(benchmark::State& s) { cosim_bench(s, DutKind::kGateBeh); }
+void Fig9_GateRTL_VhdlTestbench(benchmark::State& s) { native_bench(s, DutKind::kGateRtl); }
+void Fig9_GateRTL_SystemCTestbench(benchmark::State& s) { cosim_bench(s, DutKind::kGateRtl); }
+
+// CPU-time measurement: on a shared single-core host, wall-clock jitter
+// (several percent) would swamp the small native-vs-cosim difference.
+#define FIG9_BENCH(fn) \
+  BENCHMARK(fn)->Unit(benchmark::kMillisecond)->MeasureProcessCPUTime()->MinTime(1.5)
+FIG9_BENCH(Fig9_RTL_VhdlTestbench);
+FIG9_BENCH(Fig9_RTL_SystemCTestbench);
+FIG9_BENCH(Fig9_GateBEH_VhdlTestbench);
+FIG9_BENCH(Fig9_GateBEH_SystemCTestbench);
+FIG9_BENCH(Fig9_GateRTL_VhdlTestbench);
+FIG9_BENCH(Fig9_GateRTL_SystemCTestbench);
+
+}  // namespace
+
+BENCHMARK_MAIN();

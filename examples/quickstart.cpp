@@ -1,0 +1,49 @@
+// Quickstart: convert a 1 kHz stereo tone from 44.1 kHz (CD) to 48 kHz
+// (DVD) with the golden algorithmic SRC — the paper's design example in a
+// dozen lines of API.
+#include <cstdio>
+
+#include "dsp/golden_src.hpp"
+#include "dsp/stimulus.hpp"
+
+int main() {
+  using namespace scflow::dsp;
+  using P = SrcParams;
+
+  // 1. Build the converter (CD -> DVD mode, exact event timestamps).
+  AlgorithmicSrc src(SrcMode::k44_1To48, AlgorithmicSrc::TimeBase::kContinuousPs);
+
+  // 2. Make a second of stimulus and the interleaved input/output event
+  //    schedule (inputs every 1/44.1 kHz, output requests every 1/48 kHz).
+  const auto inputs = make_sine_stimulus(44'100, 1000.0, 44'100.0);
+  const auto events = make_schedule(inputs, P::kPeriod44k1Ps, 48'000, P::kPeriod48kPs);
+
+  // 3. Stream the events through the SRC.
+  std::vector<std::int16_t> left_out;
+  for (const auto& e : events) {
+    if (e.is_input) {
+      src.push_input(e.t_ps, e.sample);
+    } else {
+      left_out.push_back(src.pull_output(e.t_ps).left);
+    }
+  }
+
+  // 4. Inspect the result.
+  std::printf("quickstart: 44.1 kHz -> 48 kHz sample-rate conversion\n");
+  std::printf("  input samples : %zu @ 44.1 kHz\n", inputs.size());
+  std::printf("  output samples: %zu @ 48 kHz\n", left_out.size());
+  std::printf("  rate tracking converged: %s (increment %lld, nominal %lld)\n",
+              src.tracking() ? "yes" : "no",
+              static_cast<long long>(src.increment()),
+              static_cast<long long>(P::nominal_increment(SrcMode::k44_1To48)));
+
+  // Measure over a window (a long window would count the slow phase wander
+  // of the rate-tracking loop as noise).
+  const std::vector<std::int16_t> tail(left_out.begin() + 8000, left_out.begin() + 12000);
+  std::printf("  steady-state tone SNR: %.1f dB\n", tone_snr_db(tail, 1000.0, 48'000.0));
+
+  std::printf("  first audible outputs:");
+  for (std::size_t i = 20; i < 28; ++i) std::printf(" %d", left_out[i]);
+  std::printf("\n");
+  return 0;
+}

@@ -1,0 +1,29 @@
+// The paper's design flow (Fig. 1), executed end to end: every abstraction
+// level runs the same stimulus, each refinement step is revalidated for
+// bit accuracy, and the time-quantisation effect (Fig. 7) is shown as the
+// single value-changing step in the chain.
+#include <cstdio>
+
+#include "flow/refinement_flow.hpp"
+
+int main() {
+  using namespace scflow;
+
+  std::printf("=== Refinement-driven design flow (paper Fig. 1) ===\n\n");
+  const auto report = flow::run_refinement_flow(dsp::SrcMode::k44_1To48, 800);
+  std::printf("%s\n", flow::format_refinement_report(report).c_str());
+
+  std::printf("Per-level simulation effort for the same stimulus:\n");
+  std::printf("  %-22s %14s %14s %14s\n", "level", "sim. cycles", "activations",
+              "ctx switches");
+  for (const auto& [name, result] : report.level_results) {
+    std::printf("  %-22s %14llu %14llu %14llu\n", name.c_str(),
+                static_cast<unsigned long long>(result.simulated_cycles),
+                static_cast<unsigned long long>(result.stats.process_activations),
+                static_cast<unsigned long long>(result.stats.context_switches));
+  }
+  std::printf("\nNote how the clocked levels activate processes every cycle while\n");
+  std::printf("the algorithmic and channel levels only work per sample event —\n");
+  std::printf("the mechanism behind the paper's Fig. 8 performance ladder.\n");
+  return report.all_steps_verified() ? 0 : 1;
+}

@@ -1,0 +1,164 @@
+// Refinement level 3/4 (paper §4.3/§4.4): the synthesisable *behavioural*
+// SRC.  Communication is signal-based with toggle handshakes, a clock has
+// been introduced, native types are replaced by explicit-width BitInts and
+// all arithmetic lives in a single clocked thread (resource sharing).
+//
+// Two variants, matching the paper's optimisation step:
+//  * BehSrcUnopt — "handshaking in loops": every buffer/ROM access spends
+//    an extra handshake cycle (the behavioural scheduler cannot assume a
+//    fixed cycle scheme), and bit-widths are chosen pessimistically
+//    (48-bit accumulator, 24-bit coefficient path).
+//  * BehSrcOpt — fixed cycle scheme (one MAC per clock), trimmed widths.
+//
+// Both compute bit-identical outputs; they differ in cycle schedule and in
+// the datapath widths their synthesisable descriptions imply.
+#pragma once
+
+#include "core/pins.hpp"
+#include "core/sample_ram.hpp"
+#include "dsp/filter.hpp"
+#include "dsp/polyphase.hpp"
+#include "dsp/rate_tracker.hpp"
+#include "kernel/clock.hpp"
+#include "kernel/module.hpp"
+
+namespace scflow::model {
+
+template <int AccBits, int CoeffPathBits, bool FixedCycleScheme>
+class BehSrcT : public ClockedSrcPorts {
+ public:
+  using Acc = scflow::Int<AccBits>;
+  using CoeffPath = scflow::Int<CoeffPathBits>;
+
+  BehSrcT(minisc::Simulation& sim, std::string name, minisc::Clock& clk,
+          dsp::SrcMode mode, bool inject_corner_bug = false,
+          bool check_ram = false)
+      : ClockedSrcPorts(sim, std::move(name)),
+        rom_(dsp::make_default_rom()),
+        ram_(check_ram),
+        tracker_(mode, dsp::SrcParams::kDividerLatencyCycles),
+        inject_corner_bug_(inject_corner_bug) {
+    thread("src_main", [this] { main_thread(); }).sensitive(clk.posedge_event());
+  }
+
+  void set_mode(dsp::SrcMode mode) { tracker_.set_mode(mode); }
+  [[nodiscard]] const SampleRam& ram() const { return ram_; }
+  [[nodiscard]] std::uint64_t outputs_produced() const { return outputs_; }
+
+ private:
+  using P = dsp::SrcParams;
+  using DC = dsp::DepthConstants;
+
+  /// One clock cycle: advance time, then service the input interface —
+  /// input capture has priority over (and precedes) output handling within
+  /// a cycle, the ordering contract every level shares.
+  void tick() {
+    wait();
+    ++cycle_;
+    poll_input();
+  }
+
+  void poll_input() {
+    if (in_strobe.read() == last_in_strobe_) return;
+    last_in_strobe_ = in_strobe.read();
+    tracker_.on_input(cycle_);
+    const unsigned slot = static_cast<unsigned>(wc_) & (P::kBufferSize - 1);
+    ram_.write(slot, static_cast<std::int16_t>(in_left.read().to_int64()), wc_);
+    ram_.write((1u << P::kBufferLog2) | slot,
+               static_cast<std::int16_t>(in_right.read().to_int64()), wc_);
+    ++wc_;
+    if (started_) {
+      depth_ += DC::kOne;
+      if (depth_ > DC::kMaxDepth) depth_ = DC::kMaxDepth;
+    } else if (wc_ >= P::kStartupFill) {
+      started_ = true;
+      depth_ = P::kStartReadLag * DC::kOne;
+    }
+  }
+
+  /// Coefficient interpolation on the explicit-width datapath.  The
+  /// unoptimised variant carries the path in CoeffPathBits (pessimistic);
+  /// values are identical since nothing overflows either width.
+  [[nodiscard]] CoeffPath coeff(int phase, int mu, int k) const {
+    const scflow::Int<16> c0(rom_.at(dsp::proto_index(phase, k)));
+    const scflow::Int<16> c1(rom_.at(dsp::proto_index(phase + 1, k)));
+    const scflow::Int<17> diff = scflow::Int<17>::from(c1) - scflow::Int<17>::from(c0);
+    const scflow::Int<28> prod(static_cast<std::int64_t>(mu) * diff.to_int64());
+    return CoeffPath(c0.to_int64() + (prod.to_int64() >> P::kMuBits));
+  }
+
+  void main_thread() {
+    while (true) {
+      tick();
+      if (out_req.read() != last_out_req_) {
+        last_out_req_ = out_req.read();
+        handle_request();
+      }
+    }
+  }
+
+  void handle_request() {
+    tracker_.on_output(cycle_);
+    if (!started_) {
+      tick();
+      out_left.write(Sample16(0));
+      out_right.write(Sample16(0));
+      toggle_valid();
+      return;
+    }
+    ++outputs_;
+    const std::int64_t inc = tracker_.increment();
+    std::int64_t ceil_depth = (depth_ + DC::kFracMask) >> P::kFracBits;
+    const int frac = static_cast<int>((-depth_) & DC::kFracMask);
+    const int phase = frac >> P::kMuBits;
+    const int mu = frac & ((1 << P::kMuBits) - 1);
+    if (inject_corner_bug_ && mu == 0 && phase == 0) ++ceil_depth;
+    const std::uint64_t base = wc_ - static_cast<std::uint64_t>(ceil_depth);
+    if (depth_ > inc) depth_ -= inc;  // advance atomically at the request
+
+    Sample16 result[P::kChannels];
+    for (int ch = 0; ch < P::kChannels; ++ch) {
+      Acc acc(0);
+      for (int k = 0; k < P::kTapsPerPhase; ++k) {
+        if constexpr (!FixedCycleScheme) tick();  // handshake with the RAM
+        tick();                                   // the MAC cycle itself
+        const unsigned addr = (static_cast<unsigned>(ch) << P::kBufferLog2) |
+                              (static_cast<unsigned>(base - k) & (P::kBufferSize - 1));
+        const std::int16_t x = ram_.read(addr, wc_);
+        acc += Acc(static_cast<std::int64_t>(x) * coeff(phase, mu, k).to_int64());
+      }
+      tick();  // rounding cycle
+      result[ch] = Sample16(dsp::round_saturate_output(acc.to_int64()));
+    }
+    tick();
+    out_left.write(result[0]);
+    out_right.write(result[1]);
+    toggle_valid();
+  }
+
+  void toggle_valid() {
+    valid_state_ = !valid_state_;
+    out_valid.write(valid_state_);
+  }
+
+  dsp::CoefficientRom rom_;
+  SampleRam ram_;
+  dsp::RateTracker tracker_;
+  bool inject_corner_bug_;
+
+  std::uint64_t cycle_ = 0;
+  std::uint64_t wc_ = 0;
+  bool started_ = false;
+  std::int64_t depth_ = 0;
+  bool last_in_strobe_ = false;
+  bool last_out_req_ = false;
+  bool valid_state_ = false;
+  std::uint64_t outputs_ = 0;
+};
+
+/// The first synthesisable behavioural model (paper §4.3).
+using BehSrcUnopt = BehSrcT<48, 24, false>;
+/// After the optimisation pass (paper §4.4).
+using BehSrcOpt = BehSrcT<40, 17, true>;
+
+}  // namespace scflow::model

@@ -1,0 +1,76 @@
+#include "core/channel_src.hpp"
+
+namespace scflow::model {
+
+using dsp::DepthConstants;
+using P = dsp::SrcParams;
+
+ChannelSrc::ChannelSrc(minisc::Simulation& sim, std::string name, dsp::SrcMode mode)
+    : Module(sim, std::move(name)),
+      input_stage_(*this),
+      coeff_store_(*this),
+      tracker_(mode, P::kDividerLatencyCycles * P::kClockPs),
+      request_event_(sim, full_name() + ".request"),
+      done_event_(sim, full_name() + ".done") {
+  thread("filter_core", [this] { filter_core(); });
+}
+
+void ChannelSrc::set_mode(dsp::SrcMode mode) { tracker_.set_mode(mode); }
+
+void ChannelSrc::write_sample(dsp::StereoSample s) {
+  // Runs in the producer's thread: the channel's event-time is the call time.
+  tracker_.on_input(now_ps());
+  input_stage_.buffer[0].writer().push(s.left);
+  input_stage_.buffer[1].writer().push(s.right);
+  if (started_) {
+    depth_ += DepthConstants::kOne;
+    if (depth_ > DepthConstants::kMaxDepth) depth_ = DepthConstants::kMaxDepth;
+  } else if (input_stage_.buffer[0].head() >= P::kStartupFill) {
+    started_ = true;
+    depth_ = P::kStartReadLag * DepthConstants::kOne;
+  }
+}
+
+dsp::StereoSample ChannelSrc::read_sample() {
+  // Runs in the consumer's thread: hand the request to the core thread and
+  // block on the rendezvous (blocking interface method call).
+  tracker_.on_output(now_ps());
+  request_pending_ = true;
+  request_event_.notify();
+  wait(done_event_);
+  return result_;
+}
+
+void ChannelSrc::filter_core() {
+  while (true) {
+    while (!request_pending_) wait(request_event_);
+    request_pending_ = false;
+
+    if (!started_) {
+      result_ = {};
+      ++outputs_;
+      done_event_.notify();
+      continue;
+    }
+    ++outputs_;
+    const std::int64_t inc = tracker_.increment();
+
+    const std::int64_t ceil_depth =
+        (depth_ + DepthConstants::kFracMask) >> P::kFracBits;
+    const int frac = static_cast<int>((-depth_) & DepthConstants::kFracMask);
+    const int phase = frac >> P::kMuBits;
+    const int mu = frac & ((1 << P::kMuBits) - 1);
+
+    const unsigned newest = static_cast<unsigned>(
+        input_stage_.buffer[0].head() - static_cast<std::uint64_t>(ceil_depth));
+    result_.left = dsp::filter_sample(input_stage_.buffer[0], newest,
+                                      coeff_store_.filter, phase, mu);
+    result_.right = dsp::filter_sample(input_stage_.buffer[1], newest,
+                                       coeff_store_.filter, phase, mu);
+
+    if (depth_ > inc) depth_ -= inc;
+    done_event_.notify();
+  }
+}
+
+}  // namespace scflow::model

@@ -1,0 +1,78 @@
+// Refinement level 2 (paper §4.2): the SRC as a SystemC-2.0-style
+// hierarchical channel.  The algorithm is encapsulated behind the three
+// interfaces; internally the channel is split into three sub-modules
+// "basically according to the class structure" of the C++ model (Fig. 6):
+// an input stage (CInputBuffer), a coefficient store (CPolyphaseFilter)
+// and a filter core thread (Filter()), synchronised by explicit events and
+// communicating through interface method calls.
+#pragma once
+
+#include "core/interfaces.hpp"
+#include "dsp/filter.hpp"
+#include "dsp/golden_src.hpp"
+#include "dsp/input_buffer.hpp"
+#include "dsp/polyphase.hpp"
+#include "dsp/rate_tracker.hpp"
+#include "kernel/event.hpp"
+#include "kernel/module.hpp"
+
+namespace scflow::model {
+
+class ChannelSrc : public minisc::Module,
+                   public SrcCtrlIF,
+                   public SampleWriteIF,
+                   public SampleReadIF {
+ public:
+  ChannelSrc(minisc::Simulation& sim, std::string name,
+             dsp::SrcMode mode = dsp::SrcMode::k44_1To48);
+
+  // SRC_CTRL
+  void set_mode(dsp::SrcMode mode) override;
+  [[nodiscard]] dsp::SrcMode mode() const override { return tracker_.mode(); }
+
+  // SampleWriteIF — called in the producer's thread context (IMC).
+  void write_sample(dsp::StereoSample s) override;
+
+  // SampleReadIF — called in the consumer's thread context; blocks until
+  // the filter-core thread has produced the value.
+  dsp::StereoSample read_sample() override;
+
+  [[nodiscard]] std::uint64_t outputs_produced() const { return outputs_; }
+
+ private:
+  /// Sub-module boundary: the input stage owns the ring buffers.
+  class InputStage : public minisc::Module {
+   public:
+    InputStage(Module& parent) : Module(parent, "input_stage") {}
+    dsp::InputBuffer buffer[dsp::SrcParams::kChannels];
+  };
+
+  /// Sub-module boundary: the coefficient store owns the ROM.
+  class CoeffStore : public minisc::Module {
+   public:
+    CoeffStore(Module& parent)
+        : Module(parent, "coeff_store"), filter(dsp::make_default_rom()) {}
+    dsp::PolyphaseFilter filter;
+  };
+
+  void filter_core();  ///< the channel's own functional thread
+
+  [[nodiscard]] std::uint64_t now_ps() const { return sim().now().picoseconds(); }
+
+  InputStage input_stage_;
+  CoeffStore coeff_store_;
+  dsp::RateTracker tracker_;
+
+  // Depth bookkeeping identical to the golden model's.
+  bool started_ = false;
+  std::int64_t depth_ = 0;
+  std::uint64_t outputs_ = 0;
+
+  // Request/response rendezvous between read_sample() and the core thread.
+  minisc::Event request_event_;
+  minisc::Event done_event_;
+  bool request_pending_ = false;
+  dsp::StereoSample result_;
+};
+
+}  // namespace scflow::model

@@ -1,0 +1,32 @@
+// The three interfaces of the SRC hierarchical channel (paper Fig. 5):
+// SRC_CTRL (configuration), SampleWriteIF (producer side) and
+// SampleReadIF (consumer side).
+#pragma once
+
+#include "dsp/src_params.hpp"
+
+namespace scflow::model {
+
+/// Configuration port: sets the operation mode.
+class SrcCtrlIF {
+ public:
+  virtual ~SrcCtrlIF() = default;
+  virtual void set_mode(dsp::SrcMode mode) = 0;
+  [[nodiscard]] virtual dsp::SrcMode mode() const = 0;
+};
+
+/// Producer-side interface: blocking sample delivery.
+class SampleWriteIF {
+ public:
+  virtual ~SampleWriteIF() = default;
+  virtual void write_sample(dsp::StereoSample s) = 0;
+};
+
+/// Consumer-side interface: blocking sample retrieval.
+class SampleReadIF {
+ public:
+  virtual ~SampleReadIF() = default;
+  virtual dsp::StereoSample read_sample() = 0;
+};
+
+}  // namespace scflow::model

@@ -1,0 +1,68 @@
+// Signal-level pin bundle of the synthesisable SRC models.  The paper's
+// communication refinement (§4.3) replaces interface method calls by
+// exactly this: data signals plus toggle-handshake strobes.
+#pragma once
+
+#include "dtypes/bit_int.hpp"
+#include "kernel/module.hpp"
+#include "kernel/port.hpp"
+#include "kernel/signal.hpp"
+
+namespace scflow::model {
+
+/// 16-bit audio sample as an explicit-width type (paper: type refinement).
+using Sample16 = scflow::Int<16>;
+
+/// Testbench-side signals a clocked SRC binds to.
+struct SrcPins {
+  explicit SrcPins(minisc::Simulation& sim)
+      : in_strobe(sim, nullptr, "in_strobe", false),
+        in_left(sim, nullptr, "in_left"),
+        in_right(sim, nullptr, "in_right"),
+        out_req(sim, nullptr, "out_req", false),
+        out_valid(sim, nullptr, "out_valid", false),
+        out_left(sim, nullptr, "out_left"),
+        out_right(sim, nullptr, "out_right") {}
+
+  minisc::Signal<bool> in_strobe;       ///< toggles once per input sample
+  minisc::Signal<Sample16> in_left;
+  minisc::Signal<Sample16> in_right;
+  minisc::Signal<bool> out_req;         ///< toggles once per output request
+  minisc::Signal<bool> out_valid;       ///< toggles when out_* carry a result
+  minisc::Signal<Sample16> out_left;
+  minisc::Signal<Sample16> out_right;
+};
+
+/// Port set shared by every clocked SRC model.
+class ClockedSrcPorts : public minisc::Module {
+ public:
+  ClockedSrcPorts(minisc::Simulation& sim, std::string name)
+      : Module(sim, std::move(name)),
+        in_strobe(sim, this, "in_strobe"),
+        in_left(sim, this, "in_left"),
+        in_right(sim, this, "in_right"),
+        out_req(sim, this, "out_req"),
+        out_valid(sim, this, "out_valid"),
+        out_left(sim, this, "out_left"),
+        out_right(sim, this, "out_right") {}
+
+  void bind_pins(SrcPins& pins) {
+    in_strobe.bind(pins.in_strobe);
+    in_left.bind(pins.in_left);
+    in_right.bind(pins.in_right);
+    out_req.bind(pins.out_req);
+    out_valid.bind(pins.out_valid);
+    out_left.bind(pins.out_left);
+    out_right.bind(pins.out_right);
+  }
+
+  minisc::InPort<bool> in_strobe;
+  minisc::InPort<Sample16> in_left;
+  minisc::InPort<Sample16> in_right;
+  minisc::InPort<bool> out_req;
+  minisc::OutPort<bool> out_valid;
+  minisc::OutPort<Sample16> out_left;
+  minisc::OutPort<Sample16> out_right;
+};
+
+}  // namespace scflow::model

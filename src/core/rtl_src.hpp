@@ -1,0 +1,185 @@
+// Refinement level 5/6 (paper §4.5/§4.6): RTL SystemC.  The scheduling is
+// explicit — a hand-written FSM advances one state per clock edge, with
+// all variables allocated to named registers.  The datapath is implied by
+// the state transitions (the paper lets Design Compiler optimise it).
+//
+//  * RtlSrcUnopt — conservative refinement: result values pass through an
+//    extra output register stage and several latched values are shadow
+//    copies left over from the behavioural code ("there were still some
+//    registers that could be eliminated").
+//  * RtlSrcOpt — those registers eliminated.
+//
+// Both are cycle-accurate FSMs producing bit-identical output sequences.
+#pragma once
+
+#include "core/pins.hpp"
+#include "core/sample_ram.hpp"
+#include "dsp/filter.hpp"
+#include "dsp/polyphase.hpp"
+#include "dsp/rate_tracker.hpp"
+#include "kernel/clock.hpp"
+#include "kernel/module.hpp"
+
+namespace scflow::model {
+
+template <bool Optimized>
+class RtlSrcT : public ClockedSrcPorts {
+ public:
+  RtlSrcT(minisc::Simulation& sim, std::string name, minisc::Clock& clk,
+          dsp::SrcMode mode, bool inject_corner_bug = false,
+          bool check_ram = false)
+      : ClockedSrcPorts(sim, std::move(name)),
+        rom_(dsp::make_default_rom()),
+        ram_(check_ram),
+        tracker_(mode, dsp::SrcParams::kDividerLatencyCycles),
+        inject_corner_bug_(inject_corner_bug) {
+    method("fsm", [this] { on_clock(); }).sensitive(clk.posedge_event());
+  }
+
+  void set_mode(dsp::SrcMode mode) { tracker_.set_mode(mode); }
+  [[nodiscard]] const SampleRam& ram() const { return ram_; }
+  [[nodiscard]] std::uint64_t outputs_produced() const { return outputs_; }
+
+ private:
+  using P = dsp::SrcParams;
+  using DC = dsp::DepthConstants;
+
+  enum class State : std::uint8_t { kIdle, kMac, kRound, kWriteOut, kExtraReg };
+
+  void on_clock() {
+    if (sim().now().picoseconds() == 0) return;  // initialisation run
+    ++cycle_;
+    // Input interface logic: unconditioned, highest priority in the cycle.
+    if (in_strobe.read() != last_in_strobe_) {
+      last_in_strobe_ = in_strobe.read();
+      capture_input();
+    }
+    switch (state_) {
+      case State::kIdle: idle_state(); break;
+      case State::kMac: mac_state(); break;
+      case State::kRound: round_state(); break;
+      case State::kWriteOut: write_state(); break;
+      case State::kExtraReg: extra_reg_state(); break;
+    }
+  }
+
+  void capture_input() {
+    tracker_.on_input(cycle_);
+    const unsigned slot = static_cast<unsigned>(wc_) & (P::kBufferSize - 1);
+    ram_.write(slot, static_cast<std::int16_t>(in_left.read().to_int64()), wc_);
+    ram_.write((1u << P::kBufferLog2) | slot,
+               static_cast<std::int16_t>(in_right.read().to_int64()), wc_);
+    ++wc_;
+    if (started_) {
+      depth_ += DC::kOne;
+      if (depth_ > DC::kMaxDepth) depth_ = DC::kMaxDepth;
+    } else if (wc_ >= P::kStartupFill) {
+      started_ = true;
+      depth_ = P::kStartReadLag * DC::kOne;
+    }
+  }
+
+  void idle_state() {
+    if (out_req.read() == last_out_req_) return;
+    last_out_req_ = out_req.read();
+    tracker_.on_output(cycle_);
+    if (!started_) {
+      result_l_ = Sample16(0);
+      result_r_ = Sample16(0);
+      state_ = State::kWriteOut;
+      return;
+    }
+    ++outputs_;
+    // Latch the computation parameters into working registers.
+    const std::int64_t inc = tracker_.increment();
+    std::int64_t ceil_depth = (depth_ + DC::kFracMask) >> P::kFracBits;
+    const int frac = static_cast<int>((-depth_) & DC::kFracMask);
+    phase_r_ = frac >> P::kMuBits;
+    mu_r_ = frac & ((1 << P::kMuBits) - 1);
+    if (inject_corner_bug_ && mu_r_ == 0 && phase_r_ == 0) ++ceil_depth;
+    base_r_ = wc_ - static_cast<std::uint64_t>(ceil_depth);
+    if (depth_ > inc) depth_ -= inc;  // advance atomically at the request
+    if constexpr (!Optimized) {
+      // Shadow registers the optimisation pass later removes.
+      shadow_frac_ = frac;
+      shadow_inc_ = inc;
+    }
+    ch_r_ = 0;
+    k_r_ = 0;
+    acc_ = scflow::Int<40>(0);
+    state_ = State::kMac;
+  }
+
+  void mac_state() {
+    const unsigned addr = (static_cast<unsigned>(ch_r_) << P::kBufferLog2) |
+                          (static_cast<unsigned>(base_r_ - k_r_) & (P::kBufferSize - 1));
+    const std::int16_t x = ram_.read(addr, wc_);
+    const std::int32_t c = dsp::interpolated_coeff(rom_, phase_r_, mu_r_, k_r_);
+    acc_ += scflow::Int<40>(static_cast<std::int64_t>(x) * c);
+    if (++k_r_ == P::kTapsPerPhase) {
+      k_r_ = 0;
+      state_ = State::kRound;
+    }
+  }
+
+  void round_state() {
+    const Sample16 y(dsp::round_saturate_output(acc_.to_int64()));
+    if (ch_r_ == 0) result_l_ = y; else result_r_ = y;
+    acc_ = scflow::Int<40>(0);
+    if (++ch_r_ == P::kChannels) {
+      state_ = Optimized ? State::kWriteOut : State::kExtraReg;
+    } else {
+      state_ = State::kMac;
+    }
+  }
+
+  void extra_reg_state() {
+    // The unoptimised RTL stages the result through one more register.
+    staged_l_ = result_l_;
+    staged_r_ = result_r_;
+    result_l_ = staged_l_;
+    result_r_ = staged_r_;
+    state_ = State::kWriteOut;
+  }
+
+  void write_state() {
+    out_left.write(result_l_);
+    out_right.write(result_r_);
+    valid_state_ = !valid_state_;
+    out_valid.write(valid_state_);
+    state_ = State::kIdle;
+  }
+
+  dsp::CoefficientRom rom_;
+  SampleRam ram_;
+  dsp::RateTracker tracker_;
+  bool inject_corner_bug_;
+
+  // Registers.
+  State state_ = State::kIdle;
+  std::uint64_t cycle_ = 0;
+  std::uint64_t wc_ = 0;
+  bool started_ = false;
+  std::int64_t depth_ = 0;
+  bool last_in_strobe_ = false;
+  bool last_out_req_ = false;
+  bool valid_state_ = false;
+  int phase_r_ = 0;
+  int mu_r_ = 0;
+  std::uint64_t base_r_ = 0;
+  int ch_r_ = 0;
+  int k_r_ = 0;
+  scflow::Int<40> acc_{0};
+  Sample16 result_l_{0};
+  Sample16 result_r_{0};
+  Sample16 staged_l_{0};
+  Sample16 staged_r_{0};
+  int shadow_frac_ = 0;   // unopt only: dead registers
+  std::int64_t shadow_inc_ = 0;
+  std::uint64_t outputs_ = 0;
+};
+
+using RtlSrcUnopt = RtlSrcT<false>;
+using RtlSrcOpt = RtlSrcT<true>;
+
+}  // namespace scflow::model

@@ -1,0 +1,138 @@
+#include "core/run.hpp"
+
+#include <algorithm>
+
+#include "core/beh_src.hpp"
+#include "core/channel_src.hpp"
+#include "core/rtl_src.hpp"
+#include "core/testbench.hpp"
+#include "dsp/golden_src.hpp"
+#include "kernel/clock.hpp"
+
+namespace scflow::model {
+
+using dsp::SrcEvent;
+using dsp::SrcMode;
+using dsp::StereoSample;
+using P = dsp::SrcParams;
+
+const char* level_name(RefinementLevel level) {
+  switch (level) {
+    case RefinementLevel::kAlgorithmicCpp: return "C++ (algorithmic)";
+    case RefinementLevel::kChannelSystemC: return "SystemC (channels)";
+    case RefinementLevel::kBehUnopt: return "Behavioural (unopt)";
+    case RefinementLevel::kBehOpt: return "Behavioural (opt)";
+    case RefinementLevel::kRtlUnopt: return "RTL (unopt)";
+    case RefinementLevel::kRtlOpt: return "RTL (opt)";
+  }
+  return "?";
+}
+
+bool level_is_clocked(RefinementLevel level) {
+  return level == RefinementLevel::kBehUnopt || level == RefinementLevel::kBehOpt ||
+         level == RefinementLevel::kRtlUnopt || level == RefinementLevel::kRtlOpt;
+}
+
+namespace {
+
+std::uint64_t last_event_time(const std::vector<SrcEvent>& events) {
+  std::uint64_t t = 0;
+  for (const auto& e : events) t = std::max(t, e.t_ps);
+  return t;
+}
+
+RunResult run_algorithmic(SrcMode mode, const std::vector<SrcEvent>& events,
+                          const RunOptions& options) {
+  dsp::AlgorithmicSrc src(mode,
+                          options.quantized_time
+                              ? dsp::AlgorithmicSrc::TimeBase::kQuantizedCycles
+                              : dsp::AlgorithmicSrc::TimeBase::kContinuousPs,
+                          options.inject_corner_bug);
+  std::vector<SrcEvent> ordered = events;
+  if (options.quantized_time) {
+    // Paper Fig. 7: the time quantisation is propagated back into the
+    // golden model — including event *ordering*: two events landing in the
+    // same clock cycle are observed input-first, even if the continuous
+    // times said otherwise.
+    const dsp::TimeQuantizer quant(P::kClockPs);
+    std::stable_sort(ordered.begin(), ordered.end(),
+                     [&quant](const SrcEvent& a, const SrcEvent& b) {
+                       const auto ca = quant.quantize_cycles(a.t_ps);
+                       const auto cb = quant.quantize_cycles(b.t_ps);
+                       if (ca != cb) return ca < cb;
+                       return a.is_input && !b.is_input;
+                     });
+  }
+  RunResult r;
+  for (const auto& e : ordered) {
+    if (e.is_input) src.push_input(e.t_ps, e.sample);
+    else r.outputs.push_back(src.pull_output(e.t_ps));
+  }
+  r.simulated_cycles = last_event_time(events) / P::kClockPs;
+  return r;
+}
+
+RunResult run_channel(SrcMode mode, const std::vector<SrcEvent>& events) {
+  minisc::Simulation sim;
+  ChannelSrc src(sim, "src", mode);
+  ChannelProducer producer(sim, src, events);
+  ChannelConsumer consumer(sim, src, events);
+  sim.run();
+  RunResult r;
+  r.outputs = consumer.outputs;
+  r.stats = sim.stats();
+  // Unclocked level: scale to simulated cycles assuming the 25 MHz clock,
+  // exactly as the paper does for Fig. 8.
+  r.simulated_cycles = sim.now().picoseconds() / P::kClockPs;
+  return r;
+}
+
+template <class Model>
+RunResult run_clocked(SrcMode mode, const std::vector<SrcEvent>& events,
+                      const RunOptions& options) {
+  minisc::Simulation sim;
+  minisc::Clock clk(sim, "clk", minisc::Time::ps(P::kClockPs));
+  SrcPins pins(sim);
+  Model src(sim, "src", clk, mode, options.inject_corner_bug, options.check_ram);
+  src.bind_pins(pins);
+  PinProducer producer(sim, pins, events);
+  PinConsumer consumer(sim, pins, events);
+  // Drain margin: enough clocks for the last computation and handshakes.
+  sim.run_until(minisc::Time::ps(last_event_time(events) + 300 * P::kClockPs));
+  RunResult r;
+  r.outputs = consumer.outputs;
+  r.stats = sim.stats();
+  r.simulated_cycles = clk.posedge_count();
+  r.ram_violations = src.ram().violations();
+  for (std::size_t i = 0;
+       i < consumer.capture_times_ps.size() && i < consumer.request_times_ps.size(); ++i)
+    r.output_latency_cycles.push_back(
+        (consumer.capture_times_ps[i] - consumer.request_times_ps[i]) / P::kClockPs);
+  return r;
+}
+
+}  // namespace
+
+RunResult run_level(RefinementLevel level, SrcMode mode,
+                    const std::vector<SrcEvent>& events, const RunOptions& options) {
+  switch (level) {
+    case RefinementLevel::kAlgorithmicCpp: return run_algorithmic(mode, events, options);
+    case RefinementLevel::kChannelSystemC: return run_channel(mode, events);
+    case RefinementLevel::kBehUnopt: return run_clocked<BehSrcUnopt>(mode, events, options);
+    case RefinementLevel::kBehOpt: return run_clocked<BehSrcOpt>(mode, events, options);
+    case RefinementLevel::kRtlUnopt: return run_clocked<RtlSrcUnopt>(mode, events, options);
+    case RefinementLevel::kRtlOpt: return run_clocked<RtlSrcOpt>(mode, events, options);
+  }
+  return {};
+}
+
+RunResult run_level_with_tone(RefinementLevel level, SrcMode mode, std::size_t samples,
+                              const RunOptions& options) {
+  const double in_rate = 1e12 / static_cast<double>(P::input_period_ps(mode));
+  const auto inputs = dsp::make_sine_stimulus(samples, 1000.0, in_rate);
+  const auto events = dsp::make_schedule(inputs, P::input_period_ps(mode), samples,
+                                         P::output_period_ps(mode));
+  return run_level(level, mode, events, options);
+}
+
+}  // namespace scflow::model

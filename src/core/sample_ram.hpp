@@ -1,0 +1,81 @@
+// The SRC buffer memory as seen by the clocked models: a single RAM macro
+// holding both channels (address = channel << 6 | ring index).  Memories
+// are black-box macros in the paper's flow (excluded from synthesis area);
+// what matters is the *simulation model*, which can optionally check
+// address validity — the mechanism that exposed the golden-model bug at
+// gate level (paper §4.7).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "dsp/src_params.hpp"
+
+namespace scflow::model {
+
+class SampleRam {
+ public:
+  static constexpr unsigned kAddrBits = 7;  // 2 channels x 64 samples
+  static constexpr unsigned kEntries = 1u << kAddrBits;
+  static constexpr unsigned kAddrMask = kEntries - 1;
+  /// Validity contract: a slot may be read while it holds one of the most
+  /// recent kMaxReadAge samples of its channel.  The bug-free design never
+  /// exceeds 55; the injected corner bug reads age 56 at the overrun cap.
+  static constexpr std::uint64_t kMaxReadAge = 55;
+
+  struct Violation {
+    std::uint64_t count = 0;
+    unsigned first_address = 0;
+    std::uint64_t first_age = 0;
+    std::string first_kind;
+  };
+
+  explicit SampleRam(bool check_addresses = false) : check_(check_addresses) {
+    mem_.fill(0);
+    written_at_.fill(0);
+    written_.fill(false);
+  }
+
+  /// @param wc_at_write the channel's sample count at the time of writing.
+  void write(unsigned addr, std::int16_t value, std::uint64_t wc_at_write) {
+    addr &= kAddrMask;
+    mem_[addr] = value;
+    written_[addr] = true;
+    written_at_[addr] = wc_at_write;
+  }
+
+  /// @param current_wc the channel's sample count at the time of reading.
+  [[nodiscard]] std::int16_t read(unsigned addr, std::uint64_t current_wc) {
+    addr &= kAddrMask;
+    if (check_) {
+      if (!written_[addr]) {
+        record(addr, 0, "never-written");
+      } else {
+        const std::uint64_t age = current_wc - written_at_[addr];
+        if (age > kMaxReadAge) record(addr, age, "stale");
+      }
+    }
+    return mem_[addr];
+  }
+
+  [[nodiscard]] const Violation& violations() const { return violation_; }
+  [[nodiscard]] bool checking() const { return check_; }
+
+ private:
+  void record(unsigned addr, std::uint64_t age, const char* kind) {
+    if (violation_.count++ == 0) {
+      violation_.first_address = addr;
+      violation_.first_age = age;
+      violation_.first_kind = kind;
+    }
+  }
+
+  bool check_;
+  std::array<std::int16_t, kEntries> mem_{};
+  std::array<std::uint64_t, kEntries> written_at_{};
+  std::array<bool, kEntries> written_{};
+  Violation violation_;
+};
+
+}  // namespace scflow::model

@@ -1,0 +1,124 @@
+// Reusable testbenches: the compiled (SystemC-style) stimulus/monitor
+// modules that drive any refinement level from an SrcEvent schedule.
+// These are also the "SystemC testbench" side of the paper's Fig. 9
+// co-simulation comparison.
+#pragma once
+
+#include <vector>
+
+#include "core/interfaces.hpp"
+#include "core/pins.hpp"
+#include "dsp/stimulus.hpp"
+#include "kernel/module.hpp"
+
+namespace scflow::model {
+
+/// Drives the channel-level SRC through its SampleWriteIF (IMC).
+class ChannelProducer : public minisc::Module {
+ public:
+  ChannelProducer(minisc::Simulation& sim, SampleWriteIF& target,
+                  std::vector<dsp::SrcEvent> events)
+      : Module(sim, "producer"), port(sim, this, "out"), events_(std::move(events)) {
+    port.bind(target);
+    thread("drive", [this] {
+      for (const auto& e : events_) {
+        if (!e.is_input) continue;
+        const auto now = this->sim().now().picoseconds();
+        if (e.t_ps > now) wait(minisc::Time::ps(e.t_ps - now));
+        port->write_sample(e.sample);
+      }
+    });
+  }
+  minisc::Port<SampleWriteIF> port;
+
+ private:
+  std::vector<dsp::SrcEvent> events_;
+};
+
+/// Pulls outputs from the channel-level SRC through its SampleReadIF.
+class ChannelConsumer : public minisc::Module {
+ public:
+  ChannelConsumer(minisc::Simulation& sim, SampleReadIF& target,
+                  std::vector<dsp::SrcEvent> events)
+      : Module(sim, "consumer"), port(sim, this, "in"), events_(std::move(events)) {
+    port.bind(target);
+    thread("drive", [this] {
+      for (const auto& e : events_) {
+        if (e.is_input) continue;
+        const auto now = this->sim().now().picoseconds();
+        if (e.t_ps > now) wait(minisc::Time::ps(e.t_ps - now));
+        outputs.push_back(port->read_sample());
+      }
+    });
+  }
+
+  minisc::Port<SampleReadIF> port;
+  std::vector<dsp::StereoSample> outputs;
+
+ private:
+  std::vector<dsp::SrcEvent> events_;
+};
+
+/// Drives the signal-level pins of a clocked SRC: writes sample data and
+/// toggles in_strobe at each input event's exact time.
+class PinProducer : public minisc::Module {
+ public:
+  PinProducer(minisc::Simulation& sim, SrcPins& pins, std::vector<dsp::SrcEvent> events)
+      : Module(sim, "pin_producer"), pins_(&pins), events_(std::move(events)) {
+    thread("drive", [this] {
+      bool strobe = false;
+      for (const auto& e : events_) {
+        if (!e.is_input) continue;
+        const auto now = this->sim().now().picoseconds();
+        if (e.t_ps > now) wait(minisc::Time::ps(e.t_ps - now));
+        pins_->in_left.write(Sample16(e.sample.left));
+        pins_->in_right.write(Sample16(e.sample.right));
+        strobe = !strobe;
+        pins_->in_strobe.write(strobe);
+      }
+    });
+  }
+
+ private:
+  SrcPins* pins_;
+  std::vector<dsp::SrcEvent> events_;
+};
+
+/// Toggles out_req at each output event time and records every result the
+/// DUT publishes (out_valid toggle).
+class PinConsumer : public minisc::Module {
+ public:
+  PinConsumer(minisc::Simulation& sim, SrcPins& pins, std::vector<dsp::SrcEvent> events)
+      : Module(sim, "pin_consumer"), pins_(&pins), events_(std::move(events)) {
+    thread("request", [this] {
+      bool req = false;
+      for (const auto& e : events_) {
+        if (e.is_input) continue;
+        const auto now = this->sim().now().picoseconds();
+        if (e.t_ps > now) wait(minisc::Time::ps(e.t_ps - now));
+        req = !req;
+        pins_->out_req.write(req);
+        request_times_ps.push_back(this->sim().now().picoseconds());
+      }
+    });
+    method("capture", [this] {
+      const bool v = pins_->out_valid.read();
+      if (v == last_valid_) return;  // initialisation run
+      last_valid_ = v;
+      outputs.push_back({static_cast<std::int16_t>(pins_->out_left.read().to_int64()),
+                         static_cast<std::int16_t>(pins_->out_right.read().to_int64())});
+      capture_times_ps.push_back(this->sim().now().picoseconds());
+    }).sensitive(pins.out_valid.value_changed_event());
+  }
+
+  std::vector<dsp::StereoSample> outputs;
+  std::vector<std::uint64_t> request_times_ps;  ///< when each request was issued
+  std::vector<std::uint64_t> capture_times_ps;  ///< when each result appeared
+
+ private:
+  SrcPins* pins_;
+  std::vector<dsp::SrcEvent> events_;
+  bool last_valid_ = false;
+};
+
+}  // namespace scflow::model

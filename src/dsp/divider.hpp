@@ -1,0 +1,61 @@
+// Sequential restoring divider — the datapath block the refined models use
+// to implement RateTracker::divide_increment in hardware.  One quotient bit
+// per step; bit-exact with C++ integer division (restoring division *is*
+// floor division), which the tests verify exhaustively enough.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+
+namespace scflow::dsp {
+
+/// Cycle-accurate model of an N/D restoring divider (32-bit dividend,
+/// 16-bit divisor, 32-bit quotient).  Drive start(), then step() once per
+/// clock until done().
+class RestoringDivider {
+ public:
+  static constexpr int kDividendBits = 32;
+
+  void start(std::uint32_t dividend, std::uint16_t divisor) {
+    remainder_ = 0;
+    quotient_ = dividend;
+    divisor_ = divisor;
+    steps_left_ = kDividendBits;
+    busy_ = true;
+  }
+
+  /// One clock of work: shift in the next dividend bit, trial-subtract.
+  void step() {
+    if (!busy_) throw std::logic_error("divider stepped while idle");
+    // Shift (remainder, quotient) left by one, pulling the quotient MSB in.
+    remainder_ = (remainder_ << 1) | (quotient_ >> 31);
+    quotient_ <<= 1;
+    if (remainder_ >= divisor_) {  // trial subtraction succeeds
+      remainder_ -= divisor_;
+      quotient_ |= 1;
+    }
+    if (--steps_left_ == 0) busy_ = false;
+  }
+
+  [[nodiscard]] bool done() const { return !busy_; }
+  [[nodiscard]] std::uint32_t quotient() const { return quotient_; }
+  [[nodiscard]] std::uint32_t remainder() const { return static_cast<std::uint32_t>(remainder_); }
+  [[nodiscard]] int steps_remaining() const { return steps_left_; }
+
+  /// Convenience: runs the full division in one call.
+  static std::uint32_t divide(std::uint32_t dividend, std::uint16_t divisor) {
+    RestoringDivider d;
+    d.start(dividend, divisor);
+    while (!d.done()) d.step();
+    return d.quotient();
+  }
+
+ private:
+  std::uint64_t remainder_ = 0;  // needs divisor width + 1 bits
+  std::uint32_t quotient_ = 0;
+  std::uint16_t divisor_ = 1;
+  int steps_left_ = 0;
+  bool busy_ = false;
+};
+
+}  // namespace scflow::dsp

@@ -1,0 +1,47 @@
+// The paper's Filter() free function: "the filter needs the samples from
+// the input buffer in the same way it needs the coefficients of the
+// polyphase filter.  Consequently the filter function was associated to
+// neither of the classes" — it consumes both iterators.
+#pragma once
+
+#include <cstdint>
+
+#include "dsp/input_buffer.hpp"
+#include "dsp/polyphase.hpp"
+
+namespace scflow::dsp {
+
+/// Convolves kTapsPerPhase history samples with interpolated coefficients.
+/// @param x  read iterator positioned at the newest sample to use; the
+///           convolution steps it backwards (wrap handled by the iterator)
+/// @param c  coefficient iterator for the output's phase/mu
+/// @return   the raw 40-bit accumulator value (before rounding/saturation)
+inline std::int64_t filter_accumulate(InputBuffer::ReadIterator x,
+                                      PolyphaseFilter::Iterator c) {
+  std::int64_t acc = 0;
+  for (int k = 0; k < SrcParams::kTapsPerPhase; ++k) {
+    acc += static_cast<std::int64_t>(*x) * (*c);
+    --x;  // one sample further into the past
+    ++c;
+  }
+  return acc;
+}
+
+/// Rounds and saturates the accumulator to a 16-bit output sample.
+/// Shared by every refinement level (round-half-up at the Q15 point).
+inline std::int16_t round_saturate_output(std::int64_t acc) {
+  const std::int64_t rounded = (acc + (std::int64_t{1} << 14)) >> 15;
+  if (rounded > 32767) return 32767;
+  if (rounded < -32768) return -32768;
+  return static_cast<std::int16_t>(rounded);
+}
+
+/// One complete output-sample computation for one channel.
+inline std::int16_t filter_sample(const InputBuffer& buf, unsigned newest_index,
+                                  const PolyphaseFilter& filter, int phase, int mu) {
+  const std::int64_t acc = filter_accumulate(buf.reader_at_index(newest_index),
+                                             filter.coefficients(phase, mu));
+  return round_saturate_output(acc);
+}
+
+}  // namespace scflow::dsp

@@ -1,0 +1,65 @@
+#include "dsp/filter_design.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace scflow::dsp {
+
+double bessel_i0(double x) {
+  // Power series; converges quickly for the argument range Kaiser uses.
+  double sum = 1.0;
+  double term = 1.0;
+  const double half_x = x / 2.0;
+  for (int k = 1; k < 64; ++k) {
+    term *= (half_x / k) * (half_x / k);
+    sum += term;
+    if (term < 1e-18 * sum) break;
+  }
+  return sum;
+}
+
+std::vector<double> design_prototype(int length, int phases, double cutoff_scale,
+                                     double kaiser_beta) {
+  if (length % 2 == 0) throw std::invalid_argument("prototype length must be odd");
+  const int centre = length / 2;
+  // Cutoff relative to the polyphase-upsampled rate: Nyquist of the input
+  // stream sits at 0.5/phases; scale back for transition band.
+  const double fc = 0.5 * cutoff_scale / phases;
+  const double i0_beta = bessel_i0(kaiser_beta);
+
+  std::vector<double> h(length);
+  for (int n = 0; n < length; ++n) {
+    const int m = n - centre;
+    const double sinc = (m == 0) ? 2.0 * fc
+                                 : std::sin(2.0 * M_PI * fc * m) / (M_PI * m);
+    const double r = static_cast<double>(m) / centre;  // in [-1, 1]
+    const double window = bessel_i0(kaiser_beta * std::sqrt(1.0 - r * r)) / i0_beta;
+    h[n] = sinc * window;
+  }
+  return h;
+}
+
+std::vector<std::int16_t> quantise_prototype_half(const std::vector<double>& proto,
+                                                  int phases) {
+  const int length = static_cast<int>(proto.size());
+  const int taps = (length - 1) / phases;
+
+  // Worst-case branch DC gain decides the normalisation: a full-scale DC
+  // input convolved with the largest branch must not clip the 16-bit output.
+  double max_branch_sum = 0.0;
+  for (int p = 0; p <= phases; ++p) {
+    double s = 0.0;
+    for (int k = 0; k < taps; ++k) s += proto[p + phases * k];
+    max_branch_sum = std::max(max_branch_sum, std::abs(s));
+  }
+  const double scale = 0.98 * 32768.0 / max_branch_sum;
+
+  std::vector<std::int16_t> half(length / 2 + 1);
+  for (int i = 0; i < static_cast<int>(half.size()); ++i) {
+    const double q = std::nearbyint(proto[i] * scale);
+    half[i] = static_cast<std::int16_t>(std::max(-32768.0, std::min(32767.0, q)));
+  }
+  return half;
+}
+
+}  // namespace scflow::dsp

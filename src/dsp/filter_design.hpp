@@ -1,0 +1,30 @@
+// Prototype-filter design for the bandlimited-interpolation SRC
+// (Smith/Gossett, the paper's reference [2]): a Kaiser-windowed sinc,
+// quantised to the 16-bit coefficient ROM all refinement levels share.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace scflow::dsp {
+
+/// Designs the full odd-length prototype in double precision.
+/// @param length      odd filter length (SrcParams::kProtoLen)
+/// @param phases      polyphase branch count (zero crossings every @p phases taps)
+/// @param cutoff_scale fraction of Nyquist used as passband edge (<1 leaves
+///                     transition margin for the 8-tap branches)
+/// @param kaiser_beta  window shape parameter
+std::vector<double> design_prototype(int length, int phases,
+                                     double cutoff_scale = 0.9,
+                                     double kaiser_beta = 8.0);
+
+/// Quantises the symmetric prototype to Q1.15, normalised so the worst-case
+/// polyphase branch DC gain is just below full scale (no overflow for
+/// full-scale DC input).  Returns only the stored half: indices 0..len/2.
+std::vector<std::int16_t> quantise_prototype_half(const std::vector<double>& proto,
+                                                  int phases);
+
+/// Zeroth-order modified Bessel function (Kaiser window helper).
+double bessel_i0(double x);
+
+}  // namespace scflow::dsp

@@ -1,0 +1,63 @@
+#include "dsp/golden_src.hpp"
+
+namespace scflow::dsp {
+
+AlgorithmicSrc::AlgorithmicSrc(SrcMode mode, TimeBase time_base, bool inject_corner_bug)
+    : time_base_(time_base),
+      inject_corner_bug_(inject_corner_bug),
+      quantizer_(SrcParams::kClockPs),
+      tracker_(mode, time_base == TimeBase::kQuantizedCycles
+                         ? std::uint64_t{SrcParams::kDividerLatencyCycles}
+                         : SrcParams::kDividerLatencyCycles * SrcParams::kClockPs),
+      filter_(make_default_rom()) {}
+
+void AlgorithmicSrc::set_mode(SrcMode mode) { tracker_.set_mode(mode); }
+
+std::uint64_t AlgorithmicSrc::tracker_time(std::uint64_t t_ps) const {
+  return time_base_ == TimeBase::kContinuousPs ? t_ps : quantizer_.quantize_cycles(t_ps);
+}
+
+void AlgorithmicSrc::push_input(std::uint64_t t_ps, StereoSample s) {
+  tracker_.on_input(tracker_time(t_ps));
+  buffer_[0].writer().push(s.left);
+  buffer_[1].writer().push(s.right);
+  if (started_) {
+    depth_ += DepthConstants::kOne;
+    if (depth_ > DepthConstants::kMaxDepth) depth_ = DepthConstants::kMaxDepth;
+  } else if (buffer_[0].head() >= SrcParams::kStartupFill) {
+    started_ = true;
+    depth_ = SrcParams::kStartReadLag * DepthConstants::kOne;
+  }
+}
+
+StereoSample AlgorithmicSrc::pull_output(std::uint64_t t_ps) {
+  // Observing the request first commits any divider result whose latency
+  // has elapsed; a window closing on this very request only takes effect
+  // kDividerLatencyCycles later (hardware divider timing).
+  tracker_.on_output(tracker_time(t_ps));
+  const std::int64_t inc = tracker_.increment();
+  if (!started_) return {};
+  ++outputs_;
+
+  std::int64_t ceil_depth = (depth_ + DepthConstants::kFracMask) >> SrcParams::kFracBits;
+  const int frac = static_cast<int>((-depth_) & DepthConstants::kFracMask);
+  const int phase = frac >> SrcParams::kMuBits;
+  const int mu = frac & ((1 << SrcParams::kMuBits) - 1);
+
+  if (inject_corner_bug_ && mu == 0 && phase == 0) {
+    // The bug: one extra sample of read lag in the exact-alignment corner.
+    ++ceil_depth;
+    ++bug_triggers_;
+  }
+
+  StereoSample out;
+  const unsigned newest =
+      static_cast<unsigned>(buffer_[0].head() - static_cast<std::uint64_t>(ceil_depth));
+  out.left = filter_sample(buffer_[0], newest, filter_, phase, mu);
+  out.right = filter_sample(buffer_[1], newest, filter_, phase, mu);
+
+  if (depth_ > inc) depth_ -= inc;  // underrun guard: stall rather than starve
+  return out;
+}
+
+}  // namespace scflow::dsp

@@ -1,0 +1,70 @@
+// The golden algorithmic model (paper §4.1): the initial executable
+// specification all refinements are validated against.
+//
+// The model is event-driven by sample timestamps.  Two time bases exist:
+//  * kContinuousPs — exact event times feed the rate tracker (the original
+//    "zero-time" C++ specification);
+//  * kQuantizedCycles — event times are first snapped to the 25 MHz clock
+//    grid, reproducing what the clocked implementations observe.  This is
+//    the paper's "time quantisation propagated back to the golden model"
+//    (Fig. 7) and makes the golden model bit-exact with BEH/RTL/gates.
+#pragma once
+
+#include <cstdint>
+
+#include "dsp/filter.hpp"
+#include "dsp/input_buffer.hpp"
+#include "dsp/polyphase.hpp"
+#include "dsp/rate_tracker.hpp"
+#include "dsp/src_params.hpp"
+#include "dsp/time_quantizer.hpp"
+
+namespace scflow::dsp {
+
+class AlgorithmicSrc {
+ public:
+  enum class TimeBase { kContinuousPs, kQuantizedCycles };
+
+  /// @param inject_corner_bug reproduces the paper's golden-model bug: in
+  /// the mu == 0 corner the read position is computed one sample too old,
+  /// which only becomes an *invalid* buffer access when the depth sits at
+  /// the overrun cap — "an erroneous access to an invalid buffer position
+  /// in some corner cases".
+  AlgorithmicSrc(SrcMode mode, TimeBase time_base,
+                 bool inject_corner_bug = false);
+
+  void set_mode(SrcMode mode);
+
+  /// A stereo input sample arriving at absolute time @p t_ps.
+  void push_input(std::uint64_t t_ps, StereoSample s);
+
+  /// An output request at absolute time @p t_ps; returns silence until the
+  /// startup fill level is reached.
+  StereoSample pull_output(std::uint64_t t_ps);
+
+  // Introspection (used by the refinement-equivalence tests).
+  [[nodiscard]] bool started() const { return started_; }
+  [[nodiscard]] std::int64_t depth() const { return depth_; }
+  [[nodiscard]] std::int64_t increment() const { return tracker_.increment(); }
+  [[nodiscard]] bool tracking() const { return tracker_.tracking(); }
+  [[nodiscard]] std::uint64_t corner_bug_triggers() const { return bug_triggers_; }
+  [[nodiscard]] std::uint64_t outputs_produced() const { return outputs_; }
+  [[nodiscard]] const PolyphaseFilter& filter() const { return filter_; }
+
+ private:
+  [[nodiscard]] std::uint64_t tracker_time(std::uint64_t t_ps) const;
+
+  TimeBase time_base_;
+  bool inject_corner_bug_;
+  TimeQuantizer quantizer_;
+  RateTracker tracker_;
+  PolyphaseFilter filter_;
+  InputBuffer buffer_[SrcParams::kChannels];
+
+  bool started_ = false;
+  std::int64_t depth_ = 0;  ///< Q6.15 write-head minus read-position
+  std::uint64_t bug_triggers_ = 0;
+  std::uint64_t outputs_ = 0;
+};
+
+}  // namespace scflow::dsp

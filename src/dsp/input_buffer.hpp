@@ -1,0 +1,76 @@
+// The paper's CInputBuffer: a ring buffer whose read/write iterators
+// encapsulate the wrap-around (Fig. 4) — "the iterator internally holds an
+// index to an array and ensures a correct wrap around, because it can only
+// be modified through public methods".
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "dsp/src_params.hpp"
+
+namespace scflow::dsp {
+
+/// Fixed-size power-of-two ring buffer of samples for one audio channel.
+class InputBuffer {
+ public:
+  static constexpr int kSize = SrcParams::kBufferSize;
+  static constexpr unsigned kMask = kSize - 1;
+
+  /// Read access object: dereference + step backwards through history.
+  /// Stepping below index 0 wraps to the top — callers never see indices.
+  class ReadIterator {
+   public:
+    ReadIterator(const InputBuffer& buf, unsigned index)
+        : buf_(&buf), index_(index & kMask) {}
+
+    [[nodiscard]] std::int16_t operator*() const { return buf_->data_[index_]; }
+    /// Moves one sample back in time (the convolution direction).
+    ReadIterator& operator--() {
+      index_ = (index_ - 1) & kMask;
+      return *this;
+    }
+    ReadIterator& operator++() {
+      index_ = (index_ + 1) & kMask;
+      return *this;
+    }
+    [[nodiscard]] unsigned index() const { return index_; }
+
+   private:
+    const InputBuffer* buf_;
+    unsigned index_;
+  };
+
+  /// Write access object: append a sample and advance.
+  class WriteIterator {
+   public:
+    explicit WriteIterator(InputBuffer& buf) : buf_(&buf) {}
+    void push(std::int16_t v) {
+      buf_->data_[buf_->head_ & kMask] = v;
+      ++buf_->head_;
+    }
+
+   private:
+    InputBuffer* buf_;
+  };
+
+  InputBuffer() { data_.fill(0); }
+
+  [[nodiscard]] WriteIterator writer() { return WriteIterator(*this); }
+  /// Iterator positioned @p lag samples behind the newest written sample.
+  [[nodiscard]] ReadIterator reader_at_lag(unsigned lag) const {
+    return ReadIterator(*this, head_ - 1 - lag);
+  }
+  [[nodiscard]] ReadIterator reader_at_index(unsigned ring_index) const {
+    return ReadIterator(*this, ring_index);
+  }
+
+  /// Total samples written (the ring position is head % kSize).
+  [[nodiscard]] std::uint64_t head() const { return head_; }
+
+ private:
+  std::array<std::int16_t, kSize> data_{};
+  std::uint64_t head_ = 0;
+};
+
+}  // namespace scflow::dsp

@@ -1,0 +1,12 @@
+#include "dsp/polyphase.hpp"
+
+#include "dsp/filter_design.hpp"
+
+namespace scflow::dsp {
+
+CoefficientRom make_default_rom() {
+  const auto proto = design_prototype(SrcParams::kProtoLen, SrcParams::kNumPhases);
+  return CoefficientRom(quantise_prototype_half(proto, SrcParams::kNumPhases));
+}
+
+}  // namespace scflow::dsp

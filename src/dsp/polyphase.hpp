@@ -1,0 +1,93 @@
+// Coefficient storage for the polyphase filter — the paper's
+// CPolyphaseFilter: an iterator hides "the storage order of the
+// coefficients and the fact that only one half of the symmetrical impulse
+// response is stored".
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "dsp/src_params.hpp"
+
+namespace scflow::dsp {
+
+/// The coefficient ROM: stores the first half (129 entries) of the odd
+/// symmetric 257-tap prototype and mirrors accesses to the upper half.
+class CoefficientRom {
+ public:
+  explicit CoefficientRom(std::vector<std::int16_t> half) : half_(std::move(half)) {
+    if (static_cast<int>(half_.size()) != SrcParams::kProtoHalfLen)
+      throw std::invalid_argument("coefficient ROM: wrong half length");
+  }
+
+  /// Full-prototype lookup with the symmetry fold: index 0..256.
+  [[nodiscard]] std::int16_t at(int proto_index) const {
+    const int folded = proto_index <= SrcParams::kProtoLen / 2
+                           ? proto_index
+                           : (SrcParams::kProtoLen - 1) - proto_index;
+    return half_[static_cast<std::size_t>(folded)];
+  }
+
+  [[nodiscard]] const std::vector<std::int16_t>& stored_half() const { return half_; }
+
+ private:
+  std::vector<std::int16_t> half_;
+};
+
+/// Index of tap @p k of polyphase branch @p phase inside the prototype.
+/// @p phase may be kNumPhases (the "one past" branch used for interpolation).
+constexpr int proto_index(int phase, int k) {
+  return phase + SrcParams::kNumPhases * k;
+}
+
+/// Linearly interpolated coefficient between branch @p phase and @p phase+1
+/// with 10-bit fraction @p mu.  This is *the* shared arithmetic definition —
+/// every refinement level reproduces it bit-exactly.
+inline std::int32_t interpolated_coeff(const CoefficientRom& rom, int phase, int mu, int k) {
+  const std::int32_t c0 = rom.at(proto_index(phase, k));
+  const std::int32_t c1 = rom.at(proto_index(phase + 1, k));
+  const std::int32_t diff = c1 - c0;                       // 17 bits
+  return c0 + ((mu * diff) >> SrcParams::kMuBits);         // mu*diff: 27 bits
+}
+
+/// The paper's CPolyphaseFilter: owns the ROM and hands out per-output
+/// coefficient iterators.
+class PolyphaseFilter {
+ public:
+  explicit PolyphaseFilter(CoefficientRom rom) : rom_(std::move(rom)) {}
+
+  /// Iterator over the interpolated coefficients of one output sample
+  /// (fixed phase/mu), stepping through taps k = 0..kTapsPerPhase-1.
+  class Iterator {
+   public:
+    Iterator(const CoefficientRom& rom, int phase, int mu)
+        : rom_(&rom), phase_(phase), mu_(mu) {}
+
+    [[nodiscard]] std::int32_t operator*() const {
+      return interpolated_coeff(*rom_, phase_, mu_, k_);
+    }
+    Iterator& operator++() { ++k_; return *this; }
+    [[nodiscard]] int tap() const { return k_; }
+
+   private:
+    const CoefficientRom* rom_;
+    int phase_;
+    int mu_;
+    int k_ = 0;
+  };
+
+  [[nodiscard]] Iterator coefficients(int phase, int mu) const {
+    return Iterator(rom_, phase, mu);
+  }
+  [[nodiscard]] const CoefficientRom& rom() const { return rom_; }
+
+ private:
+  CoefficientRom rom_;
+};
+
+/// Builds the ROM used throughout the evaluation (the design-time constant
+/// all refinement levels and the synthesised netlists share).
+CoefficientRom make_default_rom();
+
+}  // namespace scflow::dsp

@@ -1,0 +1,117 @@
+// Asynchronous rate estimation: the SRC's input and output sides run on
+// unrelated clocks, so the phase increment is derived from *measured*
+// arrival periods.  This measurement is what makes clock quantisation
+// (paper Fig. 7) change output values: the clocked implementations measure
+// integer cycle counts, the algorithmic model measures exact timestamps.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "dsp/src_params.hpp"
+
+namespace scflow::dsp {
+
+/// Window-based period measurement plus the increment division.
+///
+/// Timestamps are in arbitrary units (picoseconds for the continuous
+/// models, clock cycles for the quantised/hardware ones).  A recomputed
+/// increment *commits* only strictly after @p commit_latency units — the
+/// hardware reality that the sequential divider needs
+/// SrcParams::kDividerLatencyCycles clocks before the increment register
+/// updates.  The golden model shares the rule so the refinement chain
+/// stays bit-exact.
+class RateTracker {
+ public:
+  RateTracker(SrcMode mode, std::uint64_t commit_latency)
+      : commit_latency_(commit_latency) {
+    set_mode(mode);
+  }
+
+  void set_mode(SrcMode mode) {
+    mode_ = mode;
+    increment_ = SrcParams::nominal_increment(mode);
+    pending_.clear();
+    in_ = Window{};
+    out_ = Window{};
+  }
+
+  /// Records an input arrival; must be called before on_output for events
+  /// that share a timestamp (the canonical input-first ordering).
+  void on_input(std::uint64_t t) { observe(in_, t); }
+  void on_output(std::uint64_t t) { observe(out_, t); }
+
+  /// Committed phase increment, Q3.15 input-samples per output sample.
+  [[nodiscard]] std::int64_t increment() const { return increment_; }
+  [[nodiscard]] bool tracking() const { return in_.have_window && out_.have_window; }
+  [[nodiscard]] bool update_pending() const { return !pending_.empty(); }
+  [[nodiscard]] SrcMode mode() const { return mode_; }
+
+  /// The exact integer division the hardware divider implements.
+  static std::int64_t divide_increment(std::uint64_t out_window, std::uint64_t in_window) {
+    if (in_window == 0) return SrcParams::kIncMax;
+    const std::int64_t q = static_cast<std::int64_t>(
+        (out_window << SrcParams::kFracBits) / in_window);
+    if (q < SrcParams::kIncMin) return SrcParams::kIncMin;
+    if (q > SrcParams::kIncMax) return SrcParams::kIncMax;
+    return q;
+  }
+
+ private:
+  struct Window {
+    std::uint64_t prev = 0;
+    bool have_prev = false;
+    std::uint64_t elapsed = 0;
+    int count = 0;
+    std::uint64_t window = 0;   ///< latched duration of the last full window
+    bool have_window = false;
+  };
+
+  void observe(Window& w, std::uint64_t t) {
+    // Quotients commit to the increment register exactly at their ready
+    // instant; an event at the ready instant itself still reads the old
+    // value (register update semantics), hence the strict comparison.
+    commit_due(t);
+    if (w.have_prev) {
+      w.elapsed += t - w.prev;
+      if (++w.count == SrcParams::kRateWindow) {
+        w.window = w.elapsed;
+        w.elapsed = 0;
+        w.count = 0;
+        w.have_window = true;
+        if (tracking()) {
+          // A close restarts the divider.  A division whose ready instant
+          // has not been reached yet is aborted and never commits; one
+          // whose ready instant is exactly now still commits (the register
+          // write and the restart land on the same clock edge).
+          if (!pending_.empty() && pending_.back().ready > t) pending_.pop_back();
+          pending_.push_back({divide_increment(out_.window, in_.window),
+                              t + commit_latency_});
+        }
+      }
+    }
+    w.prev = t;
+    w.have_prev = true;
+  }
+
+  void commit_due(std::uint64_t t) {
+    while (!pending_.empty() && pending_.front().ready < t) {
+      increment_ = pending_.front().inc;
+      pending_.pop_front();
+    }
+  }
+
+  struct Pending {
+    std::int64_t inc;
+    std::uint64_t ready;
+  };
+
+  SrcMode mode_ = SrcMode::k48To48;
+  std::uint64_t commit_latency_;
+  std::int64_t increment_ = 1 << SrcParams::kFracBits;
+  std::deque<Pending> pending_;
+  Window in_;
+  Window out_;
+};
+
+}  // namespace scflow::dsp

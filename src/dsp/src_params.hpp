@@ -1,0 +1,111 @@
+// Fixed numeric contract of the sample-rate converter.
+//
+// Every refinement level — the algorithmic C++ model, the channel-based
+// model, both behavioural models, both RTL models and the gate-level
+// netlist — implements *exactly* this arithmetic, which is what makes the
+// paper's per-step bit-accuracy revalidation possible.
+#pragma once
+
+#include <cstdint>
+
+namespace scflow::dsp {
+
+/// Operating modes selectable through the SRC_CTRL interface (paper Fig. 5).
+enum class SrcMode : std::uint8_t {
+  k44_1To48 = 0,   ///< CD -> DVD
+  k48To44_1 = 1,   ///< DVD -> CD
+  k48To48 = 2,     ///< pass-through resync
+  k32To48 = 3,     ///< DAB -> DVD
+};
+
+struct SrcParams {
+  // Datapath widths (the paper's "type refinement" step pins these down).
+  static constexpr int kSampleBits = 16;     ///< audio samples, signed
+  static constexpr int kCoeffBits = 16;      ///< ROM coefficients, signed Q1.15
+  static constexpr int kAccBits = 40;        ///< MAC accumulator
+  static constexpr int kIncBits = 18;        ///< phase increment (Q3.15)
+
+  // Phase accumulator layout.
+  static constexpr int kFracBits = 15;       ///< fractional input-sample bits
+  static constexpr int kPhaseBits = 5;       ///< 32 polyphase branches
+  static constexpr int kMuBits = 10;         ///< intra-phase interpolation
+  static constexpr int kNumPhases = 1 << kPhaseBits;
+  static constexpr int kTapsPerPhase = 8;
+  /// Odd-length symmetric prototype: centre tap + 128 mirrored pairs.
+  static constexpr int kProtoLen = kNumPhases * kTapsPerPhase + 1;  // 257
+  static constexpr int kProtoHalfLen = kProtoLen / 2 + 1;           // 129 stored
+
+  // Input ring buffer (per channel).
+  static constexpr int kBufferLog2 = 6;
+  static constexpr int kBufferSize = 1 << kBufferLog2;  // 64 samples
+  static constexpr int kChannels = 2;                   // stereo
+
+  // Startup: output production begins once this many input samples landed;
+  // the read position then starts kStartReadLag samples behind the head.
+  static constexpr int kStartupFill = 16;
+  static constexpr int kStartReadLag = 8;
+
+  // Asynchronous rate tracking.
+  static constexpr int kRateWindow = 16;     ///< arrivals per measurement window
+  /// Clocks between a window closing and the increment register updating
+  /// (32 divider steps plus control overhead, padded to a fixed latency).
+  static constexpr int kDividerLatencyCycles = 40;
+  static constexpr std::int64_t kIncMin = 1 << 13;
+  static constexpr std::int64_t kIncMax = (1 << kIncBits) - 1;
+
+  // System clock: the paper's 40 ns timing constraint (25 MHz).
+  static constexpr std::uint64_t kClockPs = 40'000;
+
+  // Nominal stimulus periods (integer picoseconds, close to the exact rates).
+  static constexpr std::uint64_t kPeriod44k1Ps = 22'675'737;  // ~44.1 kHz
+  static constexpr std::uint64_t kPeriod48kPs = 20'833'333;   // ~48 kHz
+  static constexpr std::uint64_t kPeriod32kPs = 31'250'000;   // 32 kHz
+
+  /// Nominal phase increment for a mode: round(f_in / f_out * 2^15).
+  static constexpr std::int64_t nominal_increment(SrcMode m) {
+    switch (m) {
+      case SrcMode::k44_1To48: return 30106;   // 44100/48000 * 32768
+      case SrcMode::k48To44_1: return 35665;   // 48000/44100 * 32768
+      case SrcMode::k48To48: return 32768;
+      case SrcMode::k32To48: return 21845;     // 32000/48000 * 32768
+    }
+    return 32768;
+  }
+
+  static constexpr std::uint64_t input_period_ps(SrcMode m) {
+    switch (m) {
+      case SrcMode::k44_1To48: return kPeriod44k1Ps;
+      case SrcMode::k48To44_1: return kPeriod48kPs;
+      case SrcMode::k48To48: return kPeriod48kPs;
+      case SrcMode::k32To48: return kPeriod32kPs;
+    }
+    return kPeriod48kPs;
+  }
+
+  static constexpr std::uint64_t output_period_ps(SrcMode m) {
+    switch (m) {
+      case SrcMode::k48To44_1: return kPeriod44k1Ps;
+      default: return kPeriod48kPs;
+    }
+  }
+};
+
+/// Read-position bookkeeping shared by all levels: the depth D is the
+/// Q6.15 distance between the write head and the fractional read position.
+struct DepthConstants {
+  static constexpr std::int64_t kOne = std::int64_t{1} << SrcParams::kFracBits;
+  static constexpr std::int64_t kFracMask = kOne - 1;
+  /// Overrun cap: reads never age past 55 samples (checking memories use
+  /// age <= 55 as the validity contract, so the injected corner-case bug
+  /// is exactly one step outside it).
+  static constexpr std::int64_t kMaxDepth = 48 * kOne;
+};
+
+/// One stereo sample.
+struct StereoSample {
+  std::int16_t left = 0;
+  std::int16_t right = 0;
+  friend bool operator==(const StereoSample&, const StereoSample&) = default;
+};
+
+}  // namespace scflow::dsp

@@ -1,0 +1,85 @@
+#include "dsp/stimulus.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace scflow::dsp {
+
+std::vector<StereoSample> make_sine_stimulus(std::size_t count, double freq_hz,
+                                             double sample_rate_hz, double amplitude) {
+  std::vector<StereoSample> out(count);
+  const double w = 2.0 * M_PI * freq_hz / sample_rate_hz;
+  for (std::size_t i = 0; i < count; ++i) {
+    const double v = amplitude * std::sin(w * static_cast<double>(i));
+    const auto q = static_cast<std::int16_t>(std::lrint(v * 32767.0));
+    // Right channel carries the same tone at half amplitude so channel
+    // swaps are caught by the equivalence tests.
+    out[i] = {q, static_cast<std::int16_t>(q / 2)};
+  }
+  return out;
+}
+
+std::vector<StereoSample> make_noise_stimulus(std::size_t count, std::uint64_t seed,
+                                              int amplitude_bits) {
+  std::vector<StereoSample> out(count);
+  std::uint64_t x = seed | 1;
+  auto next = [&x] {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    return x;
+  };
+  const std::uint64_t mask = (1ull << amplitude_bits) - 1;
+  const std::int64_t mid = 1ll << (amplitude_bits - 1);
+  for (std::size_t i = 0; i < count; ++i) {
+    out[i].left = static_cast<std::int16_t>(static_cast<std::int64_t>(next() & mask) - mid);
+    out[i].right = static_cast<std::int16_t>(static_cast<std::int64_t>(next() & mask) - mid);
+  }
+  return out;
+}
+
+std::vector<SrcEvent> make_schedule(const std::vector<StereoSample>& inputs,
+                                    std::uint64_t in_period_ps, std::size_t output_count,
+                                    std::uint64_t out_period_ps, std::uint64_t t0_ps) {
+  std::vector<SrcEvent> events;
+  events.reserve(inputs.size() + output_count);
+  for (std::size_t i = 0; i < inputs.size(); ++i)
+    events.push_back({t0_ps + (i + 1) * in_period_ps, true, inputs[i]});
+  for (std::size_t j = 0; j < output_count; ++j)
+    events.push_back({t0_ps + (j + 1) * out_period_ps, false, {}});
+  std::stable_sort(events.begin(), events.end(), [](const SrcEvent& a, const SrcEvent& b) {
+    if (a.t_ps != b.t_ps) return a.t_ps < b.t_ps;
+    return a.is_input && !b.is_input;  // inputs first at equal times
+  });
+  return events;
+}
+
+double tone_snr_db(const std::vector<std::int16_t>& samples, double freq_hz,
+                   double sample_rate_hz) {
+  if (samples.size() < 16) return 0.0;
+  const std::size_t n = samples.size();
+  // Least-squares fit of A*sin + B*cos at the exact tone frequency (no bin
+  // quantisation, so off-bin leakage cannot corrupt the measurement).
+  const double w = 2.0 * M_PI * freq_hz / sample_rate_hz;
+  double ss = 0, sc = 0, cc = 0, xs = 0, xc = 0, total = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = static_cast<double>(samples[i]);
+    const double si = std::sin(w * static_cast<double>(i));
+    const double co = std::cos(w * static_cast<double>(i));
+    ss += si * si;
+    sc += si * co;
+    cc += co * co;
+    xs += x * si;
+    xc += x * co;
+    total += x * x;
+  }
+  const double det = ss * cc - sc * sc;
+  if (std::abs(det) < 1e-9) return 0.0;
+  const double a = (xs * cc - xc * sc) / det;
+  const double b = (xc * ss - xs * sc) / det;
+  const double tone_power = a * a * ss + 2.0 * a * b * sc + b * b * cc;
+  const double noise_power = std::max(total - tone_power, 1e-9);
+  return 10.0 * std::log10(std::max(tone_power, 1e-9) / noise_power);
+}
+
+}  // namespace scflow::dsp

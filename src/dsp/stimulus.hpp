@@ -1,0 +1,45 @@
+// Stimulus generation and quality measurement for the SRC evaluation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dsp/src_params.hpp"
+
+namespace scflow::dsp {
+
+/// Deterministic sine generator quantised to 16 bits.
+/// @param amplitude in [0,1] of full scale.
+std::vector<StereoSample> make_sine_stimulus(std::size_t count, double freq_hz,
+                                             double sample_rate_hz,
+                                             double amplitude = 0.5);
+
+/// Deterministic pseudo-random (xorshift) noise stimulus — used by the
+/// property-style equivalence sweeps.
+std::vector<StereoSample> make_noise_stimulus(std::size_t count, std::uint64_t seed,
+                                              int amplitude_bits = 14);
+
+/// One timestamped SRC event (input arrival or output request).
+struct SrcEvent {
+  std::uint64_t t_ps;
+  bool is_input;
+  StereoSample sample;  // inputs only
+};
+
+/// Builds the interleaved event schedule for a run: inputs every
+/// @p in_period_ps from @p t0, output requests every @p out_period_ps.
+/// At equal timestamps inputs sort first — the canonical ordering every
+/// refinement level implements (input capture precedes the output stage).
+std::vector<SrcEvent> make_schedule(const std::vector<StereoSample>& inputs,
+                                    std::uint64_t in_period_ps,
+                                    std::size_t output_count,
+                                    std::uint64_t out_period_ps,
+                                    std::uint64_t t0_ps = 0);
+
+/// Signal-to-noise-and-distortion of @p samples against the single tone at
+/// @p freq_hz (Goertzel bin vs. residual), in dB.  Used as the sanity
+/// metric that the SRC actually converts audio, not as a bit-accuracy test.
+double tone_snr_db(const std::vector<std::int16_t>& samples, double freq_hz,
+                   double sample_rate_hz);
+
+}  // namespace scflow::dsp

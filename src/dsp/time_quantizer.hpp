@@ -1,0 +1,39 @@
+// Clock quantisation of sample-event times (paper Fig. 7): "since the
+// events at which input and output samples occur can only be detected at
+// clock edges, these events are slightly delayed... the time quantisation
+// was manually propagated back to the golden model" — this class *is* that
+// propagation.
+#pragma once
+
+#include <cstdint>
+
+#include "dsp/src_params.hpp"
+
+namespace scflow::dsp {
+
+class TimeQuantizer {
+ public:
+  explicit TimeQuantizer(std::uint64_t clock_period_ps = SrcParams::kClockPs)
+      : period_(clock_period_ps) {}
+
+  /// First clock edge at which an event occurring at @p t_ps is observable.
+  /// Edges sit at k * period (k >= 1); an event exactly on an edge is seen
+  /// at that edge (signal updates land in the delta before the edge's
+  /// sensitive processes run).
+  [[nodiscard]] std::uint64_t quantize_ps(std::uint64_t t_ps) const {
+    const std::uint64_t k = (t_ps + period_ - 1) / period_;
+    return (k == 0 ? 1 : k) * period_;
+  }
+
+  /// Same, expressed as a cycle index (what the hardware counters measure).
+  [[nodiscard]] std::uint64_t quantize_cycles(std::uint64_t t_ps) const {
+    return quantize_ps(t_ps) / period_;
+  }
+
+  [[nodiscard]] std::uint64_t period_ps() const { return period_; }
+
+ private:
+  std::uint64_t period_;
+};
+
+}  // namespace scflow::dsp

@@ -1,0 +1,155 @@
+// Bit-accurate integer types with explicit widths.
+//
+// These types stand in for the SystemC sc_int/sc_uint/sc_bigint family the
+// paper's "type refinement" step introduces ("the native C/C++ types were
+// replaced by SystemC types with explicit bit-widths").  Arithmetic wraps to
+// the declared width, exactly like two's-complement hardware registers, so a
+// model written with BitInt is bit-accurate with the synthesised datapath.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <ostream>
+#include <string>
+#include <type_traits>
+
+namespace scflow {
+
+/// Returns a mask with the low @p width bits set (width in 1..64).
+constexpr std::uint64_t bit_mask(int width) {
+  return width >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << width) - 1);
+}
+
+/// Sign-extends the low @p width bits of @p v to a full int64_t.
+constexpr std::int64_t sign_extend(std::uint64_t v, int width) {
+  if (width >= 64) return static_cast<std::int64_t>(v);
+  const std::uint64_t m = std::uint64_t{1} << (width - 1);
+  const std::uint64_t x = v & bit_mask(width);
+  return static_cast<std::int64_t>((x ^ m) - m);
+}
+
+/// Reduces @p v to the canonical value of a @p width-bit lane:
+/// sign-extended when @p is_signed, zero-extended otherwise.
+constexpr std::int64_t wrap_to_width(std::int64_t v, int width, bool is_signed) {
+  const std::uint64_t u = static_cast<std::uint64_t>(v) & bit_mask(width);
+  return is_signed ? sign_extend(u, width) : static_cast<std::int64_t>(u);
+}
+
+/// Fixed-width two's-complement integer, W in [1, 64].
+///
+/// All arithmetic is performed in 64 bits and wrapped back to W bits, which
+/// matches the semantics of a hardware register of that width.  Mixed-width
+/// expressions must be widened explicitly (BitInt<W2,S>::from(x)), mirroring
+/// the deliberate-width style hardware models use.
+template <int W, bool Signed>
+class BitInt {
+  static_assert(W >= 1 && W <= 64, "BitInt supports widths 1..64");
+  static_assert(W < 64 || Signed || true, "");
+
+ public:
+  static constexpr int width = W;
+  static constexpr bool is_signed = Signed;
+
+  constexpr BitInt() = default;
+  constexpr BitInt(std::int64_t v) : value_(wrap_to_width(v, W, Signed)) {}  // NOLINT: implicit by design
+
+  /// Explicit conversion from any other BitInt (re-wraps to this width).
+  template <int W2, bool S2>
+  static constexpr BitInt from(BitInt<W2, S2> other) {
+    return BitInt(other.to_int64());
+  }
+
+  [[nodiscard]] constexpr std::int64_t to_int64() const { return value_; }
+  [[nodiscard]] constexpr std::uint64_t to_uint64() const {
+    return static_cast<std::uint64_t>(value_) & bit_mask(W);
+  }
+  [[nodiscard]] constexpr double to_double() const { return static_cast<double>(value_); }
+
+  /// Raw bit pattern (zero-extended), as seen by a netlist.
+  [[nodiscard]] constexpr std::uint64_t bits() const { return to_uint64(); }
+
+  [[nodiscard]] static constexpr std::int64_t min_value() {
+    return Signed ? -(std::int64_t{1} << (W - 1)) : 0;
+  }
+  [[nodiscard]] static constexpr std::int64_t max_value() {
+    if constexpr (!Signed && W == 64) return std::numeric_limits<std::int64_t>::max();
+    return Signed ? (std::int64_t{1} << (W - 1)) - 1
+                  : static_cast<std::int64_t>(bit_mask(W));
+  }
+
+  [[nodiscard]] constexpr bool bit(int i) const { return ((to_uint64() >> i) & 1u) != 0; }
+
+  /// Bit-range extraction [hi:lo], zero-extended into the result width.
+  template <int RW = 64>
+  [[nodiscard]] constexpr BitInt<RW, false> range(int hi, int lo) const {
+    const std::uint64_t v = (to_uint64() >> lo) & bit_mask(hi - lo + 1);
+    return BitInt<RW, false>(static_cast<std::int64_t>(v));
+  }
+
+  constexpr BitInt& set_bit(int i, bool b) {
+    std::uint64_t u = to_uint64();
+    if (b) u |= (std::uint64_t{1} << i); else u &= ~(std::uint64_t{1} << i);
+    value_ = wrap_to_width(static_cast<std::int64_t>(u), W, Signed);
+    return *this;
+  }
+
+  // Arithmetic (wrapping to W bits).
+  friend constexpr BitInt operator+(BitInt a, BitInt b) { return BitInt(a.value_ + b.value_); }
+  friend constexpr BitInt operator-(BitInt a, BitInt b) { return BitInt(a.value_ - b.value_); }
+  friend constexpr BitInt operator*(BitInt a, BitInt b) { return BitInt(a.value_ * b.value_); }
+  friend constexpr BitInt operator/(BitInt a, BitInt b) { return BitInt(a.value_ / b.value_); }
+  friend constexpr BitInt operator%(BitInt a, BitInt b) { return BitInt(a.value_ % b.value_); }
+  friend constexpr BitInt operator&(BitInt a, BitInt b) { return BitInt(a.value_ & b.value_); }
+  friend constexpr BitInt operator|(BitInt a, BitInt b) { return BitInt(a.value_ | b.value_); }
+  friend constexpr BitInt operator^(BitInt a, BitInt b) { return BitInt(a.value_ ^ b.value_); }
+  constexpr BitInt operator~() const { return BitInt(~value_); }
+  constexpr BitInt operator-() const { return BitInt(-value_); }
+
+  /// Shifts: logical left; right shift is arithmetic for signed, logical
+  /// for unsigned (hardware convention).
+  friend constexpr BitInt operator<<(BitInt a, int s) {
+    if (s >= 64) return BitInt(0);
+    return BitInt(static_cast<std::int64_t>(static_cast<std::uint64_t>(a.value_) << s));
+  }
+  friend constexpr BitInt operator>>(BitInt a, int s) {
+    if (s >= 64) return BitInt(Signed && a.value_ < 0 ? -1 : 0);
+    if constexpr (Signed) return BitInt(a.value_ >> s);
+    return BitInt(static_cast<std::int64_t>(a.to_uint64() >> s));
+  }
+
+  constexpr BitInt& operator+=(BitInt b) { return *this = *this + b; }
+  constexpr BitInt& operator-=(BitInt b) { return *this = *this - b; }
+  constexpr BitInt& operator*=(BitInt b) { return *this = *this * b; }
+  constexpr BitInt& operator<<=(int s) { return *this = *this << s; }
+  constexpr BitInt& operator>>=(int s) { return *this = *this >> s; }
+  constexpr BitInt& operator++() { return *this = *this + BitInt(1); }
+  constexpr BitInt& operator--() { return *this = *this - BitInt(1); }
+
+  friend constexpr bool operator==(BitInt a, BitInt b) { return a.value_ == b.value_; }
+  friend constexpr auto operator<=>(BitInt a, BitInt b) { return a.value_ <=> b.value_; }
+
+  friend std::ostream& operator<<(std::ostream& os, BitInt v) { return os << v.value_; }
+
+ private:
+  std::int64_t value_ = 0;  // canonical (sign/zero-extended) value
+};
+
+template <int W> using Int = BitInt<W, true>;
+template <int W> using UInt = BitInt<W, false>;
+
+/// Saturates @p v into the representable range of a W-bit lane.
+constexpr std::int64_t saturate_to_width(std::int64_t v, int width, bool is_signed) {
+  const std::int64_t lo = is_signed ? -(std::int64_t{1} << (width - 1)) : 0;
+  const std::int64_t hi = is_signed ? (std::int64_t{1} << (width - 1)) - 1
+                                    : static_cast<std::int64_t>(bit_mask(width));
+  return v < lo ? lo : (v > hi ? hi : v);
+}
+
+/// Minimum number of bits needed to represent @p v as an unsigned value.
+constexpr int bits_for_unsigned(std::uint64_t v) {
+  int n = 0;
+  while (v != 0) { ++n; v >>= 1; }
+  return n == 0 ? 1 : n;
+}
+
+}  // namespace scflow

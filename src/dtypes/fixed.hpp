@@ -1,0 +1,65 @@
+// Fixed-point value type used during the paper's type-refinement step.
+//
+// A Fixed<W, F, Signed> holds a W-bit two's-complement integer interpreted
+// as value * 2^-F.  Construction from double supports the rounding and
+// saturation choices a designer makes when quantising an algorithmic model.
+#pragma once
+
+#include <cmath>
+#include <ostream>
+
+#include "dtypes/bit_int.hpp"
+
+namespace scflow {
+
+enum class Rounding { kTruncate, kNearest };
+enum class Overflow { kWrap, kSaturate };
+
+template <int W, int F, bool Signed = true>
+class Fixed {
+  static_assert(F >= 0 && F <= W, "fractional bits must fit the word");
+
+ public:
+  static constexpr int width = W;
+  static constexpr int frac_bits = F;
+  using Raw = BitInt<W, Signed>;
+
+  constexpr Fixed() = default;
+  constexpr explicit Fixed(Raw raw) : raw_(raw) {}
+
+  /// Quantises @p v (real value) into the fixed-point grid.
+  static Fixed from_double(double v, Rounding r = Rounding::kNearest,
+                           Overflow o = Overflow::kSaturate) {
+    const double scaled = std::ldexp(v, F);
+    const double q = (r == Rounding::kNearest) ? std::nearbyint(scaled) : std::trunc(scaled);
+    auto i = static_cast<std::int64_t>(q);
+    if (o == Overflow::kSaturate) i = saturate_to_width(i, W, Signed);
+    return Fixed(Raw(i));
+  }
+
+  static constexpr Fixed from_raw(std::int64_t raw) { return Fixed(Raw(raw)); }
+
+  [[nodiscard]] constexpr Raw raw() const { return raw_; }
+  [[nodiscard]] double to_double() const { return std::ldexp(static_cast<double>(raw_.to_int64()), -F); }
+
+  friend constexpr Fixed operator+(Fixed a, Fixed b) { return Fixed(a.raw_ + b.raw_); }
+  friend constexpr Fixed operator-(Fixed a, Fixed b) { return Fixed(a.raw_ - b.raw_); }
+  constexpr Fixed operator-() const { return Fixed(-raw_); }
+
+  /// Full-precision product re-quantised back to this format (truncating),
+  /// the way a hardware MAC path truncates its accumulator tail.
+  friend constexpr Fixed operator*(Fixed a, Fixed b) {
+    const std::int64_t p = a.raw_.to_int64() * b.raw_.to_int64();
+    return Fixed(Raw(p >> F));
+  }
+
+  friend constexpr bool operator==(Fixed a, Fixed b) { return a.raw_ == b.raw_; }
+  friend constexpr auto operator<=>(Fixed a, Fixed b) { return a.raw_ <=> b.raw_; }
+
+  friend std::ostream& operator<<(std::ostream& os, Fixed v) { return os << v.to_double(); }
+
+ private:
+  Raw raw_;
+};
+
+}  // namespace scflow

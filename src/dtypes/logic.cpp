@@ -1,0 +1,110 @@
+#include "dtypes/logic.hpp"
+
+namespace scflow {
+
+namespace {
+constexpr Logic k0 = Logic::L0;
+constexpr Logic k1 = Logic::L1;
+constexpr Logic kX = Logic::X;
+// Truth tables indexed [a][b]; Z behaves as X for gate inputs.
+constexpr Logic kAnd[4][4] = {
+    {k0, k0, k0, k0},
+    {k0, k1, kX, kX},
+    {k0, kX, kX, kX},
+    {k0, kX, kX, kX},
+};
+constexpr Logic kOr[4][4] = {
+    {k0, k1, kX, kX},
+    {k1, k1, k1, k1},
+    {kX, k1, kX, kX},
+    {kX, k1, kX, kX},
+};
+constexpr Logic kXor[4][4] = {
+    {k0, k1, kX, kX},
+    {k1, k0, kX, kX},
+    {kX, kX, kX, kX},
+    {kX, kX, kX, kX},
+};
+}  // namespace
+
+Logic logic_and(Logic a, Logic b) { return kAnd[static_cast<int>(a)][static_cast<int>(b)]; }
+Logic logic_or(Logic a, Logic b) { return kOr[static_cast<int>(a)][static_cast<int>(b)]; }
+Logic logic_xor(Logic a, Logic b) { return kXor[static_cast<int>(a)][static_cast<int>(b)]; }
+
+Logic logic_not(Logic a) {
+  switch (a) {
+    case Logic::L0: return Logic::L1;
+    case Logic::L1: return Logic::L0;
+    default: return Logic::X;
+  }
+}
+
+Logic logic_mux(Logic sel, Logic a0, Logic a1) {
+  if (sel == Logic::L0) return a0 == Logic::Z ? Logic::X : a0;
+  if (sel == Logic::L1) return a1 == Logic::Z ? Logic::X : a1;
+  // Unknown select: result is known only if both data inputs agree on 0/1.
+  if (a0 == a1 && logic_is_01(a0)) return a0;
+  return Logic::X;
+}
+
+Logic logic_resolve(Logic a, Logic b) {
+  if (a == Logic::Z) return b;
+  if (b == Logic::Z) return a;
+  if (a == b) return a;
+  return Logic::X;
+}
+
+char logic_to_char(Logic v) {
+  switch (v) {
+    case Logic::L0: return '0';
+    case Logic::L1: return '1';
+    case Logic::X: return 'x';
+    default: return 'z';
+  }
+}
+
+Logic logic_from_char(char c) {
+  switch (c) {
+    case '0': return Logic::L0;
+    case '1': return Logic::L1;
+    case 'z': case 'Z': return Logic::Z;
+    default: return Logic::X;
+  }
+}
+
+std::ostream& operator<<(std::ostream& os, Logic v) { return os << logic_to_char(v); }
+
+LogicVector LogicVector::from_uint(std::uint64_t v, std::size_t width) {
+  LogicVector out(width, Logic::L0);
+  for (std::size_t i = 0; i < width; ++i) out.bits_[i] = logic_from_bool((v >> i) & 1u);
+  return out;
+}
+
+LogicVector LogicVector::from_string(const std::string& s) {
+  LogicVector out(s.size(), Logic::X);
+  for (std::size_t i = 0; i < s.size(); ++i) out.bits_[i] = logic_from_char(s[s.size() - 1 - i]);
+  return out;
+}
+
+bool LogicVector::is_fully_defined() const {
+  for (Logic b : bits_)
+    if (!logic_is_01(b)) return false;
+  return true;
+}
+
+std::uint64_t LogicVector::to_uint() const {
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < bits_.size() && i < 64; ++i)
+    if (bits_[i] == Logic::L1) v |= (std::uint64_t{1} << i);
+  return v;
+}
+
+std::string LogicVector::to_string() const {
+  std::string s(bits_.size(), 'x');
+  for (std::size_t i = 0; i < bits_.size(); ++i) s[bits_.size() - 1 - i] = logic_to_char(bits_[i]);
+  return s;
+}
+
+std::ostream& operator<<(std::ostream& os, const LogicVector& v) { return os << v.to_string(); }
+
+}  // namespace scflow

@@ -1,0 +1,65 @@
+// Four-valued logic scalar and vector, used by the gate-level simulator.
+//
+// The paper's gate-level bug anecdote depends on X-propagation: replacing
+// the buffer memory with a checking simulation model made an invalid access
+// visible at gate level.  A 0/1/X/Z value system is what makes that work.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace scflow {
+
+/// One four-valued logic bit: 0, 1, X (unknown), Z (high impedance).
+enum class Logic : std::uint8_t { L0 = 0, L1 = 1, X = 2, Z = 3 };
+
+constexpr Logic logic_from_bool(bool b) { return b ? Logic::L1 : Logic::L0; }
+constexpr bool logic_is_01(Logic v) { return v == Logic::L0 || v == Logic::L1; }
+constexpr bool logic_to_bool(Logic v) { return v == Logic::L1; }
+
+Logic logic_and(Logic a, Logic b);
+Logic logic_or(Logic a, Logic b);
+Logic logic_xor(Logic a, Logic b);
+Logic logic_not(Logic a);
+/// 2:1 mux with X-pessimism: an X select yields X unless both inputs agree.
+Logic logic_mux(Logic sel, Logic a0, Logic a1);
+/// Resolution of two drivers on one net (Z yields to the other driver).
+Logic logic_resolve(Logic a, Logic b);
+
+char logic_to_char(Logic v);
+Logic logic_from_char(char c);
+
+std::ostream& operator<<(std::ostream& os, Logic v);
+
+/// A little-endian (index 0 = LSB) vector of four-valued bits.
+class LogicVector {
+ public:
+  LogicVector() = default;
+  explicit LogicVector(std::size_t width, Logic fill = Logic::X) : bits_(width, fill) {}
+
+  static LogicVector from_uint(std::uint64_t v, std::size_t width);
+  /// Parses a string like "01xz" (MSB first).
+  static LogicVector from_string(const std::string& s);
+
+  [[nodiscard]] std::size_t width() const { return bits_.size(); }
+  [[nodiscard]] Logic at(std::size_t i) const { return bits_[i]; }
+  void set(std::size_t i, Logic v) { bits_[i] = v; }
+
+  /// True when every bit is 0 or 1.
+  [[nodiscard]] bool is_fully_defined() const;
+  /// Zero-extended numeric value; only valid when is_fully_defined().
+  [[nodiscard]] std::uint64_t to_uint() const;
+  [[nodiscard]] std::string to_string() const;  // MSB first
+
+  friend bool operator==(const LogicVector& a, const LogicVector& b) { return a.bits_ == b.bits_; }
+
+ private:
+  std::vector<Logic> bits_;
+};
+
+std::ostream& operator<<(std::ostream& os, const LogicVector& v);
+
+}  // namespace scflow

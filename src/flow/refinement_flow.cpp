@@ -1,0 +1,95 @@
+#include "flow/refinement_flow.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+#include "dsp/stimulus.hpp"
+
+namespace scflow::flow {
+
+using model::RefinementLevel;
+using model::RunOptions;
+using model::RunResult;
+using P = dsp::SrcParams;
+
+namespace {
+
+RefinementStep compare(const std::string& from, const std::string& to,
+                       const RunResult& a, const RunResult& b) {
+  RefinementStep s;
+  s.from = from;
+  s.to = to;
+  s.outputs_compared = std::min(a.outputs.size(), b.outputs.size());
+  for (std::size_t i = 0; i < s.outputs_compared; ++i)
+    if (a.outputs[i] != b.outputs[i]) ++s.mismatches;
+  s.bit_accurate = s.mismatches == 0 && a.outputs.size() == b.outputs.size();
+  return s;
+}
+
+}  // namespace
+
+bool RefinementReport::all_steps_verified() const {
+  for (const auto& s : steps) {
+    // The quantisation step is *expected* to differ; every other step must
+    // be bit-accurate.
+    const bool is_quantisation = s.to == "C++ (quantised time)";
+    if (!is_quantisation && !s.bit_accurate) return false;
+  }
+  return true;
+}
+
+RefinementReport run_refinement_flow(dsp::SrcMode mode, std::size_t samples) {
+  const double in_rate = 1e12 / static_cast<double>(P::input_period_ps(mode));
+  const auto inputs = dsp::make_sine_stimulus(samples, 1000.0, in_rate);
+  const auto events = dsp::make_schedule(inputs, P::input_period_ps(mode), samples,
+                                         P::output_period_ps(mode));
+
+  RefinementReport rep;
+  auto run = [&](RefinementLevel level, const RunOptions& opt = {}) {
+    return model::run_level(level, mode, events, opt);
+  };
+  RunOptions quantised;
+  quantised.quantized_time = true;
+
+  const auto cpp = run(RefinementLevel::kAlgorithmicCpp);
+  const auto chan = run(RefinementLevel::kChannelSystemC);
+  const auto cpp_q = run(RefinementLevel::kAlgorithmicCpp, quantised);
+  const auto beh_u = run(RefinementLevel::kBehUnopt);
+  const auto beh_o = run(RefinementLevel::kBehOpt);
+  const auto rtl_u = run(RefinementLevel::kRtlUnopt);
+  const auto rtl_o = run(RefinementLevel::kRtlOpt);
+
+  rep.steps.push_back(compare("C++ (algorithmic)", "SystemC (channels)", cpp, chan));
+  rep.steps.push_back(compare("C++ (algorithmic)", "C++ (quantised time)", cpp, cpp_q));
+  rep.steps.push_back(compare("C++ (quantised time)", "Behavioural (unopt)", cpp_q, beh_u));
+  rep.steps.push_back(compare("Behavioural (unopt)", "Behavioural (opt)", beh_u, beh_o));
+  rep.steps.push_back(compare("Behavioural (opt)", "RTL (unopt)", beh_o, rtl_u));
+  rep.steps.push_back(compare("RTL (unopt)", "RTL (opt)", rtl_u, rtl_o));
+
+  rep.level_results.emplace_back("C++ (algorithmic)", cpp);
+  rep.level_results.emplace_back("SystemC (channels)", chan);
+  rep.level_results.emplace_back("Behavioural (unopt)", beh_u);
+  rep.level_results.emplace_back("Behavioural (opt)", beh_o);
+  rep.level_results.emplace_back("RTL (unopt)", rtl_u);
+  rep.level_results.emplace_back("RTL (opt)", rtl_o);
+  return rep;
+}
+
+std::string format_refinement_report(const RefinementReport& report) {
+  std::ostringstream os;
+  os << "Refinement chain revalidation (paper Fig. 1 methodology)\n\n";
+  for (const auto& s : report.steps) {
+    os << "  " << std::left << std::setw(22) << s.from << " -> " << std::setw(22)
+       << s.to;
+    if (s.bit_accurate) {
+      os << " bit-accurate over " << s.outputs_compared << " outputs\n";
+    } else {
+      os << " " << s.mismatches << "/" << s.outputs_compared
+         << " outputs differ (time quantisation, paper Fig. 7)\n";
+    }
+  }
+  os << "\n  chain verified: " << (report.all_steps_verified() ? "yes" : "NO") << "\n";
+  return os.str();
+}
+
+}  // namespace scflow::flow

@@ -1,0 +1,71 @@
+#include "flow/synthesis_flow.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+#include "hls/src_beh.hpp"
+#include "netlist/lower.hpp"
+#include "rtl/passes.hpp"
+#include "rtl/src_design.hpp"
+
+namespace scflow::flow {
+
+nl::Netlist synthesize_to_gates(const rtl::Design& design, nl::GateOptStats* gate_stats) {
+  rtl::PassOptions word_opts;  // constant fold + CSE + DCE for every design
+  const rtl::Design optimised = rtl::run_passes(design, word_opts);
+  nl::Netlist gates = nl::lower_to_gates(optimised, {});
+  gates = nl::optimize_gates(gates, gate_stats);
+  nl::insert_scan_chain(gates);
+  gates.validate();
+  return gates;
+}
+
+std::vector<AreaRow> figure10_area_rows() {
+  struct Entry {
+    std::string label;
+    rtl::Design design;
+  };
+  std::vector<Entry> entries;
+  entries.push_back({"VHDL-Ref", rtl::build_src_design(rtl::vhdl_ref_config())});
+  entries.push_back({"BEH unopt.", hls::build_beh_src_design(hls::beh_unopt_config())});
+  entries.push_back({"BEH opt.", hls::build_beh_src_design(hls::beh_opt_config())});
+  entries.push_back({"RTL unopt.", rtl::build_src_design(rtl::rtl_unopt_config())});
+  entries.push_back({"RTL opt.", rtl::build_src_design(rtl::rtl_opt_config())});
+
+  std::vector<AreaRow> rows;
+  for (auto& e : entries) {
+    AreaRow row;
+    row.name = e.label;
+    const nl::Netlist gates = synthesize_to_gates(e.design);
+    row.area = nl::report_area(gates);
+    row.flops = row.area.flop_count;
+    rows.push_back(std::move(row));
+  }
+  const double ref_total = rows.front().area.total();
+  for (AreaRow& r : rows) {
+    r.combinational_pct = 100.0 * r.area.combinational / ref_total;
+    r.sequential_pct = 100.0 * r.area.sequential / ref_total;
+    r.total_pct = 100.0 * r.area.total() / ref_total;
+  }
+  return rows;
+}
+
+std::string format_area_table(const std::vector<AreaRow>& rows) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(1);
+  os << "Figure 10: area relative to the VHDL reference (= 100 %)\n";
+  os << "(memories excluded, scan chain included)\n\n";
+  os << std::left << std::setw(12) << "design" << std::right << std::setw(12)
+     << "comb [um^2]" << std::setw(12) << "seq [um^2]" << std::setw(8) << "flops"
+     << std::setw(10) << "comb %" << std::setw(9) << "seq %" << std::setw(10)
+     << "total %" << "\n";
+  for (const AreaRow& r : rows) {
+    os << std::left << std::setw(12) << r.name << std::right << std::setw(12)
+       << r.area.combinational << std::setw(12) << r.area.sequential << std::setw(8)
+       << r.flops << std::setw(10) << r.combinational_pct << std::setw(9)
+       << r.sequential_pct << std::setw(10) << r.total_pct << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace scflow::flow

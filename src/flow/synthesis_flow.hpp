@@ -1,0 +1,38 @@
+// The synthesis flow driver: takes each SRC architecture through
+// word-level optimisation, bit-blasting, gate optimisation and scan
+// insertion, and produces the Fig. 10 area comparison (relative to the
+// VHDL reference = 100 %, memories excluded, scan included).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "netlist/opt.hpp"
+#include "rtl/ir.hpp"
+
+namespace scflow::flow {
+
+/// Complete gate-level synthesis of one design (the "SystemC Compiler +
+/// Design Compiler" pipeline of the paper).
+nl::Netlist synthesize_to_gates(const rtl::Design& design,
+                                nl::GateOptStats* gate_stats = nullptr);
+
+struct AreaRow {
+  std::string name;
+  nl::AreaReport area;
+  double combinational_pct = 0.0;  ///< relative to the reference total
+  double sequential_pct = 0.0;
+  double total_pct = 0.0;
+  std::size_t flops = 0;
+};
+
+/// All Fig. 10 designs: the VHDL reference, behavioural unopt/opt (through
+/// the hls flow) and RTL unopt/opt — synthesised and normalised to the
+/// reference's total area.
+std::vector<AreaRow> figure10_area_rows();
+
+/// Formats the rows as the paper-style table.
+std::string format_area_table(const std::vector<AreaRow>& rows);
+
+}  // namespace scflow::flow

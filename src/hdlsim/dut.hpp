@@ -1,0 +1,77 @@
+// Device-under-test abstraction for the Fig. 9 simulations: the same
+// testbench (interpreted VM or compiled minisc modules via the cosim
+// bridge) can drive the interpreted RTL design ("RTL Verilog") or a gate
+// netlist from either synthesis flow.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "hdlsim/gate_sim.hpp"
+#include "rtl/interpreter.hpp"
+
+namespace scflow::hdlsim {
+
+class Dut {
+ public:
+  virtual ~Dut() = default;
+  virtual void set_input(const std::string& name, std::uint64_t value) = 0;
+  virtual void step() = 0;
+  [[nodiscard]] virtual std::uint64_t output(const std::string& name) = 0;
+  /// Interpreter work performed so far (gate evaluations / node
+  /// evaluations) — the simulator-load metric reported by the benches.
+  [[nodiscard]] virtual std::uint64_t work_units() const = 0;
+};
+
+/// Gate netlist under the event-driven 4-value simulator.  Owns its
+/// netlist copy so callers can hand in temporaries.
+class GateDut final : public Dut {
+ public:
+  explicit GateDut(nl::Netlist netlist)
+      : netlist_(std::move(netlist)), sim_(netlist_) {}
+  void set_input(const std::string& name, std::uint64_t value) override {
+    sim_.set_input(name, value);
+  }
+  void step() override { sim_.step(); }
+  std::uint64_t output(const std::string& name) override { return sim_.output(name); }
+  std::uint64_t work_units() const override { return sim_.gate_evaluations(); }
+  GateSim& sim() { return sim_; }
+
+ private:
+  nl::Netlist netlist_;  // must outlive (and precede) the simulator
+  GateSim sim_;
+};
+
+/// Word-level design under the cycle interpreter (stands in for
+/// interpreted RTL-Verilog simulation).  Owns its design copy so callers
+/// can hand in temporaries.
+class RtlDut final : public Dut {
+ public:
+  explicit RtlDut(rtl::Design design) : design_(std::move(design)), it_(design_) {}
+  void set_input(const std::string& name, std::uint64_t value) override {
+    it_.set_input(name, value);
+  }
+  void step() override {
+    it_.step();
+    work_ += it_.design().nodes().size();
+    fresh_ = false;
+  }
+  std::uint64_t output(const std::string& name) override {
+    if (!fresh_) {  // one post-edge evaluation serves all reads this cycle
+      it_.evaluate();
+      work_ += it_.design().nodes().size();
+      fresh_ = true;
+    }
+    return it_.output(name);
+  }
+  std::uint64_t work_units() const override { return work_; }
+
+ private:
+  rtl::Design design_;  // must outlive (and precede) the interpreter
+  rtl::Interpreter it_;
+  std::uint64_t work_ = 0;
+  bool fresh_ = false;
+};
+
+}  // namespace scflow::hdlsim

@@ -1,0 +1,299 @@
+#include "hdlsim/gate_sim.hpp"
+
+#include <stdexcept>
+
+#include "dtypes/bit_int.hpp"
+
+namespace scflow::hdlsim {
+
+using nl::Cell;
+using nl::CellType;
+using nl::NetId;
+using scflow::Logic;
+
+GateSim::GateSim(const nl::Netlist& netlist, Options options)
+    : nl_(&netlist), options_(options) {
+  netlist.validate();
+  values_.assign(static_cast<std::size_t>(netlist.net_count()), Logic::X);
+  for (const auto& p : netlist.inputs()) in_ports_[p.name] = &p;
+  for (const auto& p : netlist.outputs()) out_ports_[p.name] = &p;
+
+  // Units: combinational cells + macro read ports.  Flops are sources.
+  std::vector<NetId> driver_unit(static_cast<std::size_t>(netlist.net_count()), -1);
+  for (std::size_t ci = 0; ci < netlist.cells().size(); ++ci) {
+    const Cell& c = netlist.cells()[ci];
+    if (nl::cell_is_sequential(c.type)) {
+      flop_cells_.push_back(ci);
+      continue;
+    }
+    driver_unit[static_cast<std::size_t>(c.output)] = static_cast<NetId>(units_.size());
+    units_.push_back({false, ci, 0});
+  }
+  for (std::size_t mi = 0; mi < netlist.macros.size(); ++mi) {
+    MacroState ms;
+    ms.info = &netlist.macros[mi];
+    if (ms.info->kind == nl::MacroInfo::Kind::kRam) {
+      const std::size_t entries = std::size_t{1} << ms.info->addr_bits;
+      ms.ram_words.assign(entries, 0);
+      ms.written.assign(entries, false);
+      ms.written_at.assign(entries, 0);
+    }
+    macros_.push_back(std::move(ms));
+    for (std::size_t port = 0; port < netlist.macros[mi].read_data_ports.size(); ++port) {
+      const auto* data = netlist.find_input(netlist.macros[mi].read_data_ports[port]);
+      if (data == nullptr) throw std::logic_error("macro data port missing");
+      for (NetId n : data->nets)
+        driver_unit[static_cast<std::size_t>(n)] = static_cast<NetId>(units_.size());
+      units_.push_back({true, (mi << 8) | port, 0});
+    }
+  }
+
+  // Unit input nets (for fanout and levelling).
+  auto unit_inputs = [this](const Unit& u) {
+    std::vector<NetId> ins;
+    if (!u.is_macro) {
+      ins = nl_->cells()[u.index].inputs;
+    } else {
+      const auto& mi = *macros_[u.index >> 8].info;
+      const std::size_t port = u.index & 0xff;
+      for (NetId n : nl_->find_output(mi.read_addr_ports[port])->nets) ins.push_back(n);
+      if (mi.kind == nl::MacroInfo::Kind::kRam) {
+        // RAM reads also depend on contents, which change only at clock
+        // edges — no combinational dependency.
+        if (port < mi.read_enable_ports.size())
+          for (NetId n : nl_->find_output(mi.read_enable_ports[port])->nets)
+            ins.push_back(n);
+      }
+    }
+    return ins;
+  };
+
+  fanout_.assign(static_cast<std::size_t>(netlist.net_count()), {});
+  for (std::size_t ui = 0; ui < units_.size(); ++ui)
+    for (NetId n : unit_inputs(units_[ui])) fanout_[static_cast<std::size_t>(n)].push_back(ui);
+
+  // Levelise by relaxation (combinational depth is modest).
+  bool changed = true;
+  int guard = 0;
+  while (changed) {
+    changed = false;
+    if (++guard > 100'000)
+      throw std::logic_error("combinational cycle in netlist");
+    for (std::size_t ui = 0; ui < units_.size(); ++ui) {
+      int lvl = 0;
+      for (NetId n : unit_inputs(units_[ui])) {
+        const NetId du = driver_unit[static_cast<std::size_t>(n)];
+        if (du >= 0) lvl = std::max(lvl, units_[static_cast<std::size_t>(du)].level + 1);
+      }
+      if (lvl > units_[ui].level) {
+        units_[ui].level = lvl;
+        changed = true;
+      }
+    }
+  }
+  for (const Unit& u : units_) max_level_ = std::max(max_level_, u.level);
+  dirty_levels_.assign(static_cast<std::size_t>(max_level_) + 1, {});
+  in_queue_.assign(units_.size(), false);
+
+  // Initial state: flop outputs to init (or X), everything dirty once.
+  for (std::size_t ci : flop_cells_) {
+    const Cell& c = nl_->cells()[ci];
+    values_[static_cast<std::size_t>(c.output)] =
+        options_.x_initial_flops ? Logic::X : scflow::logic_from_bool(c.init != 0);
+  }
+  for (std::size_t ui = 0; ui < units_.size(); ++ui) {
+    in_queue_[ui] = true;
+    dirty_levels_[static_cast<std::size_t>(units_[ui].level)].push_back(ui);
+  }
+}
+
+void GateSim::set_net(NetId net, Logic v) {
+  auto& slot = values_[static_cast<std::size_t>(net)];
+  if (slot == v) return;
+  slot = v;
+  mark_dirty_fanout(net);
+}
+
+void GateSim::mark_dirty_fanout(NetId net) {
+  for (std::size_t ui : fanout_[static_cast<std::size_t>(net)]) {
+    if (in_queue_[ui]) continue;
+    in_queue_[ui] = true;
+    dirty_levels_[static_cast<std::size_t>(units_[ui].level)].push_back(ui);
+  }
+}
+
+void GateSim::set_input(const std::string& name, std::uint64_t value) {
+  const auto it = in_ports_.find(name);
+  if (it == in_ports_.end()) throw std::invalid_argument("no input '" + name + "'");
+  for (std::size_t i = 0; i < it->second->nets.size(); ++i)
+    set_net(it->second->nets[i], scflow::logic_from_bool(((value >> i) & 1u) != 0));
+}
+
+void GateSim::set_input_x(const std::string& name) {
+  const auto it = in_ports_.find(name);
+  if (it == in_ports_.end()) throw std::invalid_argument("no input '" + name + "'");
+  for (NetId n : it->second->nets) set_net(n, Logic::X);
+}
+
+std::pair<bool, std::uint64_t> GateSim::read_bus(const std::vector<NetId>& nets) const {
+  std::uint64_t v = 0;
+  bool defined = true;
+  for (std::size_t i = 0; i < nets.size(); ++i) {
+    const Logic b = net(nets[i]);
+    if (!scflow::logic_is_01(b)) defined = false;
+    if (b == Logic::L1) v |= (std::uint64_t{1} << i);
+  }
+  return {defined, v};
+}
+
+void GateSim::eval_cell(std::size_t index) {
+  const Cell& c = nl_->cells()[index];
+  auto in = [this, &c](int i) { return net(c.inputs[static_cast<std::size_t>(i)]); };
+  Logic out = Logic::X;
+  switch (c.type) {
+    case CellType::kTie0: out = Logic::L0; break;
+    case CellType::kTie1: out = Logic::L1; break;
+    case CellType::kBuf: out = in(0) == Logic::Z ? Logic::X : in(0); break;
+    case CellType::kInv: out = scflow::logic_not(in(0)); break;
+    case CellType::kAnd2: out = scflow::logic_and(in(0), in(1)); break;
+    case CellType::kOr2: out = scflow::logic_or(in(0), in(1)); break;
+    case CellType::kNand2: out = scflow::logic_not(scflow::logic_and(in(0), in(1))); break;
+    case CellType::kNor2: out = scflow::logic_not(scflow::logic_or(in(0), in(1))); break;
+    case CellType::kXor2: out = scflow::logic_xor(in(0), in(1)); break;
+    case CellType::kXnor2: out = scflow::logic_not(scflow::logic_xor(in(0), in(1))); break;
+    case CellType::kMux2: out = scflow::logic_mux(in(0), in(1), in(2)); break;
+    default: return;  // flops not evaluated combinationally
+  }
+  set_net(c.output, out);
+}
+
+void GateSim::eval_macro_port(std::size_t macro, std::size_t port) {
+  MacroState& ms = macros_[macro];
+  const auto& mi = *ms.info;
+  const auto [addr_ok, addr] = read_bus(nl_->find_output(mi.read_addr_ports[port])->nets);
+  const auto* data_port = nl_->find_input(mi.read_data_ports[port]);
+
+  bool enabled = false;
+  if (mi.kind == nl::MacroInfo::Kind::kRam && port < mi.read_enable_ports.size()) {
+    const auto [en_ok, en] = read_bus(nl_->find_output(mi.read_enable_ports[port])->nets);
+    enabled = en_ok && en != 0;
+  }
+
+  std::uint64_t word = 0;
+  bool defined = addr_ok;
+  if (addr_ok) {
+    if (mi.kind == nl::MacroInfo::Kind::kRom) {
+      word = addr < mi.rom_contents.size()
+                 ? static_cast<std::uint64_t>(mi.rom_contents[addr]) &
+                       scflow::bit_mask(mi.data_bits)
+                 : 0;
+    } else {
+      word = ms.ram_words[addr];
+      if (options_.check_ram && enabled) {
+        if (!ms.written[addr]) {
+          if (ram_violation_.count++ == 0) {
+            ram_violation_.first_cycle = cycles_;
+            ram_violation_.first_address = static_cast<unsigned>(addr);
+            ram_violation_.first_kind = "never-written";
+          }
+        } else if (ms.write_count - ms.written_at[addr] > 55) {
+          if (ram_violation_.count++ == 0) {
+            ram_violation_.first_cycle = cycles_;
+            ram_violation_.first_address = static_cast<unsigned>(addr);
+            ram_violation_.first_kind = "stale";
+          }
+        }
+      }
+    }
+  } else if (options_.check_ram && enabled && mi.kind == nl::MacroInfo::Kind::kRam) {
+    if (ram_violation_.count++ == 0) {
+      ram_violation_.first_cycle = cycles_;
+      ram_violation_.first_address = 0;
+      ram_violation_.first_kind = "x-address";
+    }
+  }
+
+  for (std::size_t i = 0; i < data_port->nets.size(); ++i)
+    set_net(data_port->nets[i],
+            defined ? scflow::logic_from_bool(((word >> i) & 1u) != 0) : Logic::X);
+}
+
+void GateSim::settle() {
+  for (int lvl = 0; lvl <= max_level_; ++lvl) {
+    auto& q = dirty_levels_[static_cast<std::size_t>(lvl)];
+    for (std::size_t qi = 0; qi < q.size(); ++qi) {
+      const std::size_t ui = q[qi];
+      in_queue_[ui] = false;
+      ++evaluations_;
+      const Unit& u = units_[ui];
+      if (u.is_macro) eval_macro_port(u.index >> 8, u.index & 0xff);
+      else eval_cell(u.index);
+    }
+    q.clear();
+  }
+}
+
+void GateSim::step() {
+  settle();
+  // Sample flop inputs (scan mux first when present).
+  std::vector<Logic> next(flop_cells_.size());
+  for (std::size_t i = 0; i < flop_cells_.size(); ++i) {
+    const Cell& c = nl_->cells()[flop_cells_[i]];
+    if (c.type == CellType::kSdff) {
+      const Logic se = net(c.inputs[2]);
+      next[i] = scflow::logic_mux(se, net(c.inputs[0]), net(c.inputs[1]));
+    } else {
+      next[i] = net(c.inputs[0]);
+    }
+  }
+  // RAM writes.
+  for (MacroState& ms : macros_) {
+    if (ms.info->kind != nl::MacroInfo::Kind::kRam) continue;
+    const auto [wen_ok, wen] = read_bus(nl_->find_output(ms.info->write_enable_port)->nets);
+    if (!wen_ok || wen == 0) continue;
+    const auto [addr_ok, addr] = read_bus(nl_->find_output(ms.info->write_addr_port)->nets);
+    const auto [data_ok, data] = read_bus(nl_->find_output(ms.info->write_data_port)->nets);
+    if (!addr_ok) continue;  // X write address: contents unknowable; skip
+    ms.ram_words[addr] = data_ok ? static_cast<std::uint32_t>(data) : 0;
+    ms.written[addr] = true;
+    // Stamp with the pre-increment count: age := write_count - stamp then
+    // matches the kernel models' (current_wc - wc_at_write) convention.
+    ms.written_at[addr] = ms.write_count++;
+    // Contents changed: re-evaluate read ports touching this RAM.
+    for (const auto& rp : ms.info->read_data_ports)
+      for (NetId n : nl_->find_input(rp)->nets) mark_dirty_fanout(n);
+    for (std::size_t port = 0; port < ms.info->read_data_ports.size(); ++port) {
+      // Mark the macro port unit itself dirty.
+      for (std::size_t ui = 0; ui < units_.size(); ++ui) {
+        if (units_[ui].is_macro &&
+            macros_[units_[ui].index >> 8].info == ms.info &&
+            (units_[ui].index & 0xff) == port && !in_queue_[ui]) {
+          in_queue_[ui] = true;
+          dirty_levels_[static_cast<std::size_t>(units_[ui].level)].push_back(ui);
+        }
+      }
+    }
+  }
+  // Commit flops.
+  for (std::size_t i = 0; i < flop_cells_.size(); ++i)
+    set_net(nl_->cells()[flop_cells_[i]].output, next[i]);
+  ++cycles_;
+}
+
+scflow::LogicVector GateSim::output_bits(const std::string& name) {
+  const auto it = out_ports_.find(name);
+  if (it == out_ports_.end()) throw std::invalid_argument("no output '" + name + "'");
+  scflow::LogicVector v(it->second->nets.size());
+  for (std::size_t i = 0; i < it->second->nets.size(); ++i)
+    v.set(i, net(it->second->nets[i]));
+  return v;
+}
+
+std::uint64_t GateSim::output(const std::string& name) {
+  const auto v = output_bits(name);
+  if (!v.is_fully_defined())
+    throw std::runtime_error("output '" + name + "' carries X/Z: " + v.to_string());
+  return v.to_uint();
+}
+
+}  // namespace scflow::hdlsim

@@ -1,0 +1,74 @@
+#include "hdlsim/src_gate_sim.hpp"
+
+#include <map>
+
+#include "dsp/time_quantizer.hpp"
+#include "dtypes/bit_int.hpp"
+
+namespace scflow::hdlsim {
+
+using P = dsp::SrcParams;
+
+GateRunResult run_src_netlist(const nl::Netlist& netlist, dsp::SrcMode mode,
+                              const std::vector<dsp::SrcEvent>& events,
+                              GateSim::Options options) {
+  GateSim sim(netlist, options);
+  sim.set_input("mode", static_cast<std::uint64_t>(mode));
+  sim.set_input("in_strobe", 0);
+  sim.set_input("in_left", 0);
+  sim.set_input("in_right", 0);
+  sim.set_input("out_req", 0);
+  if (netlist.find_input("scan_in") != nullptr) {
+    sim.set_input("scan_in", 0);
+    sim.set_input("scan_enable", 0);
+  }
+
+  const dsp::TimeQuantizer quant(P::kClockPs);
+  std::map<std::uint64_t, std::vector<const dsp::SrcEvent*>> by_cycle;
+  std::uint64_t last_cycle = 0;
+  for (const auto& e : events) {
+    const std::uint64_t c = quant.quantize_cycles(e.t_ps);
+    by_cycle[c].push_back(&e);
+    last_cycle = std::max(last_cycle, c);
+  }
+
+  GateRunResult result;
+  bool strobe = false, req = false;
+  bool last_valid = false;
+  {
+    sim.settle();
+    last_valid = sim.output("out_valid") != 0;
+  }
+  auto next_event = by_cycle.begin();
+  const std::uint64_t end_cycle = last_cycle + 300;
+  for (std::uint64_t cycle = 1; cycle <= end_cycle; ++cycle) {
+    if (next_event != by_cycle.end() && next_event->first == cycle) {
+      for (const dsp::SrcEvent* e : next_event->second) {
+        if (e->is_input) {
+          sim.set_input("in_left", static_cast<std::uint16_t>(e->sample.left));
+          sim.set_input("in_right", static_cast<std::uint16_t>(e->sample.right));
+          strobe = !strobe;
+          sim.set_input("in_strobe", strobe ? 1 : 0);
+        } else {
+          req = !req;
+          sim.set_input("out_req", req ? 1 : 0);
+        }
+      }
+      ++next_event;
+    }
+    sim.step();
+    const bool v = sim.output("out_valid") != 0;
+    if (v != last_valid) {
+      last_valid = v;
+      result.outputs.push_back(
+          {static_cast<std::int16_t>(scflow::sign_extend(sim.output("out_left"), 16)),
+           static_cast<std::int16_t>(scflow::sign_extend(sim.output("out_right"), 16))});
+    }
+  }
+  result.cycles = end_cycle;
+  result.gate_evaluations = sim.gate_evaluations();
+  result.ram_violations = sim.ram_violations();
+  return result;
+}
+
+}  // namespace scflow::hdlsim

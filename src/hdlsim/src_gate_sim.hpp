@@ -1,0 +1,28 @@
+// Drives a synthesised SRC gate netlist through GateSim with the standard
+// event schedules — the gate-level leg of the refinement verification and
+// the DUT side of the Fig. 9 simulations.
+#pragma once
+
+#include <vector>
+
+#include "dsp/src_params.hpp"
+#include "dsp/stimulus.hpp"
+#include "hdlsim/gate_sim.hpp"
+#include "netlist/netlist.hpp"
+
+namespace scflow::hdlsim {
+
+struct GateRunResult {
+  std::vector<dsp::StereoSample> outputs;
+  std::uint64_t cycles = 0;
+  std::uint64_t gate_evaluations = 0;
+  GateSim::RamViolation ram_violations;
+};
+
+/// Runs the netlist over the schedule (events applied at their quantised
+/// cycles, inputs before requests); collects out_valid-toggled results.
+GateRunResult run_src_netlist(const nl::Netlist& netlist, dsp::SrcMode mode,
+                              const std::vector<dsp::SrcEvent>& events,
+                              GateSim::Options options = GateSim::Options());
+
+}  // namespace scflow::hdlsim

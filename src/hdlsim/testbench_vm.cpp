@@ -1,0 +1,170 @@
+#include "hdlsim/testbench_vm.hpp"
+
+#include <map>
+#include <queue>
+#include <stdexcept>
+
+#include "dsp/time_quantizer.hpp"
+#include "dtypes/bit_int.hpp"
+
+namespace scflow::hdlsim {
+
+using P = dsp::SrcParams;
+
+SrcTestbenchProgram build_src_testbench(const std::vector<dsp::SrcEvent>& events,
+                                        dsp::SrcMode mode) {
+  SrcTestbenchProgram prog;
+  const dsp::TimeQuantizer quant(P::kClockPs);
+
+  // Stimulus process: ordered per-cycle actions.
+  std::map<std::uint64_t, std::vector<const dsp::SrcEvent*>> by_cycle;
+  std::uint64_t last_cycle = 0;
+  for (const auto& e : events) {
+    const std::uint64_t c = quant.quantize_cycles(e.t_ps);
+    by_cycle[c].push_back(&e);
+    last_cycle = std::max(last_cycle, c);
+  }
+  auto& st = prog.stimulus;
+  st.push_back({TbInstr::Op::kSet, "mode", 0, 0, static_cast<std::int64_t>(mode)});
+  std::uint64_t cursor = 1;  // the process starts executing at cycle 1
+  for (const auto& [cycle, evs] : by_cycle) {
+    // Wait so the values are in place when edge `cycle` samples them: the
+    // stimulus runs before the DUT steps within a VM cycle.
+    if (cycle > cursor) {
+      st.push_back({TbInstr::Op::kWait, "", 0, 0, static_cast<std::int64_t>(cycle - cursor)});
+      cursor = cycle;
+    }
+    for (const dsp::SrcEvent* e : evs) {
+      if (e->is_input) {
+        st.push_back({TbInstr::Op::kSet, "in_left", 0, 0,
+                      static_cast<std::uint16_t>(e->sample.left)});
+        st.push_back({TbInstr::Op::kSet, "in_right", 0, 0,
+                      static_cast<std::uint16_t>(e->sample.right)});
+        st.push_back({TbInstr::Op::kToggle, "in_strobe", 0, 0, 0});
+      } else {
+        st.push_back({TbInstr::Op::kToggle, "out_req", 0, 0, 0});
+      }
+    }
+  }
+  st.push_back({TbInstr::Op::kHalt, "", 0, 0, 0});
+
+  // Monitor process (runs every clock, VHDL bit-accuracy-checker style:
+  // sample the full result bus each cycle, keep a running signature, and
+  // record a result when out_valid toggles):
+  //   r0: last out_valid; r1: sampled out_valid; r2/r3: data; r4/r5: sig
+  auto& mon = prog.monitor;
+  mon.push_back({TbInstr::Op::kSample, "out_valid", 1, 0, 0});  // 0
+  mon.push_back({TbInstr::Op::kSample, "out_left", 2, 0, 0});   // 1
+  mon.push_back({TbInstr::Op::kSample, "out_right", 3, 0, 0});  // 2
+  mon.push_back({TbInstr::Op::kXor, "", 4, 2, 0});              // 3: signature
+  mon.push_back({TbInstr::Op::kXor, "", 5, 3, 0});              // 4
+  mon.push_back({TbInstr::Op::kJeq, "", 1, 0, 8});              // 5: same -> 8
+  mon.push_back({TbInstr::Op::kMov, "", 0, 1, 0});              // 6
+  mon.push_back({TbInstr::Op::kRecord, "", 2, 3, 0});           // 7
+  mon.push_back({TbInstr::Op::kWait, "", 0, 0, 1});             // 8
+  mon.push_back({TbInstr::Op::kJmp, "", 0, 0, 0});              // 9
+
+  prog.run_cycles = last_cycle + 300;
+  return prog;
+}
+
+namespace {
+
+struct Process {
+  const TbProgram* code;
+  std::size_t pc = 0;
+  bool halted = false;
+};
+
+}  // namespace
+
+VmRunResult run_testbench_vm(Dut& dut, const SrcTestbenchProgram& program) {
+  VmRunResult result;
+  std::uint64_t regs[8] = {0};
+  std::map<std::string, bool> toggles;
+
+  Process procs[2] = {{&program.stimulus, 0, false}, {&program.monitor, 0, false}};
+  // The simulator's event calendar: interpreted testbench processes are
+  // scheduled through it on every wait, like any HDL simulator kernel.
+  using WakeEntry = std::pair<std::uint64_t, int>;  // (cycle, process)
+  std::priority_queue<WakeEntry, std::vector<WakeEntry>, std::greater<>> calendar;
+  calendar.push({1, 0});
+  calendar.push({1, 1});
+
+  // Default input values so the first cycles are defined.
+  dut.set_input("in_strobe", 0);
+  dut.set_input("in_left", 0);
+  dut.set_input("in_right", 0);
+  dut.set_input("out_req", 0);
+
+  for (std::uint64_t cycle = 1; cycle <= program.run_cycles; ++cycle) {
+    while (!calendar.empty() && calendar.top().first <= cycle) {
+      Process& p = procs[calendar.top().second];
+      const int proc_index = calendar.top().second;
+      calendar.pop();
+      ++result.instructions_executed;  // process dispatch
+      if (p.halted) continue;
+      // Execute until the process suspends or halts.
+      bool suspended = false;
+      int guard = 0;
+      while (!p.halted && !suspended) {
+        if (++guard > 10'000) throw std::runtime_error("testbench process livelock");
+        const TbInstr& in = (*p.code)[p.pc];
+        ++result.instructions_executed;
+        switch (in.op) {
+          case TbInstr::Op::kSet:
+            dut.set_input(in.port, static_cast<std::uint64_t>(in.imm));
+            ++p.pc;
+            break;
+          case TbInstr::Op::kToggle: {
+            bool& t = toggles[in.port];
+            t = !t;
+            dut.set_input(in.port, t ? 1 : 0);
+            ++p.pc;
+            break;
+          }
+          case TbInstr::Op::kWait:
+            calendar.push({cycle + static_cast<std::uint64_t>(in.imm), proc_index});
+            suspended = true;
+            ++p.pc;
+            break;
+          case TbInstr::Op::kSample:
+            regs[in.reg_a] = dut.output(in.port);
+            ++p.pc;
+            break;
+          case TbInstr::Op::kMov:
+            regs[in.reg_a] = regs[in.reg_b];
+            ++p.pc;
+            break;
+          case TbInstr::Op::kXor:
+            regs[in.reg_a] ^= regs[in.reg_b];
+            ++p.pc;
+            break;
+          case TbInstr::Op::kJeq:
+            p.pc = regs[in.reg_a] == regs[in.reg_b]
+                       ? static_cast<std::size_t>(in.imm)
+                       : p.pc + 1;
+            break;
+          case TbInstr::Op::kJmp:
+            p.pc = static_cast<std::size_t>(in.imm);
+            break;
+          case TbInstr::Op::kRecord:
+            result.outputs.push_back(
+                {static_cast<std::int16_t>(scflow::sign_extend(regs[in.reg_a], 16)),
+                 static_cast<std::int16_t>(scflow::sign_extend(regs[in.reg_b], 16))});
+            ++p.pc;
+            break;
+          case TbInstr::Op::kHalt:
+            p.halted = true;
+            break;
+        }
+      }
+    }
+    dut.step();
+  }
+  result.cycles = program.run_cycles;
+  result.dut_work_units = dut.work_units();
+  return result;
+}
+
+}  // namespace scflow::hdlsim

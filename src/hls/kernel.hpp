@@ -1,0 +1,149 @@
+// Behavioural-synthesis input representation: a counted-loop compute
+// kernel in SSA form — the substrate's equivalent of the synthesisable
+// behavioural SystemC the paper feeds to the SystemC Compiler.
+//
+// A Kernel describes *one iteration* of a counted loop: a DAG of operations
+// over constants, external signals (stable during the computation),
+// loop-carried state variables and the loop counter.  State updates and
+// output captures are predicated and commit at the end of each iteration.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rtl/builder.hpp"
+
+namespace scflow::hls {
+
+using ValueId = std::int32_t;
+constexpr ValueId kNoValue = -1;
+
+enum class HOp : std::uint8_t {
+  kConst, kExternal, kState, kIter,
+  kAdd, kSub,            // datapath arithmetic -> shared ALU
+  kMul,                  // -> shared multiplier
+  kAddrAdd, kAddrSub,    // address/index arithmetic -> dedicated logic
+  kAnd, kOr, kXor, kNot,
+  kEq, kNe, kLtU, kLtS,
+  kShlK, kShrK, kSraK,   // constant shifts (wiring)
+  kSlice, kZext, kSext,
+  kMux,
+  kRamRead,              // occupies a RAM read port for its step
+  kRomRead,              // occupies a ROM read port for its step
+};
+
+/// Functional-unit class an op occupies during scheduling.
+enum class FuClass : std::uint8_t { kNone, kAlu, kMult, kRamPort, kRomPort };
+
+[[nodiscard]] FuClass fu_class(HOp op);
+
+struct HNode {
+  HOp op = HOp::kConst;
+  int width = 1;
+  std::vector<ValueId> args;
+  std::int64_t imm = 0;       // constant value / shift amount / slice lo / mem index
+  rtl::Sig external;          // kExternal only
+  int index = -1;             // kState: state var index
+};
+
+struct StateVar {
+  std::string name;
+  int width = 1;
+  ValueId init = kNoValue;  ///< loaded when the kernel starts (consts/externals only)
+};
+
+struct Update {
+  int state;
+  ValueId pred;   ///< kNoValue = unconditional
+  ValueId value;
+};
+
+struct Capture {
+  std::string name;
+  ValueId pred;
+  ValueId value;
+};
+
+class Kernel {
+ public:
+  Kernel(std::string name, int loop_count, int iter_width)
+      : name_(std::move(name)), loop_count_(loop_count), iter_width_(iter_width) {}
+
+  // --- values ---
+  ValueId constant(int width, std::int64_t v) { return node({HOp::kConst, width, {}, v, {}, -1}); }
+  ValueId external(rtl::Sig s) { return node({HOp::kExternal, s.width, {}, 0, s, -1}); }
+  int add_state(const std::string& nm, int width, ValueId init) {
+    states_.push_back({nm, width, init});
+    return static_cast<int>(states_.size() - 1);
+  }
+  ValueId state(int idx) {
+    return node({HOp::kState, states_[static_cast<std::size_t>(idx)].width, {}, 0, {}, idx});
+  }
+  ValueId iter() { return node({HOp::kIter, iter_width_, {}, 0, {}, -1}); }
+
+  ValueId add(ValueId a, ValueId b) { return bin(HOp::kAdd, a, b, width(a)); }
+  ValueId sub(ValueId a, ValueId b) { return bin(HOp::kSub, a, b, width(a)); }
+  ValueId mul(ValueId a, ValueId b, int w) { return bin(HOp::kMul, a, b, w); }
+  ValueId addr_add(ValueId a, ValueId b) { return bin(HOp::kAddrAdd, a, b, width(a)); }
+  ValueId addr_sub(ValueId a, ValueId b) { return bin(HOp::kAddrSub, a, b, width(a)); }
+  ValueId and_(ValueId a, ValueId b) { return bin(HOp::kAnd, a, b, width(a)); }
+  ValueId or_(ValueId a, ValueId b) { return bin(HOp::kOr, a, b, width(a)); }
+  ValueId xor_(ValueId a, ValueId b) { return bin(HOp::kXor, a, b, width(a)); }
+  ValueId not_(ValueId a) { return node({HOp::kNot, width(a), {a}, 0, {}, -1}); }
+  ValueId eq(ValueId a, ValueId b) { return bin(HOp::kEq, a, b, 1); }
+  ValueId lt_u(ValueId a, ValueId b) { return bin(HOp::kLtU, a, b, 1); }
+  ValueId lt_s(ValueId a, ValueId b) { return bin(HOp::kLtS, a, b, 1); }
+  ValueId shl(ValueId a, int k) { return node({HOp::kShlK, width(a), {a}, k, {}, -1}); }
+  ValueId sra(ValueId a, int k) { return node({HOp::kSraK, width(a), {a}, k, {}, -1}); }
+  ValueId slice(ValueId a, int hi, int lo) {
+    return node({HOp::kSlice, hi - lo + 1, {a}, lo, {}, -1});
+  }
+  ValueId zext(ValueId a, int w) { return w == width(a) ? a : node({HOp::kZext, w, {a}, 0, {}, -1}); }
+  ValueId sext(ValueId a, int w) { return w == width(a) ? a : node({HOp::kSext, w, {a}, 0, {}, -1}); }
+  ValueId mux(ValueId sel, ValueId if0, ValueId if1) {
+    return node({HOp::kMux, width(if0), {sel, if0, if1}, 0, {}, -1});
+  }
+  ValueId select(ValueId cond, ValueId t, ValueId f) { return mux(cond, f, t); }
+  ValueId ram_read(int mem, ValueId addr, int data_bits) {
+    return node({HOp::kRamRead, data_bits, {addr}, mem, {}, -1});
+  }
+  ValueId rom_read(int rom, ValueId addr, int data_bits) {
+    return node({HOp::kRomRead, data_bits, {addr}, rom, {}, -1});
+  }
+
+  void update(int state_idx, ValueId pred, ValueId value) {
+    updates_.push_back({state_idx, pred, value});
+  }
+  void capture(const std::string& nm, ValueId pred, ValueId value) {
+    captures_.push_back({nm, pred, value});
+  }
+
+  // --- access ---
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] int loop_count() const { return loop_count_; }
+  [[nodiscard]] int iter_width() const { return iter_width_; }
+  [[nodiscard]] const std::vector<HNode>& nodes() const { return nodes_; }
+  [[nodiscard]] const HNode& at(ValueId v) const { return nodes_[static_cast<std::size_t>(v)]; }
+  [[nodiscard]] const std::vector<StateVar>& states() const { return states_; }
+  [[nodiscard]] const std::vector<Update>& updates() const { return updates_; }
+  [[nodiscard]] const std::vector<Capture>& captures() const { return captures_; }
+  [[nodiscard]] int width(ValueId v) const { return at(v).width; }
+
+ private:
+  ValueId node(HNode n) {
+    nodes_.push_back(std::move(n));
+    return static_cast<ValueId>(nodes_.size() - 1);
+  }
+  ValueId bin(HOp op, ValueId a, ValueId b, int w) { return node({op, w, {a, b}, 0, {}, -1}); }
+
+  std::string name_;
+  int loop_count_;
+  int iter_width_;
+  std::vector<HNode> nodes_;
+  std::vector<StateVar> states_;
+  std::vector<Update> updates_;
+  std::vector<Capture> captures_;
+};
+
+}  // namespace scflow::hls

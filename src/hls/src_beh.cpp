@@ -1,0 +1,123 @@
+#include "hls/src_beh.hpp"
+
+#include "dsp/src_params.hpp"
+#include "hls/kernel.hpp"
+#include "hls/synthesize.hpp"
+#include "rtl/src_design.hpp"
+
+namespace scflow::hls {
+
+namespace {
+using P = scflow::dsp::SrcParams;
+using rtl::Sig;
+}  // namespace
+
+BehConfig beh_unopt_config() {
+  BehConfig c;
+  c.name = "src_beh_unopt";
+  c.acc_bits = 48;   // template-generic widths, chosen very pessimistically
+  c.coeff_bits = 28;
+  c.ram_handshake_states = 1;
+  return c;
+}
+
+BehConfig beh_opt_config() {
+  BehConfig c;
+  c.name = "src_beh_opt";
+  return c;
+}
+
+rtl::Design build_beh_src_design(const BehConfig& cfg, Schedule* schedule_out) {
+  rtl::DesignBuilder b(cfg.name);
+  rtl::SrcInfra infra = rtl::build_src_infra(b, cfg.inject_corner_bug);
+
+  // --- the compute kernel: 16 iterations (channel x tap) per output ---
+  const int AB = cfg.acc_bits;
+  const int CB = cfg.coeff_bits;
+  Kernel k("mac", P::kChannels * P::kTapsPerPhase, 4);
+
+  const ValueId phase = k.external(infra.phase_q);
+  const ValueId mu = k.external(infra.mu_q);
+  const ValueId base = k.external(infra.base_q);
+  const int acc = k.add_state("acc", AB, k.constant(AB, 0));
+
+  const ValueId it = k.iter();
+  const ValueId tap = k.slice(it, 2, 0);
+  const ValueId ch = k.slice(it, 3, 3);
+
+  // Sample fetch (dedicated address logic + the shared RAM read port).
+  const ValueId addr = k.addr_sub(k.zext(base, P::kBufferLog2), k.zext(tap, P::kBufferLog2));
+  const ValueId word = k.ram_read(infra.ram, addr, 32);
+  const ValueId x = k.mux(ch, k.slice(word, 15, 0), k.slice(word, 31, 16));
+
+  // Coefficient fetch through the symmetry fold (dedicated index logic).
+  auto folded = [&k](ValueId idx9) {
+    const ValueId le = k.not_(k.lt_u(k.constant(9, P::kProtoLen / 2), idx9));
+    const ValueId mirror = k.addr_sub(k.constant(9, P::kProtoLen - 1), idx9);
+    return k.slice(k.mux(le, mirror, idx9), 7, 0);
+  };
+  const ValueId idx0 = k.addr_add(k.zext(phase, 9), k.shl(k.zext(tap, 9), P::kPhaseBits));
+  const ValueId idx1 = k.addr_add(idx0, k.constant(9, 1));
+  const ValueId c0 = k.rom_read(infra.rom, folded(idx0), 16);
+  const ValueId c1 = k.rom_read(infra.rom, folded(idx1), 16);
+
+  // Interpolation and MAC on the shared ALU/multiplier.
+  const ValueId diff = k.sub(k.sext(c1, 17), k.sext(c0, 17));
+  const ValueId p = k.mul(k.zext(mu, 11), diff, 28);
+  const ValueId p_sh = k.slice(k.sra(p, P::kMuBits), CB - 1, 0);
+  const ValueId cint = k.add(k.sext(c0, CB), p_sh);
+  const ValueId q = k.mul(x, cint, 16 + CB);
+  const ValueId acc_new = k.add(k.state(acc), k.sext(q, AB));
+
+  // Rounding/saturation: the round add shares the ALU; the comparisons
+  // against constants are dedicated logic.
+  const ValueId rsum = k.add(acc_new, k.constant(AB, std::int64_t{1} << 14));
+  const ValueId shifted = k.sra(rsum, P::kFracBits);
+  const ValueId too_big = k.lt_s(k.constant(AB, 32767), shifted);
+  const ValueId too_small = k.lt_s(shifted, k.constant(AB, -32768));
+  const ValueId y = k.mux(too_big,
+                          k.mux(too_small, k.slice(shifted, 15, 0), k.constant(16, -32768)),
+                          k.constant(16, 32767));
+
+  const ValueId is_ch0_last = k.eq(it, k.constant(4, P::kTapsPerPhase - 1));
+  const ValueId is_final = k.eq(it, k.constant(4, P::kChannels * P::kTapsPerPhase - 1));
+  k.update(acc, kNoValue, k.mux(is_ch0_last, acc_new, k.constant(AB, 0)));
+  k.capture("res_l", is_ch0_last, y);
+  k.capture("res_r", is_final, y);
+
+  // --- protocol wrapper (same pin protocol as the hand-written RTL) ---
+  const rtl::Reg pstate = b.reg("proto_state", 2);  // 0 idle, 1 run, 2 write
+  const rtl::Reg was_zero = b.reg("was_zero", 1);
+  const rtl::Reg out_l = b.reg("out_l_r", 16);
+  const rtl::Reg out_r = b.reg("out_r_r", 16);
+  const rtl::Reg valid = b.reg("out_valid_r", 1);
+
+  const Sig idle = b.eq(pstate.q, b.c(2, 0));
+  const Sig accept = b.and_(idle, infra.req_pending.q);
+  b.assign(infra.req_pending, accept, b.c(1, 0));
+  const Sig go_zero = b.and_(accept, infra.startup_zero_q);
+  const Sig go_comp = b.and_(accept, b.not_(infra.startup_zero_q));
+  b.assign(was_zero, accept, infra.startup_zero_q);
+
+  ResourceConstraints rc;
+  rc.ram_handshake_states = cfg.ram_handshake_states;
+  SynthesisResult syn = synthesize_kernel(b, k, go_comp, rc);
+  if (schedule_out != nullptr) *schedule_out = syn.schedule;
+
+  b.assign(pstate, go_comp, b.c(2, 1));
+  b.assign(pstate, go_zero, b.c(2, 2));
+  b.assign(pstate, b.and_(b.eq(pstate.q, b.c(2, 1)), syn.done_pulse), b.c(2, 2));
+
+  const Sig write = b.eq(pstate.q, b.c(2, 2));
+  b.assign(out_l, write, b.select(was_zero.q, b.c(16, 0), syn.captures.at("res_l")));
+  b.assign(out_r, write, b.select(was_zero.q, b.c(16, 0), syn.captures.at("res_r")));
+  b.assign(valid, write, b.not_(valid.q));
+  b.assign(pstate, write, b.c(2, 0));
+
+  b.output("out_valid", valid.q);
+  b.output("out_left", out_l.q);
+  b.output("out_right", out_r.q);
+  return b.finalise();
+}
+
+}  // namespace scflow::hls

@@ -1,0 +1,35 @@
+// The behavioural SRC descriptions (paper §4.3/§4.4), synthesised to RTL
+// by the hls scheduler/binder.
+//
+//  * beh_unopt — the first synthesisable behavioural model: handshaking in
+//    the memory-access loops (extra wait state per RAM access, because the
+//    I/O schedule is not fixed) and pessimistic bit-widths (24-bit
+//    coefficient path, 48-bit accumulator) from the conservative
+//    "cut-and-paste-and-refine" strategy.
+//  * beh_opt   — after the paper's optimisation: fixed cycle scheme (no
+//    handshake states) and trimmed widths (17-bit coefficients, 40-bit
+//    accumulator), matching the hand-written RTL datapath widths.
+#pragma once
+
+#include "hls/schedule.hpp"
+#include "rtl/ir.hpp"
+
+namespace scflow::hls {
+
+struct BehConfig {
+  std::string name = "src_beh";
+  int acc_bits = 40;
+  int coeff_bits = 17;
+  int ram_handshake_states = 0;
+  bool inject_corner_bug = false;
+};
+
+[[nodiscard]] BehConfig beh_unopt_config();
+[[nodiscard]] BehConfig beh_opt_config();
+
+/// Builds the full behavioural SRC design: shared infrastructure plus the
+/// hls-synthesised compute kernel and its I/O protocol wrapper.
+rtl::Design build_beh_src_design(const BehConfig& config,
+                                 Schedule* schedule_out = nullptr);
+
+}  // namespace scflow::hls

@@ -1,0 +1,262 @@
+#include "hls/synthesize.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "dtypes/bit_int.hpp"
+
+namespace scflow::hls {
+
+namespace {
+
+using rtl::Sig;
+
+struct Emitter {
+  rtl::DesignBuilder& b;
+  const Kernel& k;
+  const Schedule& sched;
+  const ResourceConstraints& rc;
+
+  rtl::Reg fsm;   // 0 = idle, 1..num_slots = slots
+  rtl::Reg iter;
+  std::vector<rtl::Reg> state_regs;
+  std::vector<rtl::Reg> temp_regs;
+  std::vector<Sig> in_step_sig;            // per compute step
+  std::vector<Sig> fu_result;              // per FU op: its instance output (op width)
+  std::map<std::pair<ValueId, int>, Sig> memo;
+
+  /// Emits the rtl expression for @p v as seen *during* compute step
+  /// @p step (-1 = context-free: constants/externals/registers only).
+  Sig value(ValueId v, int step) {
+    const auto key = std::make_pair(v, step);
+    if (const auto it = memo.find(key); it != memo.end()) return it->second;
+    const HNode& n = k.at(v);
+    Sig out;
+    switch (n.op) {
+      case HOp::kConst: out = b.c(n.width, n.imm); break;
+      case HOp::kExternal: out = n.external; break;
+      case HOp::kState: out = state_regs[static_cast<std::size_t>(n.index)].q; break;
+      case HOp::kIter: out = iter.q; break;
+      default: {
+        if (fu_class(n.op) != FuClass::kNone) {
+          const int def = sched.step_of[static_cast<std::size_t>(v)];
+          if (step == def) {
+            out = fu_result[static_cast<std::size_t>(v)];
+          } else if (step > def || step < 0) {
+            const int r = sched.reg_of[static_cast<std::size_t>(v)];
+            if (r < 0)
+              throw std::logic_error("value used after its step but not registered");
+            out = temp_regs[static_cast<std::size_t>(r)].q;
+          } else {
+            throw std::logic_error("value used before its producing step");
+          }
+          break;
+        }
+        // Free (wiring) op.
+        auto arg = [&](int i) { return value(n.args[static_cast<std::size_t>(i)], step); };
+        switch (n.op) {
+          case HOp::kAddrAdd: out = b.add(arg(0), arg(1)); break;
+          case HOp::kAddrSub: out = b.sub(arg(0), arg(1)); break;
+          case HOp::kAnd: out = b.and_(arg(0), arg(1)); break;
+          case HOp::kOr: out = b.or_(arg(0), arg(1)); break;
+          case HOp::kXor: out = b.xor_(arg(0), arg(1)); break;
+          case HOp::kNot: out = b.not_(arg(0)); break;
+          case HOp::kEq: out = b.eq(arg(0), arg(1)); break;
+          case HOp::kNe: out = b.ne(arg(0), arg(1)); break;
+          case HOp::kLtU: out = b.lt_u(arg(0), arg(1)); break;
+          case HOp::kLtS: out = b.lt_s(arg(0), arg(1)); break;
+          case HOp::kShlK: out = b.shl(arg(0), static_cast<int>(n.imm)); break;
+          case HOp::kShrK: out = b.shr(arg(0), static_cast<int>(n.imm)); break;
+          case HOp::kSraK: out = b.sra(arg(0), static_cast<int>(n.imm)); break;
+          case HOp::kSlice:
+            out = b.slice(arg(0), static_cast<int>(n.imm) + n.width - 1,
+                          static_cast<int>(n.imm));
+            break;
+          case HOp::kZext: out = b.zext(arg(0), n.width); break;
+          case HOp::kSext: out = b.sext(arg(0), n.width); break;
+          case HOp::kMux: out = b.mux(arg(0), arg(1), arg(2)); break;
+          default: throw std::logic_error("unhandled free op");
+        }
+      }
+    }
+    memo.emplace(key, out);
+    return out;
+  }
+};
+
+}  // namespace
+
+SynthesisResult synthesize_kernel(rtl::DesignBuilder& b, const Kernel& kernel,
+                                  Sig start_pulse, const ResourceConstraints& rc) {
+  const Schedule sched = schedule_kernel(kernel, rc);
+  Emitter e{b, kernel, sched, rc, {}, {}, {}, {}, {}, {}, {}};
+
+  const std::string prefix = kernel.name() + "_";
+  const int fsm_w = scflow::bits_for_unsigned(static_cast<std::uint64_t>(sched.num_slots));
+  e.fsm = b.reg(prefix + "state", fsm_w);
+  e.iter = b.reg(prefix + "iter", kernel.iter_width());
+  for (const StateVar& sv : kernel.states())
+    e.state_regs.push_back(b.reg(prefix + sv.name, sv.width));
+  for (std::size_t r = 0; r < sched.temp_regs.size(); ++r)
+    e.temp_regs.push_back(
+        b.reg(prefix + "t" + std::to_string(r), sched.temp_regs[r].width));
+
+  e.in_step_sig.resize(static_cast<std::size_t>(sched.num_steps));
+  for (int s = 0; s < sched.num_steps; ++s)
+    e.in_step_sig[static_cast<std::size_t>(s)] =
+        b.eq(e.fsm.q, b.c(fsm_w, sched.slot_of_step[static_cast<std::size_t>(s)] + 1));
+
+  // --- group FU ops into instances ---
+  e.fu_result.assign(kernel.nodes().size(), Sig{});
+  struct OpRef {
+    ValueId v;
+    int step;
+  };
+  std::map<std::pair<int, int>, std::vector<OpRef>> instances;  // (class*1000+mem, inst)
+  {
+    std::map<std::pair<int, int>, int> used_in_step;  // (key, step) -> count
+    for (std::size_t i = 0; i < kernel.nodes().size(); ++i) {
+      const HNode& n = kernel.nodes()[i];
+      const FuClass cls = fu_class(n.op);
+      if (cls == FuClass::kNone) continue;
+      const int step = sched.step_of[i];
+      int group = static_cast<int>(cls) * 1000;
+      if (cls == FuClass::kRamPort || cls == FuClass::kRomPort)
+        group += static_cast<int>(n.imm);
+      const int inst = used_in_step[{group, step}]++;
+      instances[{group, inst}].push_back({static_cast<ValueId>(i), step});
+    }
+  }
+
+  // Emit each instance: operand mux networks keyed by step, one FU node.
+  for (auto& [key, ops] : instances) {
+    const FuClass cls = static_cast<FuClass>(key.first / 1000);
+    std::sort(ops.begin(), ops.end(), [](const OpRef& a, const OpRef& b2) {
+      return a.step < b2.step;
+    });
+    auto mux_operand = [&](auto get_expr, int width, bool sign) {
+      Sig acc{};
+      for (const OpRef& op : ops) {
+        Sig v = get_expr(op);
+        v = sign ? b.resize_s(v, width) : b.resize_u(v, width);
+        acc = acc.valid()
+                  ? b.select(e.in_step_sig[static_cast<std::size_t>(op.step)], v, acc)
+                  : v;
+      }
+      return acc;
+    };
+    switch (cls) {
+      case FuClass::kMult: {
+        int aw = 0, bw = 0;
+        for (const OpRef& op : ops) {
+          aw = std::max(aw, kernel.width(kernel.at(op.v).args[0]));
+          bw = std::max(bw, kernel.width(kernel.at(op.v).args[1]));
+        }
+        const Sig a = mux_operand(
+            [&](const OpRef& op) { return e.value(kernel.at(op.v).args[0], op.step); }, aw, true);
+        const Sig bb = mux_operand(
+            [&](const OpRef& op) { return e.value(kernel.at(op.v).args[1], op.step); }, bw, true);
+        const Sig out = b.mul(a, bb, std::min(aw + bw, 64));
+        for (const OpRef& op : ops)
+          e.fu_result[static_cast<std::size_t>(op.v)] =
+              b.resize_s(out, kernel.width(op.v));
+        break;
+      }
+      case FuClass::kAlu: {
+        int w = 0;
+        for (const OpRef& op : ops) w = std::max(w, kernel.width(op.v));
+        const Sig a = mux_operand(
+            [&](const OpRef& op) { return e.value(kernel.at(op.v).args[0], op.step); }, w, true);
+        const Sig braw = mux_operand(
+            [&](const OpRef& op) { return e.value(kernel.at(op.v).args[1], op.step); }, w, true);
+        // Subtract flag: OR of the step selects of the kSub ops.
+        Sig sub_flag = b.c(1, 0);
+        for (const OpRef& op : ops)
+          if (kernel.at(op.v).op == HOp::kSub)
+            sub_flag = b.or_(sub_flag, e.in_step_sig[static_cast<std::size_t>(op.step)]);
+        const Sig b_eff = b.xor_(braw, b.sext(sub_flag, w));
+        const Sig out = b.addc(a, b_eff, sub_flag);
+        for (const OpRef& op : ops)
+          e.fu_result[static_cast<std::size_t>(op.v)] =
+              b.resize_s(out, kernel.width(op.v));
+        break;
+      }
+      case FuClass::kRamPort: {
+        const int mem = key.first % 1000;
+        const int abits = b.design().memories()[static_cast<std::size_t>(mem)].addr_bits;
+        const Sig addr = mux_operand(
+            [&](const OpRef& op) { return e.value(kernel.at(op.v).args[0], op.step); },
+            abits, false);
+        Sig ren = b.c(1, 0);
+        for (const OpRef& op : ops)
+          ren = b.or_(ren, e.in_step_sig[static_cast<std::size_t>(op.step)]);
+        const Sig out = b.ram_read(mem, addr, ren);
+        for (const OpRef& op : ops)
+          e.fu_result[static_cast<std::size_t>(op.v)] =
+              b.resize_u(out, kernel.width(op.v));
+        break;
+      }
+      case FuClass::kRomPort: {
+        const int rom = key.first % 1000;
+        const int abits = b.design().roms()[static_cast<std::size_t>(rom)].addr_bits;
+        const Sig addr = mux_operand(
+            [&](const OpRef& op) { return e.value(kernel.at(op.v).args[0], op.step); },
+            abits, false);
+        const Sig out = b.rom_read(rom, addr);
+        for (const OpRef& op : ops)
+          e.fu_result[static_cast<std::size_t>(op.v)] =
+              b.resize_u(out, kernel.width(op.v));
+        break;
+      }
+      default: break;
+    }
+  }
+
+  // Temp-register writes at the producing step.
+  for (std::size_t i = 0; i < kernel.nodes().size(); ++i) {
+    const int r = sched.reg_of[i];
+    if (r < 0) continue;
+    const int def = sched.step_of[i];
+    b.assign(e.temp_regs[static_cast<std::size_t>(r)],
+             e.in_step_sig[static_cast<std::size_t>(def)],
+             e.fu_result[i]);
+  }
+
+  // Loop-carried state updates and output captures at the last step.
+  const int last = sched.num_steps - 1;
+  const Sig in_last_step = e.in_step_sig[static_cast<std::size_t>(last)];
+  for (const Update& u : kernel.updates()) {
+    Sig cond = in_last_step;
+    if (u.pred != kNoValue) cond = b.and_(cond, e.value(u.pred, last));
+    b.assign(e.state_regs[static_cast<std::size_t>(u.state)], cond, e.value(u.value, last));
+  }
+  SynthesisResult result;
+  for (const Capture& c : kernel.captures()) {
+    const rtl::Reg cap = b.reg(prefix + c.name, kernel.width(c.value));
+    b.assign(cap, b.and_(in_last_step, e.value(c.pred, last)), e.value(c.value, last));
+    result.captures[c.name] = cap.q;
+  }
+
+  // --- control FSM ---
+  const Sig idle = b.eq(e.fsm.q, b.c(fsm_w, 0));
+  const Sig start = b.and_(idle, start_pulse);
+  b.assign(e.fsm, start, b.c(fsm_w, 1));
+  b.assign(e.iter, start, b.c(kernel.iter_width(), 0));
+  for (std::size_t s = 0; s < kernel.states().size(); ++s)
+    b.assign(e.state_regs[s], start, e.value(kernel.states()[s].init, -1));
+
+  const Sig in_final_slot = b.eq(e.fsm.q, b.c(fsm_w, sched.num_slots));
+  const Sig iter_done =
+      b.eq(e.iter.q, b.c(kernel.iter_width(), kernel.loop_count() - 1));
+  const Sig advancing = b.and_(b.not_(idle), b.not_(in_final_slot));
+  b.assign(e.fsm, advancing, b.add(e.fsm.q, b.c(fsm_w, 1)));
+  b.assign(e.fsm, in_final_slot, b.select(iter_done, b.c(fsm_w, 0), b.c(fsm_w, 1)));
+  b.assign(e.iter, in_final_slot, b.add(e.iter.q, b.c(kernel.iter_width(), 1)));
+
+  result.busy = b.not_(idle);
+  result.done_pulse = b.and_(in_final_slot, iter_done);
+  result.schedule = sched;
+  return result;
+}
+
+}  // namespace scflow::hls

@@ -1,0 +1,30 @@
+// Binding/datapath generation: turns a scheduled kernel into RTL —
+// shared functional units with state-muxed operand networks, temp
+// registers from the allocation, and the controlling FSM (the paper's
+// "creating an FSM that realises the scheduling", done by the tool).
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "hls/kernel.hpp"
+#include "hls/schedule.hpp"
+#include "rtl/builder.hpp"
+
+namespace scflow::hls {
+
+struct SynthesisResult {
+  rtl::Sig busy;        ///< 1 while an invocation is running
+  rtl::Sig done_pulse;  ///< 1 during the final slot of the last iteration
+  std::map<std::string, rtl::Sig> captures;  ///< capture registers (q)
+  Schedule schedule;
+};
+
+/// Emits the kernel's datapath + FSM into @p b.  The kernel starts when
+/// @p start_pulse is 1 while idle; captures hold their values from the end
+/// of the invocation until the next one.
+SynthesisResult synthesize_kernel(rtl::DesignBuilder& b, const Kernel& kernel,
+                                  rtl::Sig start_pulse,
+                                  const ResourceConstraints& rc);
+
+}  // namespace scflow::hls

@@ -1,0 +1,31 @@
+#include "kernel/clock.hpp"
+
+#include <stdexcept>
+
+namespace minisc {
+
+Clock::Clock(Simulation& sim, std::string name, Time period)
+    : Object(sim, nullptr, std::move(name)),
+      period_(period),
+      signal_(sim, this, "sig", false),
+      tick_event_(sim, Object::name() + ".tick") {
+  if (period.picoseconds() < 2 || (period.picoseconds() % 2) != 0)
+    throw std::invalid_argument("clock period must be a positive even number of ps");
+  auto& proc = sim.create_method(this, "gen", [this] { tick(); });
+  proc.add_static_sensitivity(tick_event_);
+  tick_event_.add_static_waiter(proc);
+}
+
+void Clock::tick() {
+  // The initialisation-phase run arms the first rising edge at t = period.
+  if (sim().now().picoseconds() == 0 && !signal_.read()) {
+    tick_event_.notify(period_);
+    return;
+  }
+  const bool next = !signal_.read();
+  signal_.write(next);
+  if (next) ++posedges_;
+  tick_event_.notify(Time::ps(period_.picoseconds() / 2));
+}
+
+}  // namespace minisc

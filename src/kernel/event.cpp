@@ -1,0 +1,61 @@
+#include "kernel/event.hpp"
+
+#include "kernel/process.hpp"
+#include "kernel/simulation.hpp"
+
+namespace minisc {
+
+Event::Event(Simulation& sim, std::string name) : sim_(&sim), name_(std::move(name)) {}
+
+Event::~Event() = default;
+
+void Event::notify() { fire(); }
+
+void Event::notify_delta() {
+  ++pending_generation_;
+  sim_->schedule_delta_fire(*this);
+}
+
+void Event::notify(Time delay) {
+  const std::uint64_t gen = ++pending_generation_;
+  sim_->schedule_at(sim_->now() + delay, [this, gen] {
+    if (gen == pending_generation_) fire();
+  });
+}
+
+void Event::cancel() { ++pending_generation_; }
+
+void Event::add_dynamic_waiter(ThreadProcess& p, std::uint64_t generation) {
+  dynamic_waiters_.push_back({&p, generation});
+}
+
+void Event::add_static_waiter(ProcessBase& p) { static_waiters_.push_back(&p); }
+
+void Event::fire() {
+  // Dynamic (one-shot) waiters: skip registrations from superseded waits.
+  if (!dynamic_waiters_.empty()) {
+    std::vector<DynWaiter> waiters;
+    waiters.swap(dynamic_waiters_);
+    for (const DynWaiter& w : waiters) {
+      if (w.process->wait_generation == w.generation && w.process->waiting_dynamic) {
+        w.process->waiting_dynamic = false;
+        ++w.process->wait_generation;  // invalidate sibling registrations
+        sim_->make_runnable(*w.process);
+      }
+    }
+  }
+  // Static waiters: methods always trigger; threads only when parked in a
+  // static wait().
+  for (ProcessBase* p : static_waiters_) {
+    if (p->is_thread()) {
+      if (p->waiting_static) {
+        p->waiting_static = false;
+        sim_->make_runnable(*p);
+      }
+    } else {
+      sim_->make_runnable(*p);
+    }
+  }
+}
+
+}  // namespace minisc

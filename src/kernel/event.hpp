@@ -1,0 +1,66 @@
+// Synchronisation event, the minisc analogue of sc_event.
+//
+// Supports the three SystemC notification flavours: immediate (same
+// evaluate phase), delta (next delta cycle) and timed.  Threads wait on
+// events dynamically (one-shot); method processes and clocked threads are
+// sensitised statically (persistent).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "kernel/time.hpp"
+
+namespace minisc {
+
+class Simulation;
+class ProcessBase;
+class ThreadProcess;
+
+class Event {
+ public:
+  explicit Event(Simulation& sim, std::string name = "event");
+  ~Event();
+
+  Event(const Event&) = delete;
+  Event& operator=(const Event&) = delete;
+
+  /// Immediate notification: waiting processes become runnable within the
+  /// current evaluate phase.
+  void notify();
+  /// Delta notification: waiting processes run in the next delta cycle.
+  void notify_delta();
+  /// Timed notification after @p delay.  A later notify overrides an
+  /// earlier pending one only if it is sooner (SystemC semantics are
+  /// simplified here to: the most recent call wins).
+  void notify(Time delay);
+  /// Cancels any pending delta/timed notification.
+  void cancel();
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] Simulation& sim() const { return *sim_; }
+
+  // --- kernel-internal ---
+  /// Registers a thread as a one-shot dynamic waiter with its current wait
+  /// generation (stale registrations are skipped at fire time).
+  void add_dynamic_waiter(ThreadProcess& p, std::uint64_t generation);
+  /// Adds a persistent, statically-sensitive process.
+  void add_static_waiter(ProcessBase& p);
+  /// Wakes waiters: called by the kernel when the notification matures.
+  void fire();
+
+ private:
+  struct DynWaiter {
+    ThreadProcess* process;
+    std::uint64_t generation;
+  };
+
+  Simulation* sim_;
+  std::string name_;
+  std::vector<DynWaiter> dynamic_waiters_;
+  std::vector<ProcessBase*> static_waiters_;
+  std::uint64_t pending_generation_ = 0;  // bumped by cancel()/notify()
+};
+
+}  // namespace minisc

@@ -1,0 +1,19 @@
+#include "kernel/object.hpp"
+
+#include "kernel/simulation.hpp"
+
+namespace minisc {
+
+Object::Object(Simulation& sim, Object* parent, std::string name)
+    : sim_(&sim), parent_(parent), name_(std::move(name)) {
+  sim_->register_object(*this);
+}
+
+Object::~Object() { sim_->unregister_object(*this); }
+
+std::string Object::full_name() const {
+  if (parent_ == nullptr) return name_;
+  return parent_->full_name() + "." + name_;
+}
+
+}  // namespace minisc

@@ -1,0 +1,35 @@
+// Named-object hierarchy, the minisc analogue of sc_object.
+#pragma once
+
+#include <string>
+
+namespace minisc {
+
+class Simulation;
+
+/// Base for everything that lives in the design hierarchy (modules, signals,
+/// ports, processes, clocks).  Objects register with their Simulation so the
+/// kernel can elaborate and report on the full design.
+class Object {
+ public:
+  Object(Simulation& sim, Object* parent, std::string name);
+  virtual ~Object();
+
+  Object(const Object&) = delete;
+  Object& operator=(const Object&) = delete;
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] std::string full_name() const;
+  [[nodiscard]] Object* parent() const { return parent_; }
+  [[nodiscard]] Simulation& sim() const { return *sim_; }
+
+  /// Short description of what kind of object this is ("module", "signal"…).
+  [[nodiscard]] virtual const char* kind() const { return "object"; }
+
+ private:
+  Simulation* sim_;
+  Object* parent_;
+  std::string name_;
+};
+
+}  // namespace minisc

@@ -1,0 +1,63 @@
+#include "kernel/process.hpp"
+
+#include <cstdint>
+#include <stdexcept>
+
+#include "kernel/event.hpp"
+#include "kernel/simulation.hpp"
+
+namespace minisc {
+
+ProcessBase::ProcessBase(Simulation& sim, Object* parent, std::string name)
+    : Object(sim, parent, std::move(name)) {}
+
+void ProcessBase::add_static_sensitivity(Event& e) { static_events_.push_back(&e); }
+
+MethodProcess::MethodProcess(Simulation& sim, Object* parent, std::string name,
+                             std::function<void()> body)
+    : ProcessBase(sim, parent, std::move(name)), body_(std::move(body)) {}
+
+ThreadProcess::ThreadProcess(Simulation& sim, Object* parent, std::string name,
+                             std::function<void()> body, std::size_t stack_bytes)
+    : ProcessBase(sim, parent, std::move(name)),
+      body_(std::move(body)),
+      stack_(stack_bytes) {}
+
+void ThreadProcess::trampoline(unsigned int hi, unsigned int lo) {
+  auto* self = reinterpret_cast<ThreadProcess*>(
+      (static_cast<std::uintptr_t>(hi) << 32) | static_cast<std::uintptr_t>(lo));
+  self->run_body();
+  // Never returns: run_body() ends with a final switch to the scheduler.
+}
+
+void ThreadProcess::run_body() {
+  body_();
+  terminated_ = true;
+  // Hand control back to the scheduler for good.
+  swapcontext(&context_, sim().scheduler_context());
+  throw std::logic_error("terminated thread process resumed");
+}
+
+void ThreadProcess::execute() {
+  if (terminated_) return;
+  if (!started_) {
+    started_ = true;
+    getcontext(&context_);
+    context_.uc_stack.ss_sp = stack_.data();
+    context_.uc_stack.ss_size = stack_.size();
+    context_.uc_link = sim().scheduler_context();
+    const auto p = reinterpret_cast<std::uintptr_t>(this);
+    makecontext(&context_, reinterpret_cast<void (*)()>(&ThreadProcess::trampoline), 2,
+                static_cast<unsigned int>(p >> 32),
+                static_cast<unsigned int>(p & 0xffffffffu));
+  }
+  sim().note_context_switch();
+  swapcontext(sim().scheduler_context(), &context_);
+}
+
+void ThreadProcess::yield_to_scheduler() {
+  sim().note_context_switch();
+  swapcontext(&context_, sim().scheduler_context());
+}
+
+}  // namespace minisc

@@ -1,0 +1,40 @@
+// Simulated-time representation for the minisc kernel (picosecond ticks).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <limits>
+#include <ostream>
+
+namespace minisc {
+
+/// A point in (or duration of) simulated time, in integer picoseconds.
+class Time {
+ public:
+  constexpr Time() = default;
+
+  static constexpr Time ps(std::uint64_t v) { return Time(v); }
+  static constexpr Time ns(std::uint64_t v) { return Time(v * 1000ull); }
+  static constexpr Time us(std::uint64_t v) { return Time(v * 1000'000ull); }
+  static constexpr Time ms(std::uint64_t v) { return Time(v * 1000'000'000ull); }
+  static constexpr Time sec(std::uint64_t v) { return Time(v * 1000'000'000'000ull); }
+  static constexpr Time max() { return Time(std::numeric_limits<std::uint64_t>::max()); }
+
+  [[nodiscard]] constexpr std::uint64_t picoseconds() const { return ps_; }
+  [[nodiscard]] constexpr double to_seconds() const { return static_cast<double>(ps_) * 1e-12; }
+
+  friend constexpr Time operator+(Time a, Time b) { return Time(a.ps_ + b.ps_); }
+  friend constexpr Time operator-(Time a, Time b) { return Time(a.ps_ - b.ps_); }
+  friend constexpr Time operator*(Time a, std::uint64_t k) { return Time(a.ps_ * k); }
+  friend constexpr std::uint64_t operator/(Time a, Time b) { return a.ps_ / b.ps_; }
+  friend constexpr bool operator==(Time a, Time b) = default;
+  friend constexpr auto operator<=>(Time a, Time b) = default;
+
+  friend std::ostream& operator<<(std::ostream& os, Time t) { return os << t.ps_ << " ps"; }
+
+ private:
+  constexpr explicit Time(std::uint64_t ps) : ps_(ps) {}
+  std::uint64_t ps_ = 0;
+};
+
+}  // namespace minisc

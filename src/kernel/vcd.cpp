@@ -1,0 +1,58 @@
+#include "kernel/vcd.hpp"
+
+namespace minisc {
+
+VcdTrace::VcdTrace(Simulation& sim, const std::string& path) : sim_(&sim), out_(path) {}
+
+VcdTrace::~VcdTrace() { out_.flush(); }
+
+std::string VcdTrace::next_id() {
+  // VCD identifiers: printable ASCII strings; base-94 counter.
+  std::string id;
+  int n = id_counter_++;
+  do {
+    id.push_back(static_cast<char>('!' + (n % 94)));
+    n /= 94;
+  } while (n > 0);
+  return id;
+}
+
+void VcdTrace::write_header() {
+  header_written_ = true;
+  out_ << "$timescale 1ps $end\n$scope module top $end\n";
+  for (const Var& v : vars_) {
+    std::string flat = v.name;
+    for (char& c : flat)
+      if (c == '.') c = '_';
+    out_ << "$var wire " << v.width << " " << v.id << " " << flat << " $end\n";
+  }
+  out_ << "$upscope $end\n$enddefinitions $end\n";
+  last_.assign(vars_.size(), ~0ull);
+}
+
+void VcdTrace::sample() {
+  if (!header_written_) write_header();
+  bool time_emitted = false;
+  for (std::size_t i = 0; i < vars_.size(); ++i) {
+    const std::uint64_t v = vars_[i].value();
+    if (v == last_[i]) continue;
+    if (!time_emitted) {
+      const std::uint64_t t = sim_->now().picoseconds();
+      if (t != last_time_) {
+        out_ << "#" << t << "\n";
+        last_time_ = t;
+      }
+      time_emitted = true;
+    }
+    last_[i] = v;
+    if (vars_[i].width == 1) {
+      out_ << (v & 1u) << vars_[i].id << "\n";
+    } else {
+      out_ << "b";
+      for (int b = vars_[i].width - 1; b >= 0; --b) out_ << ((v >> b) & 1u);
+      out_ << " " << vars_[i].id << "\n";
+    }
+  }
+}
+
+}  // namespace minisc

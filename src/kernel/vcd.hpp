@@ -1,0 +1,70 @@
+// Minimal VCD (value-change dump) tracing for signals — the kernel-side
+// equivalent of the waveform dumps the paper's flow relied on for the
+// per-step bit-accuracy revalidation.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "kernel/signal.hpp"
+#include "kernel/simulation.hpp"
+
+namespace minisc {
+
+class VcdTrace {
+ public:
+  VcdTrace(Simulation& sim, const std::string& path);
+  ~VcdTrace();
+
+  VcdTrace(const VcdTrace&) = delete;
+  VcdTrace& operator=(const VcdTrace&) = delete;
+
+  /// Registers a bool or integer-convertible signal for tracing.
+  template <class T>
+  void add(Signal<T>& sig, int width = default_width<T>()) {
+    const std::string id = next_id();
+    vars_.push_back({sig.full_name(), id, width,
+                     [&sig, width] { return value_bits(sig.read(), width); }});
+  }
+
+  /// Samples all registered signals at the current simulation time.
+  /// Call once per interesting instant (e.g. from a clock-edge method).
+  void sample();
+
+ private:
+  struct Var {
+    std::string name;
+    std::string id;
+    int width;
+    std::function<std::uint64_t()> value;
+  };
+
+  template <class T>
+  static constexpr int default_width() {
+    if constexpr (std::is_same_v<T, bool>) return 1;
+    else if constexpr (requires { T::width; }) return T::width;
+    else return 64;
+  }
+  template <class T>
+  static std::uint64_t value_bits(const T& v, int width) {
+    if constexpr (std::is_same_v<T, bool>) { (void)width; return v ? 1u : 0u; }
+    else if constexpr (requires { v.bits(); }) { (void)width; return v.bits(); }
+    else return static_cast<std::uint64_t>(v);
+  }
+
+  std::string next_id();
+  void write_header();
+
+  Simulation* sim_;
+  std::ofstream out_;
+  std::vector<Var> vars_;
+  std::vector<std::uint64_t> last_;
+  bool header_written_ = false;
+  int id_counter_ = 0;
+  std::uint64_t last_time_ = ~0ull;
+};
+
+}  // namespace minisc

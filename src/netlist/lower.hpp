@@ -1,0 +1,26 @@
+// Word-level to gate-level lowering: ripple-carry adders, array
+// multipliers with sign correction, mux trees, comparators — the
+// structural part of the "Design Compiler" substitute.
+#pragma once
+
+#include "netlist/netlist.hpp"
+#include "rtl/ir.hpp"
+
+namespace scflow::nl {
+
+struct LowerOptions {
+  /// Replace flops by scan flops and stitch a scan chain immediately.
+  /// The synthesis flow normally lowers, optimises, *then* inserts scan
+  /// (insert_scan_chain), so this stays off by default.
+  bool insert_scan = false;
+};
+
+/// Bit-blasts @p design into a gate netlist.  RAM/ROM macros become port
+/// groups described by Netlist::macros.
+Netlist lower_to_gates(const rtl::Design& design, const LowerOptions& options = {});
+
+/// Converts every DFF into an SDFF and threads scan_in -> ... -> scan_out
+/// with a scan_enable input (idempotent on netlists without plain DFFs).
+void insert_scan_chain(Netlist& n);
+
+}  // namespace scflow::nl

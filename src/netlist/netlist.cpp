@@ -1,0 +1,132 @@
+#include "netlist/netlist.hpp"
+
+#include <stdexcept>
+
+namespace scflow::nl {
+
+const char* cell_name(CellType t) {
+  switch (t) {
+    case CellType::kTie0: return "TIE0";
+    case CellType::kTie1: return "TIE1";
+    case CellType::kBuf: return "BUF";
+    case CellType::kInv: return "INV";
+    case CellType::kAnd2: return "AND2";
+    case CellType::kOr2: return "OR2";
+    case CellType::kNand2: return "NAND2";
+    case CellType::kNor2: return "NOR2";
+    case CellType::kXor2: return "XOR2";
+    case CellType::kXnor2: return "XNOR2";
+    case CellType::kMux2: return "MUX2";
+    case CellType::kDff: return "DFF";
+    case CellType::kSdff: return "SDFF";
+  }
+  return "?";
+}
+
+int cell_input_count(CellType t) {
+  switch (t) {
+    case CellType::kTie0:
+    case CellType::kTie1: return 0;
+    case CellType::kBuf:
+    case CellType::kInv:
+    case CellType::kDff: return 1;
+    case CellType::kMux2:
+    case CellType::kSdff: return 3;
+    default: return 2;
+  }
+}
+
+bool cell_is_sequential(CellType t) {
+  return t == CellType::kDff || t == CellType::kSdff;
+}
+
+double CellLibrary::area(CellType t) {
+  // Representative 0.25 µ standard-cell areas in µm².
+  switch (t) {
+    case CellType::kTie0:
+    case CellType::kTie1: return 5.5;
+    case CellType::kBuf: return 11.1;
+    case CellType::kInv: return 8.3;
+    case CellType::kAnd2:
+    case CellType::kOr2: return 13.9;
+    case CellType::kNand2:
+    case CellType::kNor2: return 11.1;
+    case CellType::kXor2:
+    case CellType::kXnor2: return 22.2;
+    case CellType::kMux2: return 25.0;
+    case CellType::kDff: return 61.1;
+    case CellType::kSdff: return 72.2;
+  }
+  return 0.0;
+}
+
+NetId Netlist::add_cell(CellType type, std::vector<NetId> inputs, int init) {
+  if (static_cast<int>(inputs.size()) != cell_input_count(type))
+    throw std::invalid_argument(std::string("wrong input count for ") + cell_name(type));
+  Cell c;
+  c.type = type;
+  c.inputs = std::move(inputs);
+  c.output = new_net();
+  c.init = init;
+  cells_.push_back(std::move(c));
+  return cells_.back().output;
+}
+
+NetId Netlist::const_net(bool value) {
+  NetId& cache = value ? tie1_ : tie0_;
+  if (cache == kNoNet)
+    cache = add_cell(value ? CellType::kTie1 : CellType::kTie0, {});
+  return cache;
+}
+
+void Netlist::add_input(const std::string& name, std::vector<NetId> nets) {
+  inputs_.push_back({name, std::move(nets)});
+}
+
+void Netlist::add_output(const std::string& name, std::vector<NetId> nets) {
+  outputs_.push_back({name, std::move(nets)});
+}
+
+const PortBits* Netlist::find_input(const std::string& name) const {
+  for (const auto& p : inputs_)
+    if (p.name == name) return &p;
+  return nullptr;
+}
+
+const PortBits* Netlist::find_output(const std::string& name) const {
+  for (const auto& p : outputs_)
+    if (p.name == name) return &p;
+  return nullptr;
+}
+
+void Netlist::validate() const {
+  std::vector<bool> driven(static_cast<std::size_t>(net_count_), false);
+  for (const auto& p : inputs_)
+    for (NetId n : p.nets) driven[static_cast<std::size_t>(n)] = true;
+  for (const Cell& c : cells_) driven[static_cast<std::size_t>(c.output)] = true;
+  for (const Cell& c : cells_)
+    for (NetId n : c.inputs)
+      if (n == kNoNet || !driven[static_cast<std::size_t>(n)])
+        throw std::logic_error(name_ + ": undriven cell input net");
+  for (const auto& p : outputs_)
+    for (NetId n : p.nets)
+      if (n == kNoNet || !driven[static_cast<std::size_t>(n)])
+        throw std::logic_error(name_ + ": undriven output net " + p.name);
+}
+
+AreaReport report_area(const Netlist& n) {
+  AreaReport r;
+  for (const Cell& c : n.cells()) {
+    ++r.cell_count;
+    const double a = CellLibrary::area(c.type);
+    if (cell_is_sequential(c.type)) {
+      r.sequential += a;
+      ++r.flop_count;
+    } else {
+      r.combinational += a;
+    }
+  }
+  return r;
+}
+
+}  // namespace scflow::nl

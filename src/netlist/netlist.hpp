@@ -1,0 +1,117 @@
+// Gate-level netlist IR and the synthetic standard-cell library — the
+// substrate's equivalent of the 0.25 µ CMOS library + Design Compiler
+// output the paper synthesises into.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace scflow::nl {
+
+using NetId = std::int32_t;
+constexpr NetId kNoNet = -1;
+
+enum class CellType : std::uint8_t {
+  kTie0, kTie1,
+  kBuf, kInv,
+  kAnd2, kOr2, kNand2, kNor2, kXor2, kXnor2,
+  kMux2,   // inputs {sel, a0, a1}: sel ? a1 : a0
+  kDff,    // inputs {d}; init value in Cell::init
+  kSdff,   // scan flop: inputs {d, si, se}
+};
+
+[[nodiscard]] const char* cell_name(CellType t);
+[[nodiscard]] int cell_input_count(CellType t);
+[[nodiscard]] bool cell_is_sequential(CellType t);
+
+/// Per-cell area in µm² of a representative 0.25 µ-class library.  Only
+/// area *ratios* matter for the Fig. 10 reproduction.
+struct CellLibrary {
+  [[nodiscard]] static double area(CellType t);
+};
+
+struct Cell {
+  CellType type = CellType::kBuf;
+  std::vector<NetId> inputs;
+  NetId output = kNoNet;
+  int init = 0;  // flops: initial/reset value
+};
+
+struct PortBits {
+  std::string name;
+  std::vector<NetId> nets;  // LSB first
+};
+
+/// Black-box macro attachment metadata: the buffer RAM and coefficient ROM
+/// stay macros (excluded from area, like the paper's memories); the
+/// simulator binds behavioural models to these port groups.
+struct MacroInfo {
+  enum class Kind : std::uint8_t { kRam, kRom };
+  Kind kind = Kind::kRam;
+  std::string name;
+  int addr_bits = 0;
+  int data_bits = 0;
+  // Netlist-side port names (inputs() for data-from-macro, outputs() for
+  // address/data/enable-to-macro).
+  std::vector<std::string> read_addr_ports;  // one per read port
+  std::vector<std::string> read_data_ports;
+  std::vector<std::string> read_enable_ports;  // RAM: live-access markers
+  std::string write_addr_port;  // RAM only
+  std::string write_data_port;
+  std::string write_enable_port;
+  std::vector<std::int64_t> rom_contents;  // ROM only
+};
+
+class Netlist {
+ public:
+  explicit Netlist(std::string name) : name_(std::move(name)) {}
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  NetId new_net() { return net_count_++; }
+  [[nodiscard]] std::int32_t net_count() const { return net_count_; }
+
+  /// Adds a cell; returns its output net.
+  NetId add_cell(CellType type, std::vector<NetId> inputs, int init = 0);
+  NetId const_net(bool value);  // shared TIE cells
+
+  void add_input(const std::string& name, std::vector<NetId> nets);
+  void add_output(const std::string& name, std::vector<NetId> nets);
+
+  [[nodiscard]] const std::vector<Cell>& cells() const { return cells_; }
+  [[nodiscard]] std::vector<Cell>& cells_mut() { return cells_; }
+  [[nodiscard]] const std::vector<PortBits>& inputs() const { return inputs_; }
+  [[nodiscard]] const std::vector<PortBits>& outputs() const { return outputs_; }
+  [[nodiscard]] const PortBits* find_input(const std::string& name) const;
+  [[nodiscard]] const PortBits* find_output(const std::string& name) const;
+
+  std::vector<MacroInfo> macros;
+
+  /// Structural sanity: every cell input must be driven (by a cell output
+  /// or a primary/macro input).  Throws on violation.
+  void validate() const;
+
+ private:
+  std::string name_;
+  std::int32_t net_count_ = 0;
+  std::vector<Cell> cells_;
+  std::vector<PortBits> inputs_;
+  std::vector<PortBits> outputs_;
+  NetId tie0_ = kNoNet;
+  NetId tie1_ = kNoNet;
+};
+
+/// Area accounting in the style of Design Compiler's report_area: macros
+/// (RAM/ROM) excluded, scan flops included.
+struct AreaReport {
+  double combinational = 0.0;
+  double sequential = 0.0;
+  std::size_t cell_count = 0;
+  std::size_t flop_count = 0;
+  [[nodiscard]] double total() const { return combinational + sequential; }
+};
+
+[[nodiscard]] AreaReport report_area(const Netlist& n);
+
+}  // namespace scflow::nl

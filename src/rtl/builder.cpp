@@ -1,0 +1,26 @@
+#include "rtl/builder.hpp"
+
+namespace scflow::rtl {
+
+Design DesignBuilder::finalise() {
+  // Fold the assignment list into per-register mux chains.  Later
+  // assignments wrap earlier ones, so they win on overlapping conditions —
+  // the "last assignment wins" semantics of an HDL clocked process.
+  for (std::size_t r = 0; r < d_.registers().size(); ++r) {
+    NodeId next = d_.registers()[r].q;  // hold by default
+    for (const Assign& a : assigns_) {
+      if (a.reg != static_cast<int>(r)) continue;
+      Node n;
+      n.op = Op::kMux;
+      n.width = d_.registers()[r].width;
+      n.args = {a.cond, next, a.value};
+      next = d_.add_node(std::move(n));
+    }
+    d_.set_register_next(static_cast<int>(r), next);
+  }
+  assigns_.clear();
+  d_.validate();
+  return std::move(d_);
+}
+
+}  // namespace scflow::rtl

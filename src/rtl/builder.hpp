@@ -1,0 +1,206 @@
+// Ergonomic construction layer over the RTL IR: width-checked operators,
+// HDL-style "last assignment wins" register assignment collection, and
+// helpers (arithmetic shifts, saturation, toggles) the SRC designs share.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "rtl/ir.hpp"
+
+namespace scflow::rtl {
+
+/// A width-carrying handle to an IR node.
+struct Sig {
+  NodeId id = kNoNode;
+  int width = 0;
+  [[nodiscard]] bool valid() const { return id != kNoNode; }
+};
+
+/// A register handle: index plus its Q output.
+struct Reg {
+  int index = -1;
+  Sig q;
+};
+
+class DesignBuilder {
+ public:
+  explicit DesignBuilder(std::string name) : d_(std::move(name)) {}
+
+  Design& design() { return d_; }
+
+  // --- sources ---
+  Sig input(const std::string& name, int width) { return {d_.input(name, width), width}; }
+  Sig c(int width, std::int64_t value) { return {d_.constant(width, value), width}; }
+  Reg reg(const std::string& name, int width, std::int64_t reset = 0) {
+    const int idx = d_.add_register(name, width, reset);
+    return {idx, {d_.registers()[static_cast<std::size_t>(idx)].q, width}};
+  }
+
+  // --- combinational ops (widths checked) ---
+  Sig add(Sig a, Sig b) { return bin(Op::kAdd, a, b, same(a, b)); }
+  Sig sub(Sig a, Sig b) { return bin(Op::kSub, a, b, same(a, b)); }
+  /// Signed multiply; operands keep their natural widths (the array
+  /// multiplier cost scales with them), result truncated to @p width.
+  Sig mul(Sig a, Sig b, int width) { return bin(Op::kMul, a, b, width); }
+  Sig addc(Sig a, Sig b, Sig cin) {
+    if (cin.width != 1) throw std::logic_error("carry-in must be 1 bit");
+    (void)same(a, b);
+    Node n;
+    n.op = Op::kAddC;
+    n.width = a.width;
+    n.args = {a.id, b.id, cin.id};
+    return {design().add_node(std::move(n)), a.width};
+  }
+  Sig and_(Sig a, Sig b) { return bin(Op::kAnd, a, b, same(a, b)); }
+  Sig or_(Sig a, Sig b) { return bin(Op::kOr, a, b, same(a, b)); }
+  Sig xor_(Sig a, Sig b) { return bin(Op::kXor, a, b, same(a, b)); }
+  Sig not_(Sig a) { return unary(Op::kNot, a, a.width); }
+  Sig eq(Sig a, Sig b) { return bin(Op::kEq, a, b, 1); }
+  Sig ne(Sig a, Sig b) { return bin(Op::kNe, a, b, 1); }
+  Sig lt_u(Sig a, Sig b) { return bin(Op::kLtU, a, b, 1); }
+  Sig lt_s(Sig a, Sig b) { return bin(Op::kLtS, a, b, 1); }
+  Sig gt_u(Sig a, Sig b) { return lt_u(b, a); }
+  Sig le_u(Sig a, Sig b) { return not_(lt_u(b, a)); }
+  Sig ge_u(Sig a, Sig b) { return not_(lt_u(a, b)); }
+
+  Sig shl(Sig a, int k) {
+    Node n;
+    n.op = Op::kShl;
+    n.width = a.width;
+    n.args = {a.id};
+    n.imm = k;
+    return {d_.add_node(std::move(n)), a.width};
+  }
+  Sig shr(Sig a, int k) {  // logical
+    Node n;
+    n.op = Op::kShr;
+    n.width = a.width;
+    n.args = {a.id};
+    n.imm = k;
+    return {d_.add_node(std::move(n)), a.width};
+  }
+  /// Arithmetic shift right: sign-extend then take the upper window.
+  Sig sra(Sig a, int k) { return slice(sext(a, a.width + k), a.width + k - 1, k); }
+
+  Sig mux(Sig sel, Sig if0, Sig if1) {
+    if (sel.width != 1) throw std::logic_error("mux select must be 1 bit");
+    (void)same(if0, if1);
+    Node n;
+    n.op = Op::kMux;
+    n.width = if0.width;
+    n.args = {sel.id, if0.id, if1.id};
+    return {d_.add_node(std::move(n)), if0.width};
+  }
+  /// C-style select: cond ? t : f.
+  Sig select(Sig cond, Sig t, Sig f) { return mux(cond, f, t); }
+
+  Sig slice(Sig a, int hi, int lo) {
+    if (hi < lo || hi >= a.width) throw std::logic_error("bad slice bounds");
+    Node n;
+    n.op = Op::kSlice;
+    n.width = hi - lo + 1;
+    n.args = {a.id};
+    n.imm = lo;
+    return {d_.add_node(std::move(n)), n.width};
+  }
+  Sig bit(Sig a, int i) { return slice(a, i, i); }
+  Sig zext(Sig a, int width) { return extend(Op::kZext, a, width); }
+  Sig sext(Sig a, int width) { return extend(Op::kSext, a, width); }
+  /// Truncate or zero-extend to an exact width.
+  Sig resize_u(Sig a, int width) {
+    if (width == a.width) return a;
+    return width < a.width ? slice(a, width - 1, 0) : zext(a, width);
+  }
+  Sig resize_s(Sig a, int width) {
+    if (width == a.width) return a;
+    return width < a.width ? slice(a, width - 1, 0) : sext(a, width);
+  }
+
+  // --- memories ---
+  int memory(const std::string& name, int addr_bits, int data_bits) {
+    return d_.add_memory(name, addr_bits, data_bits);
+  }
+  /// Asynchronous RAM read; @p enable marks cycles where the access is
+  /// live (checking simulation models validate only enabled reads).
+  Sig ram_read(int mem, Sig addr, Sig enable) {
+    if (enable.width != 1) throw std::logic_error("read enable must be 1 bit");
+    Node n;
+    n.op = Op::kRamRead;
+    n.width = d_.memories()[static_cast<std::size_t>(mem)].data_bits;
+    n.args = {addr.id, enable.id};
+    n.imm = mem;
+    return {d_.add_node(std::move(n)), n.width};
+  }
+  Sig ram_read(int mem, Sig addr) { return ram_read(mem, addr, c(1, 1)); }
+  void ram_write(int mem, Sig addr, Sig data, Sig enable) {
+    d_.set_memory_write(mem, addr.id, data.id, enable.id);
+  }
+  int rom(const std::string& name, int addr_bits, int data_bits,
+          std::vector<std::int64_t> contents) {
+    return d_.add_rom(name, addr_bits, data_bits, std::move(contents));
+  }
+  Sig rom_read(int rom_idx, Sig addr) {
+    Node n;
+    n.op = Op::kRomRead;
+    n.width = d_.roms()[static_cast<std::size_t>(rom_idx)].data_bits;
+    n.args = {addr.id};
+    n.imm = rom_idx;
+    return {d_.add_node(std::move(n)), n.width};
+  }
+
+  // --- register assignment (HDL style: later assignments take priority) ---
+  void assign(const Reg& r, Sig cond, Sig value) {
+    if (cond.width != 1) throw std::logic_error("assign condition must be 1 bit");
+    if (value.width != r.q.width) throw std::logic_error("assign width mismatch");
+    assigns_.push_back({r.index, cond.id, value.id});
+  }
+  void assign_always(const Reg& r, Sig value) { assign(r, c(1, 1), value); }
+
+  void output(const std::string& name, Sig s) { d_.add_output(name, s.id); }
+
+  /// Builds every register's next-function from the collected assignments
+  /// (hold value when no condition fires) and validates the design.
+  Design finalise();
+
+ private:
+  struct Assign {
+    int reg;
+    NodeId cond;
+    NodeId value;
+  };
+
+  int same(Sig a, Sig b) const {
+    if (a.width != b.width) throw std::logic_error("operand width mismatch");
+    return a.width;
+  }
+  Sig bin(Op op, Sig a, Sig b, int width) {
+    Node n;
+    n.op = op;
+    n.width = width;
+    n.args = {a.id, b.id};
+    return {d_.add_node(std::move(n)), width};
+  }
+  Sig unary(Op op, Sig a, int width) {
+    Node n;
+    n.op = op;
+    n.width = width;
+    n.args = {a.id};
+    return {d_.add_node(std::move(n)), width};
+  }
+  Sig extend(Op op, Sig a, int width) {
+    if (width < a.width) throw std::logic_error("extension narrows");
+    if (width == a.width) return a;
+    Node n;
+    n.op = op;
+    n.width = width;
+    n.args = {a.id};
+    return {d_.add_node(std::move(n)), width};
+  }
+
+  Design d_;
+  std::vector<Assign> assigns_;
+};
+
+}  // namespace scflow::rtl

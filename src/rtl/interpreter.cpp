@@ -1,0 +1,145 @@
+#include "rtl/interpreter.hpp"
+
+#include <stdexcept>
+
+#include "dtypes/bit_int.hpp"
+
+namespace scflow::rtl {
+
+namespace {
+std::uint64_t mask_w(int width) { return scflow::bit_mask(width); }
+std::int64_t as_signed(std::uint64_t v, int width) {
+  return scflow::sign_extend(v, width);
+}
+}  // namespace
+
+Interpreter::Interpreter(const Design& design) : design_(&design) {
+  design.validate();
+  values_.assign(design.nodes().size(), 0);
+  reg_state_.assign(design.registers().size(), 0);
+  for (const Memory& m : design.memories())
+    mem_state_.emplace_back(std::size_t{1} << m.addr_bits, 0);
+  for (const PortDef& o : design.outputs()) output_by_name_[o.name] = o.node;
+  input_values_.assign(design.inputs().size(), 0);
+  for (std::size_t i = 0; i < design.inputs().size(); ++i)
+    input_by_name_[design.inputs()[i].name] = i;
+  reset();
+}
+
+void Interpreter::reset() {
+  for (std::size_t i = 0; i < reg_state_.size(); ++i)
+    reg_state_[i] = static_cast<std::uint64_t>(design_->registers()[i].reset_value) &
+                    mask_w(design_->registers()[i].width);
+  for (auto& m : mem_state_) std::fill(m.begin(), m.end(), 0);
+  std::fill(input_values_.begin(), input_values_.end(), 0);
+  cycles_ = 0;
+  evaluated_ = false;
+}
+
+void Interpreter::set_input(const std::string& name, std::uint64_t value) {
+  const auto it = input_by_name_.find(name);
+  if (it == input_by_name_.end()) throw std::invalid_argument("no input '" + name + "'");
+  set_input(it->second, value);
+}
+
+void Interpreter::set_input(std::size_t index, std::uint64_t value) {
+  input_values_[index] = value & mask_w(design_->inputs()[index].width);
+  evaluated_ = false;
+}
+
+std::uint64_t Interpreter::eval_node(const Node& n) {
+  const std::uint64_t m = mask_w(n.width);
+  auto arg = [this, &n](int i) { return values_[static_cast<std::size_t>(n.args[static_cast<std::size_t>(i)])]; };
+  auto argw = [this, &n](int i) {
+    return design_->node(n.args[static_cast<std::size_t>(i)]).width;
+  };
+  switch (n.op) {
+    case Op::kConst: return static_cast<std::uint64_t>(n.imm) & m;
+    case Op::kInput: return 0;  // patched by caller
+    case Op::kRegQ: return reg_state_[static_cast<std::size_t>(n.imm)];
+    case Op::kAdd: return (arg(0) + arg(1)) & m;
+    case Op::kSub: return (arg(0) - arg(1)) & m;
+    case Op::kAddC: return (arg(0) + arg(1) + (arg(2) & 1u)) & m;
+    case Op::kMul: {
+      const std::int64_t a = as_signed(arg(0), argw(0));
+      const std::int64_t b = as_signed(arg(1), argw(1));
+      return static_cast<std::uint64_t>(a * b) & m;
+    }
+    case Op::kAnd: return arg(0) & arg(1);
+    case Op::kOr: return arg(0) | arg(1);
+    case Op::kXor: return arg(0) ^ arg(1);
+    case Op::kNot: return (~arg(0)) & m;
+    case Op::kEq: return arg(0) == arg(1) ? 1 : 0;
+    case Op::kNe: return arg(0) != arg(1) ? 1 : 0;
+    case Op::kLtU: return arg(0) < arg(1) ? 1 : 0;
+    case Op::kLtS:
+      return as_signed(arg(0), argw(0)) < as_signed(arg(1), argw(1)) ? 1 : 0;
+    case Op::kShl: return (n.imm >= 64 ? 0 : arg(0) << n.imm) & m;
+    case Op::kShr: return (n.imm >= 64 ? 0 : arg(0) >> n.imm) & m;
+    case Op::kMux: return arg(0) ? arg(2) : arg(1);
+    case Op::kSlice: return (arg(0) >> n.imm) & m;
+    case Op::kZext: return arg(0);
+    case Op::kSext:
+      return static_cast<std::uint64_t>(as_signed(arg(0), argw(0))) & m;
+    case Op::kRamRead: {
+      const auto mem = static_cast<std::size_t>(n.imm);
+      const std::uint64_t addr =
+          arg(0) & mask_w(design_->memories()[mem].addr_bits);
+      const bool enabled = (arg(1) & 1u) != 0;
+      if (enabled && ram_read_hook_) ram_read_hook_(static_cast<int>(mem), arg(0));
+      return mem_state_[mem][addr] & m;
+    }
+    case Op::kRomRead: {
+      const auto& rom = design_->roms()[static_cast<std::size_t>(n.imm)];
+      const std::uint64_t addr = arg(0) & mask_w(rom.addr_bits);
+      if (addr >= rom.contents.size()) return 0;
+      return static_cast<std::uint64_t>(rom.contents[addr]) & m;
+    }
+  }
+  throw std::logic_error("unhandled op");
+}
+
+void Interpreter::evaluate() {
+  // Load inputs, then evaluate in topological (index) order.
+  for (std::size_t i = 0; i < design_->inputs().size(); ++i)
+    values_[static_cast<std::size_t>(design_->inputs()[i].node)] = input_values_[i];
+  const auto& nodes = design_->nodes();
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    if (nodes[i].op == Op::kInput) continue;
+    values_[i] = eval_node(nodes[i]);
+  }
+  evaluated_ = true;
+}
+
+void Interpreter::step() {
+  evaluate();
+
+  // Rising edge: commit memory writes, then registers.
+  for (std::size_t mi = 0; mi < design_->memories().size(); ++mi) {
+    const Memory& mem = design_->memories()[mi];
+    if (values_[static_cast<std::size_t>(mem.write_enable)] & 1u) {
+      const std::uint64_t addr =
+          values_[static_cast<std::size_t>(mem.write_addr)] & mask_w(mem.addr_bits);
+      const std::uint64_t data =
+          values_[static_cast<std::size_t>(mem.write_data)] & mask_w(mem.data_bits);
+      mem_state_[mi][addr] = data;
+      if (ram_write_hook_) ram_write_hook_(static_cast<int>(mi), addr, data);
+    }
+  }
+  for (std::size_t ri = 0; ri < design_->registers().size(); ++ri) {
+    const Register& r = design_->registers()[ri];
+    const bool en = r.enable == kNoNode ||
+                    (values_[static_cast<std::size_t>(r.enable)] & 1u) != 0;
+    if (en)
+      reg_state_[ri] = values_[static_cast<std::size_t>(r.next)] & mask_w(r.width);
+  }
+  ++cycles_;
+}
+
+std::uint64_t Interpreter::output(const std::string& name) const {
+  const auto it = output_by_name_.find(name);
+  if (it == output_by_name_.end()) throw std::invalid_argument("no output '" + name + "'");
+  return values_[static_cast<std::size_t>(it->second)];
+}
+
+}  // namespace scflow::rtl

@@ -1,0 +1,69 @@
+// Cycle-accurate interpreter for rtl::Design — the substrate's equivalent
+// of RTL simulation, and the reference the gate-level netlist is verified
+// against.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "rtl/ir.hpp"
+
+namespace scflow::rtl {
+
+class Interpreter {
+ public:
+  explicit Interpreter(const Design& design);
+
+  /// Registers to reset values, memories to zero, inputs to zero.
+  void reset();
+
+  void set_input(const std::string& name, std::uint64_t value);
+  void set_input(std::size_t index, std::uint64_t value);
+
+  /// Evaluates combinational logic for the current inputs (no clock).
+  void evaluate();
+  /// Evaluates, then performs one rising clock edge (register + memory
+  /// updates).  Outputs sampled *before* the edge are the pre-edge values.
+  void step();
+
+  [[nodiscard]] std::uint64_t output(const std::string& name) const;
+  [[nodiscard]] std::uint64_t value(NodeId id) const {
+    return values_[static_cast<std::size_t>(id)];
+  }
+  [[nodiscard]] std::uint64_t register_value(std::size_t index) const {
+    return reg_state_[index];
+  }
+  [[nodiscard]] const Design& design() const { return *design_; }
+
+  /// Observation hook for memory-checking simulation models: called for
+  /// every RAM read (mem index, address) during evaluate().
+  void set_ram_read_hook(std::function<void(int, std::uint64_t)> hook) {
+    ram_read_hook_ = std::move(hook);
+  }
+  /// Called for every committed RAM write (mem index, address, data).
+  void set_ram_write_hook(std::function<void(int, std::uint64_t, std::uint64_t)> hook) {
+    ram_write_hook_ = std::move(hook);
+  }
+
+  [[nodiscard]] std::uint64_t cycles() const { return cycles_; }
+
+ private:
+  [[nodiscard]] std::uint64_t eval_node(const Node& n);
+
+  const Design* design_;
+  std::vector<std::uint64_t> values_;      // per node, masked to width
+  std::vector<std::uint64_t> reg_state_;   // per register, masked
+  std::vector<std::vector<std::uint64_t>> mem_state_;
+  std::unordered_map<std::string, NodeId> output_by_name_;
+  std::unordered_map<std::string, std::size_t> input_by_name_;
+  std::vector<std::uint64_t> input_values_;
+  std::function<void(int, std::uint64_t)> ram_read_hook_;
+  std::function<void(int, std::uint64_t, std::uint64_t)> ram_write_hook_;
+  std::uint64_t cycles_ = 0;
+  bool evaluated_ = false;
+};
+
+}  // namespace scflow::rtl

@@ -1,0 +1,183 @@
+#include "rtl/ir.hpp"
+
+#include <stdexcept>
+
+namespace scflow::rtl {
+
+const char* op_name(Op op) {
+  switch (op) {
+    case Op::kConst: return "const";
+    case Op::kInput: return "input";
+    case Op::kRegQ: return "reg_q";
+    case Op::kAdd: return "add";
+    case Op::kSub: return "sub";
+    case Op::kAddC: return "addc";
+    case Op::kMul: return "mul";
+    case Op::kAnd: return "and";
+    case Op::kOr: return "or";
+    case Op::kXor: return "xor";
+    case Op::kNot: return "not";
+    case Op::kEq: return "eq";
+    case Op::kNe: return "ne";
+    case Op::kLtU: return "ltu";
+    case Op::kLtS: return "lts";
+    case Op::kShl: return "shl";
+    case Op::kShr: return "shr";
+    case Op::kMux: return "mux";
+    case Op::kSlice: return "slice";
+    case Op::kZext: return "zext";
+    case Op::kSext: return "sext";
+    case Op::kRamRead: return "ram_read";
+    case Op::kRomRead: return "rom_read";
+  }
+  return "?";
+}
+
+NodeId Design::add_node(Node n) {
+  if (n.width <= 0 || n.width > 64) throw std::invalid_argument("node width out of range");
+  nodes_.push_back(std::move(n));
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+NodeId Design::constant(int width, std::int64_t value) {
+  Node n;
+  n.op = Op::kConst;
+  n.width = width;
+  n.imm = value;
+  return add_node(std::move(n));
+}
+
+NodeId Design::input(const std::string& name, int width) {
+  Node n;
+  n.op = Op::kInput;
+  n.width = width;
+  n.name = name;
+  const NodeId id = add_node(std::move(n));
+  ins_.push_back({name, width, id});
+  return id;
+}
+
+int Design::add_register(const std::string& name, int width, std::int64_t reset) {
+  Register r;
+  r.name = name;
+  r.width = width;
+  r.reset_value = reset;
+  Node q;
+  q.op = Op::kRegQ;
+  q.width = width;
+  q.imm = static_cast<std::int64_t>(regs_.size());
+  q.name = name;
+  r.q = add_node(std::move(q));
+  regs_.push_back(std::move(r));
+  return static_cast<int>(regs_.size() - 1);
+}
+
+int Design::add_memory(const std::string& name, int addr_bits, int data_bits) {
+  mems_.push_back({name, addr_bits, data_bits, kNoNode, kNoNode, kNoNode});
+  return static_cast<int>(mems_.size() - 1);
+}
+
+int Design::add_rom(const std::string& name, int addr_bits, int data_bits,
+                    std::vector<std::int64_t> contents) {
+  roms_.push_back({name, addr_bits, data_bits, std::move(contents)});
+  return static_cast<int>(roms_.size() - 1);
+}
+
+void Design::add_output(const std::string& name, NodeId node) {
+  outs_.push_back({name, node == kNoNode ? 1 : nodes_[static_cast<std::size_t>(node)].width, node});
+}
+
+void Design::set_register_next(int reg, NodeId next, NodeId enable) {
+  regs_[static_cast<std::size_t>(reg)].next = next;
+  regs_[static_cast<std::size_t>(reg)].enable = enable;
+}
+
+void Design::set_memory_write(int mem, NodeId addr, NodeId data, NodeId enable) {
+  auto& m = mems_[static_cast<std::size_t>(mem)];
+  m.write_addr = addr;
+  m.write_data = data;
+  m.write_enable = enable;
+}
+
+void Design::validate() const {
+  auto check_ref = [this](NodeId id, const char* what) {
+    if (id < 0 || id >= static_cast<NodeId>(nodes_.size()))
+      throw std::logic_error(name_ + ": dangling node reference in " + what);
+  };
+  for (const Node& n : nodes_)
+    for (NodeId a : n.args) check_ref(a, op_name(n.op));
+  for (const Register& r : regs_) {
+    if (r.next == kNoNode) throw std::logic_error(name_ + ": register '" + r.name + "' has no next");
+    check_ref(r.next, "register next");
+    if (node(r.next).width != r.width)
+      throw std::logic_error(name_ + ": width mismatch on register '" + r.name + "'");
+    if (r.enable != kNoNode) check_ref(r.enable, "register enable");
+  }
+  for (const Memory& m : mems_) {
+    if (m.write_addr == kNoNode || m.write_data == kNoNode || m.write_enable == kNoNode)
+      throw std::logic_error(name_ + ": memory '" + m.name + "' write port unconnected");
+  }
+  for (const PortDef& o : outs_) check_ref(o.node, "output");
+  (void)topo_order();  // throws on combinational cycles
+}
+
+std::vector<NodeId> Design::topo_order() const {
+  // Nodes are append-only and arguments must pre-exist except through
+  // registers (which break cycles by construction), so index order *is* a
+  // topological order — but verify there is no forward reference.
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].op == Op::kRegQ) continue;
+    for (NodeId a : nodes_[i].args)
+      if (a >= static_cast<NodeId>(i))
+        throw std::logic_error(name_ + ": combinational forward reference at node " +
+                               std::to_string(i));
+  }
+  std::vector<NodeId> order(nodes_.size());
+  for (std::size_t i = 0; i < nodes_.size(); ++i) order[i] = static_cast<NodeId>(i);
+  return order;
+}
+
+std::vector<bool> Design::live_nodes() const {
+  std::vector<bool> live(nodes_.size(), false);
+  std::vector<NodeId> work;
+  auto mark = [&](NodeId id) {
+    if (id != kNoNode && !live[static_cast<std::size_t>(id)]) {
+      live[static_cast<std::size_t>(id)] = true;
+      work.push_back(id);
+    }
+  };
+  for (const PortDef& o : outs_) mark(o.node);
+  for (const Register& r : regs_) {
+    mark(r.next);
+    mark(r.enable);
+    mark(r.q);
+  }
+  for (const Memory& m : mems_) {
+    mark(m.write_addr);
+    mark(m.write_data);
+    mark(m.write_enable);
+  }
+  while (!work.empty()) {
+    const NodeId id = work.back();
+    work.pop_back();
+    for (NodeId a : node(id).args) mark(a);
+  }
+  return live;
+}
+
+Design::Stats Design::stats() const {
+  Stats s;
+  const auto live = live_nodes();
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (!live[i]) continue;
+    ++s.nodes;
+    if (nodes_[i].op == Op::kMul) ++s.multipliers;
+    if (nodes_[i].op == Op::kAdd || nodes_[i].op == Op::kSub || nodes_[i].op == Op::kAddC)
+      ++s.adders;
+  }
+  s.registers = regs_.size();
+  for (const Register& r : regs_) s.register_bits += static_cast<std::size_t>(r.width);
+  return s;
+}
+
+}  // namespace scflow::rtl

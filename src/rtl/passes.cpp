@@ -1,0 +1,334 @@
+#include "rtl/passes.hpp"
+
+#include <map>
+#include <optional>
+#include <tuple>
+
+#include "dtypes/bit_int.hpp"
+
+namespace scflow::rtl {
+
+namespace {
+
+std::uint64_t mask_w(int width) { return scflow::bit_mask(width); }
+
+/// Constant evaluation mirroring the interpreter's semantics.
+std::optional<std::uint64_t> fold_const(const Design& d, const Node& n,
+                                        const std::vector<Node>& new_nodes,
+                                        const std::vector<NodeId>& remap) {
+  // All arguments must be constants in the *new* design.
+  std::vector<std::uint64_t> a;
+  std::vector<int> aw;
+  for (NodeId old_arg : n.args) {
+    const Node& arg = new_nodes[static_cast<std::size_t>(remap[static_cast<std::size_t>(old_arg)])];
+    if (arg.op != Op::kConst) return std::nullopt;
+    a.push_back(static_cast<std::uint64_t>(arg.imm) & mask_w(arg.width));
+    aw.push_back(arg.width);
+  }
+  const std::uint64_t m = mask_w(n.width);
+  switch (n.op) {
+    case Op::kAdd: return (a[0] + a[1]) & m;
+    case Op::kSub: return (a[0] - a[1]) & m;
+    case Op::kAddC: return (a[0] + a[1] + (a[2] & 1u)) & m;
+    case Op::kMul:
+      return static_cast<std::uint64_t>(scflow::sign_extend(a[0], aw[0]) *
+                                        scflow::sign_extend(a[1], aw[1])) & m;
+    case Op::kAnd: return a[0] & a[1];
+    case Op::kOr: return a[0] | a[1];
+    case Op::kXor: return a[0] ^ a[1];
+    case Op::kNot: return (~a[0]) & m;
+    case Op::kEq: return a[0] == a[1] ? 1 : 0;
+    case Op::kNe: return a[0] != a[1] ? 1 : 0;
+    case Op::kLtU: return a[0] < a[1] ? 1 : 0;
+    case Op::kLtS:
+      return scflow::sign_extend(a[0], aw[0]) < scflow::sign_extend(a[1], aw[1]) ? 1 : 0;
+    case Op::kShl: return (n.imm >= 64 ? 0 : a[0] << n.imm) & m;
+    case Op::kShr: return (n.imm >= 64 ? 0 : a[0] >> n.imm) & m;
+    case Op::kMux: return a[0] ? a[2] : a[1];
+    case Op::kSlice: return (a[0] >> n.imm) & m;
+    case Op::kZext: return a[0];
+    case Op::kSext: return static_cast<std::uint64_t>(scflow::sign_extend(a[0], aw[0])) & m;
+    case Op::kRomRead: {
+      const auto& rom = d.roms()[static_cast<std::size_t>(n.imm)];
+      const std::uint64_t addr = a[0] & mask_w(rom.addr_bits);
+      if (addr >= rom.contents.size()) return 0;
+      return static_cast<std::uint64_t>(rom.contents[addr]) & m;
+    }
+    default: return std::nullopt;
+  }
+}
+
+struct Rebuilder {
+  const Design& src;
+  const PassOptions& opts;
+  Design out;
+  std::vector<NodeId> remap;
+  std::map<std::tuple<int, int, std::vector<NodeId>, std::int64_t>, NodeId> hash;
+  std::size_t folded = 0;
+
+  explicit Rebuilder(const Design& s, const PassOptions& o)
+      : src(s), opts(o), out(s.name()), remap(s.nodes().size(), kNoNode) {}
+
+  NodeId emit(Node n) {
+    if (opts.cse && n.op != Op::kRegQ && n.op != Op::kInput && n.op != Op::kRamRead) {
+      auto key = std::make_tuple(static_cast<int>(n.op), n.width, n.args, n.imm);
+      const auto it = hash.find(key);
+      if (it != hash.end()) return it->second;
+      const NodeId id = out.add_node(n);
+      hash.emplace(std::move(key), id);
+      return id;
+    }
+    return out.add_node(std::move(n));
+  }
+
+  NodeId mapped(NodeId old_id) const {
+    return old_id == kNoNode ? kNoNode : remap[static_cast<std::size_t>(old_id)];
+  }
+
+  /// Cheap algebraic identities returning an existing new-node id.
+  std::optional<NodeId> identity(const Node& n, const std::vector<NodeId>& new_args) {
+    auto is_const = [&](NodeId id, std::uint64_t v) {
+      const Node& c = out.node(id);
+      return c.op == Op::kConst &&
+             (static_cast<std::uint64_t>(c.imm) & mask_w(c.width)) == v;
+    };
+    switch (n.op) {
+      case Op::kAdd:
+      case Op::kSub:
+      case Op::kOr:
+      case Op::kXor:
+      case Op::kShl:
+      case Op::kShr:
+        if (n.op == Op::kShl || n.op == Op::kShr) {
+          if (n.imm == 0) return new_args[0];
+        } else if (is_const(new_args[1], 0) &&
+                   out.node(new_args[0]).width == n.width) {
+          return new_args[0];
+        }
+        return std::nullopt;
+      case Op::kMux:
+        if (new_args[1] == new_args[2]) return new_args[1];
+        if (is_const(new_args[0], 1)) return new_args[2];
+        if (is_const(new_args[0], 0)) return new_args[1];
+        return std::nullopt;
+      case Op::kSlice:
+        if (n.imm == 0 && out.node(new_args[0]).width == n.width) return new_args[0];
+        return std::nullopt;
+      default:
+        return std::nullopt;
+    }
+  }
+
+  void run() {
+    // Pre-create registers so kRegQ nodes can map by register index, and
+    // carry memories/roms over verbatim.
+    for (const Register& r : src.registers())
+      out.add_register(r.name, r.width, r.reset_value);
+    for (const Memory& m : src.memories())
+      out.add_memory(m.name, m.addr_bits, m.data_bits);
+    for (const Rom& r : src.roms())
+      out.add_rom(r.name, r.addr_bits, r.data_bits, r.contents);
+
+    const auto live = src.live_nodes();
+    for (std::size_t i = 0; i < src.nodes().size(); ++i) {
+      const Node& n = src.nodes()[i];
+      if (opts.dce && !live[i] && n.op != Op::kInput) continue;
+      if (n.op == Op::kRegQ) {
+        remap[i] = out.registers()[static_cast<std::size_t>(n.imm)].q;
+        continue;
+      }
+      if (n.op == Op::kInput) {
+        remap[i] = out.input(n.name, n.width);
+        continue;
+      }
+      if (opts.constant_fold) {
+        if (auto v = fold_const(src, n, out.nodes(), remap)) {
+          remap[i] = emit([&] {
+            Node c;
+            c.op = Op::kConst;
+            c.width = n.width;
+            c.imm = static_cast<std::int64_t>(*v);
+            return c;
+          }());
+          ++folded;
+          continue;
+        }
+      }
+      Node copy = n;
+      for (NodeId& a : copy.args) a = mapped(a);
+      if (opts.constant_fold) {
+        if (auto id = identity(n, copy.args)) {
+          remap[i] = *id;
+          ++folded;
+          continue;
+        }
+      }
+      remap[i] = emit(std::move(copy));
+    }
+
+    for (std::size_t r = 0; r < src.registers().size(); ++r)
+      out.set_register_next(static_cast<int>(r), mapped(src.registers()[r].next),
+                            mapped(src.registers()[r].enable));
+    for (std::size_t m = 0; m < src.memories().size(); ++m) {
+      const Memory& mem = src.memories()[m];
+      out.set_memory_write(static_cast<int>(m), mapped(mem.write_addr),
+                           mapped(mem.write_data), mapped(mem.write_enable));
+    }
+    for (const PortDef& o : src.outputs()) out.add_output(o.name, mapped(o.node));
+  }
+};
+
+/// Merges registers whose (width, reset, next, enable) coincide after CSE:
+/// all-but-one become aliases.  Returns the number of merges performed.
+std::size_t merge_identical_registers(Design& d) {
+  std::map<std::tuple<int, std::int64_t, NodeId, NodeId>, std::size_t> groups;
+  std::vector<std::size_t> alias(d.registers().size());
+  std::size_t merged = 0;
+  for (std::size_t r = 0; r < d.registers().size(); ++r) {
+    const Register& reg = d.registers()[r];
+    const auto key = std::make_tuple(reg.width, reg.reset_value, reg.next, reg.enable);
+    const auto [it, inserted] = groups.emplace(key, r);
+    alias[r] = it->second;
+    if (!inserted) ++merged;
+  }
+  if (merged == 0) return 0;
+  // Redirect q references of merged registers to the group leader's q.
+  std::vector<NodeId> q_replacement(d.nodes().size(), kNoNode);
+  for (std::size_t r = 0; r < d.registers().size(); ++r) {
+    if (alias[r] != r)
+      q_replacement[static_cast<std::size_t>(d.registers()[r].q)] =
+          d.registers()[alias[r]].q;
+  }
+  auto redirect = [&](NodeId& id) {
+    if (id != kNoNode && q_replacement[static_cast<std::size_t>(id)] != kNoNode)
+      id = q_replacement[static_cast<std::size_t>(id)];
+  };
+  for (std::size_t i = 0; i < d.nodes().size(); ++i) {
+    Node& n = d.node_mut(static_cast<NodeId>(i));
+    for (NodeId& a : n.args) redirect(a);
+  }
+  for (Register& r : d.registers_mut()) {
+    redirect(r.next);
+    redirect(r.enable);
+  }
+  for (Memory& m : d.memories_mut()) {
+    redirect(m.write_addr);
+    redirect(m.write_data);
+    redirect(m.write_enable);
+  }
+  for (PortDef& o : d.outputs_mut()) redirect(o.node);
+  // Drop the now-unreferenced duplicate registers: rebuild register list.
+  // Their q nodes become dead and a later DCE pass removes them.
+  std::vector<Register> kept;
+  std::vector<std::size_t> new_index(d.registers().size());
+  for (std::size_t r = 0; r < d.registers().size(); ++r) {
+    if (alias[r] == r) {
+      new_index[r] = kept.size();
+      kept.push_back(d.registers()[r]);
+    }
+  }
+  for (const Register& r : kept)
+    d.node_mut(r.q).imm = static_cast<std::int64_t>(new_index[static_cast<std::size_t>(
+        d.node(r.q).imm)]);
+  d.registers_mut() = std::move(kept);
+  return merged;
+}
+
+/// Removes registers whose q node is unreachable from any output, memory
+/// port or *other* register's logic.
+std::size_t sweep_dead_regs(Design& d) {
+  const auto live = d.live_nodes();
+  // A register is dead if its q is only reachable through its own next
+  // chain.  Approximate conservatively: drop registers whose q has no
+  // liveness at all (live_nodes marks q of every register, so compute
+  // reachability from outputs/memories only).
+  std::vector<bool> reach(d.nodes().size(), false);
+  std::vector<NodeId> work;
+  auto mark = [&](NodeId id) {
+    if (id != kNoNode && !reach[static_cast<std::size_t>(id)]) {
+      reach[static_cast<std::size_t>(id)] = true;
+      work.push_back(id);
+    }
+  };
+  for (const PortDef& o : d.outputs()) mark(o.node);
+  for (const Memory& m : d.memories()) {
+    mark(m.write_addr);
+    mark(m.write_data);
+    mark(m.write_enable);
+  }
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    while (!work.empty()) {
+      const NodeId id = work.back();
+      work.pop_back();
+      for (NodeId a : d.node(id).args) mark(a);
+    }
+    // Registers whose q is reached pull in their next/enable cones.
+    for (const Register& r : d.registers()) {
+      if (reach[static_cast<std::size_t>(r.q)] &&
+          !reach[static_cast<std::size_t>(r.next)]) {
+        mark(r.next);
+        mark(r.enable);
+        changed = true;
+      }
+    }
+  }
+  (void)live;
+  std::vector<Register> kept;
+  std::vector<std::size_t> new_index(d.registers().size());
+  std::size_t removed = 0;
+  for (std::size_t r = 0; r < d.registers().size(); ++r) {
+    if (reach[static_cast<std::size_t>(d.registers()[r].q)]) {
+      new_index[r] = kept.size();
+      kept.push_back(d.registers()[r]);
+    } else {
+      ++removed;
+    }
+  }
+  if (removed == 0) return 0;
+  for (const Register& r : kept)
+    d.node_mut(r.q).imm = static_cast<std::int64_t>(
+        new_index[static_cast<std::size_t>(d.node(r.q).imm)]);
+  d.registers_mut() = std::move(kept);
+  return removed;
+}
+
+}  // namespace
+
+Design run_passes(const Design& design, const PassOptions& options, PassStats* stats) {
+  PassStats local;
+  local.nodes_before = design.nodes().size();
+  local.registers_before = design.registers().size();
+
+  Design current("tmp");
+  {
+    Rebuilder rb(design, options);
+    rb.run();
+    local.folded += rb.folded;
+    current = std::move(rb.out);
+  }
+  for (int it = 1; it < options.max_iterations; ++it) {
+    bool changed = false;
+    if (options.merge_registers)
+      if (const auto m = merge_identical_registers(current); m > 0) {
+        local.merged_registers += m;
+        changed = true;
+      }
+    if (options.sweep_dead_registers)
+      if (sweep_dead_regs(current) > 0) changed = true;
+    Rebuilder rb(current, options);
+    rb.run();
+    if (rb.out.nodes().size() != current.nodes().size() || rb.folded > 0) changed = true;
+    local.folded += rb.folded;
+    current = std::move(rb.out);
+    if (!changed) break;
+  }
+  current.validate();
+  local.nodes_after = current.nodes().size();
+  local.registers_after = current.registers().size();
+  if (stats != nullptr) *stats = local;
+  return current;
+}
+
+}  // namespace scflow::rtl

@@ -1,0 +1,36 @@
+// Word-level optimisation passes applied before bit-blasting — the RTL
+// half of the "Design Compiler" substitute.  All designs in the Fig. 10
+// comparison run the same passes; the area differences between them come
+// from their architectures, not from uneven optimisation effort.
+#pragma once
+
+#include <cstddef>
+
+#include "rtl/ir.hpp"
+
+namespace scflow::rtl {
+
+struct PassOptions {
+  bool constant_fold = true;   ///< + cheap algebraic identities
+  bool cse = true;             ///< structural hashing
+  bool dce = true;             ///< unreachable-node removal
+  bool merge_registers = false;  ///< unify registers with identical D/EN/reset
+  bool sweep_dead_registers = false;  ///< drop registers nothing reads
+  int max_iterations = 4;
+};
+
+struct PassStats {
+  std::size_t nodes_before = 0;
+  std::size_t nodes_after = 0;
+  std::size_t registers_before = 0;
+  std::size_t registers_after = 0;
+  std::size_t folded = 0;
+  std::size_t merged_registers = 0;
+};
+
+/// Runs the selected passes to a fixpoint (bounded by max_iterations) and
+/// returns the optimised design.
+Design run_passes(const Design& design, const PassOptions& options,
+                  PassStats* stats = nullptr);
+
+}  // namespace scflow::rtl

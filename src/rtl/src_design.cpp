@@ -1,0 +1,376 @@
+#include "rtl/src_design.hpp"
+
+#include <algorithm>
+
+#include "dsp/polyphase.hpp"
+#include "dsp/src_params.hpp"
+
+namespace scflow::rtl {
+
+namespace {
+using P = scflow::dsp::SrcParams;
+constexpr std::int64_t kOne = std::int64_t{1} << P::kFracBits;
+constexpr std::int64_t kMaxDepth = scflow::dsp::DepthConstants::kMaxDepth;
+}  // namespace
+
+SrcArchConfig rtl_opt_config() {
+  SrcArchConfig c;
+  c.name = "src_rtl_opt";
+  return c;
+}
+
+SrcArchConfig rtl_unopt_config() {
+  SrcArchConfig c;
+  c.name = "src_rtl_unopt";
+  c.extra_output_stage = true;
+  c.duplicate_param_regs = true;
+  return c;
+}
+
+SrcArchConfig vhdl_ref_config() {
+  SrcArchConfig c;
+  c.name = "src_vhdl_ref";
+  c.acc_bits = 48;           // the C spec accumulated in a wide long
+  c.index_bits = 32;         // C 'int' loop/index/address variables
+  c.split_accumulators = true;
+  c.dual_multiplier = true;  // one-cycle MAC straight from the C statement
+  c.extra_output_stage = true;
+  c.duplicate_param_regs = true;
+  return c;
+}
+
+Sig rom_fold(DesignBuilder& b, Sig idx9) {
+  const Sig le = b.le_u(idx9, b.c(9, P::kProtoLen / 2));
+  const Sig mirrored = b.sub(b.c(9, P::kProtoLen - 1), idx9);
+  return b.slice(b.select(le, idx9, mirrored), 7, 0);
+}
+
+Sig round_saturate(DesignBuilder& b, Sig acc) {
+  const int w = acc.width;
+  const Sig sum = b.add(acc, b.c(w, std::int64_t{1} << 14));
+  const Sig shifted = b.sra(sum, P::kFracBits);
+  const Sig too_big = b.lt_s(b.c(w, 32767), shifted);
+  const Sig too_small = b.lt_s(shifted, b.c(w, -32768));
+  return b.select(too_big, b.c(16, 32767),
+                  b.select(too_small, b.c(16, -32768), b.slice(shifted, 15, 0)));
+}
+
+SrcInfra build_src_infra(DesignBuilder& b, bool inject_corner_bug) {
+  SrcInfra s;
+  s.mode = b.input("mode", 2);
+  s.in_strobe = b.input("in_strobe", 1);
+  s.in_left = b.input("in_left", 16);
+  s.in_right = b.input("in_right", 16);
+  s.out_req = b.input("out_req", 1);
+  s.ram = b.memory("sample_ram", P::kBufferLog2, 32);
+  {
+    const auto half = scflow::dsp::make_default_rom().stored_half();
+    std::vector<std::int64_t> contents(half.begin(), half.end());
+    s.rom = b.rom("coeff_rom", 8, 16, std::move(contents));
+  }
+
+  // Free-running cycle stamp: holds k during the processing of edge k.
+  const Reg cycle = b.reg("cycle", 16, 1);
+  b.assign_always(cycle, b.add(cycle.q, b.c(16, 1)));
+
+  // Toggle-strobe edge detection.
+  const Reg last_strobe = b.reg("last_strobe", 1);
+  const Sig in_ev = b.ne(s.in_strobe, last_strobe.q);
+  b.assign_always(last_strobe, s.in_strobe);
+  const Reg last_req = b.reg("last_req", 1);
+  const Sig out_ev = b.ne(s.out_req, last_req.q);
+  b.assign_always(last_req, s.out_req);
+
+  // Ring write position, startup fill counter, started flag.
+  const Reg wc = b.reg("wc", P::kBufferLog2);
+  const Reg fill = b.reg("fill", 5);
+  const Reg started = b.reg("started", 1);
+  const Sig fill_lt16 = b.lt_u(fill.q, b.c(5, P::kStartupFill));
+  b.assign(wc, in_ev, b.add(wc.q, b.c(P::kBufferLog2, 1)));
+  b.assign(fill, b.and_(in_ev, fill_lt16), b.add(fill.q, b.c(5, 1)));
+  const Sig fill_reaches = b.and_(in_ev, b.eq(fill.q, b.c(5, P::kStartupFill - 1)));
+  const Sig started_after = b.or_(started.q, fill_reaches);
+  b.assign(started, fill_reaches, b.c(1, 1));
+
+  // Sample memory write: one 32-bit word per stereo sample.
+  const Sig word = b.or_(b.shl(b.zext(s.in_right, 32), 16), b.zext(s.in_left, 32));
+  b.ram_write(s.ram, wc.q, word, in_ev);
+
+  // --- rate measurement windows ---
+  struct WindowSigs {
+    Sig close;
+    Sig win_new;
+    Sig have;
+  };
+  auto make_window = [&b, &cycle](const std::string& nm, Sig ev) {
+    const Reg prev = b.reg(nm + "_prev", 16);
+    const Reg havep = b.reg(nm + "_havep", 1);
+    const Reg elapsed = b.reg(nm + "_elapsed", 16);
+    const Reg cnt = b.reg(nm + "_cnt", 4);
+    const Reg win = b.reg(nm + "_win", 16);
+    const Reg havew = b.reg(nm + "_havew", 1);
+    const Sig diff = b.sub(cycle.q, prev.q);
+    const Sig new_elapsed = b.add(elapsed.q, diff);
+    const Sig counted = b.and_(ev, havep.q);
+    const Sig close = b.and_(counted, b.eq(cnt.q, b.c(4, P::kRateWindow - 1)));
+    b.assign(prev, ev, cycle.q);
+    b.assign(havep, ev, b.c(1, 1));
+    b.assign(elapsed, counted, b.select(close, b.c(16, 0), new_elapsed));
+    b.assign(cnt, counted, b.select(close, b.c(4, 0), b.add(cnt.q, b.c(4, 1))));
+    b.assign(win, close, new_elapsed);
+    b.assign(havew, close, b.c(1, 1));
+    return WindowSigs{close, b.select(close, new_elapsed, win.q),
+                      b.or_(havew.q, close)};
+  };
+  const WindowSigs in_w = make_window("inw", in_ev);
+  const WindowSigs out_w = make_window("outw", out_ev);
+
+  // --- restoring divider with fixed 40-cycle commit latency ---
+  const Reg div_active = b.reg("div_active", 1);
+  const Reg div_lat = b.reg("div_lat", 6);
+  const Reg div_quo = b.reg("div_quo", 32);
+  const Reg div_rem = b.reg("div_rem", 17);
+  const Reg div_divisor = b.reg("div_divisor", 16);
+  const Reg inc_reg = b.reg("inc_reg", P::kIncBits);
+  const Reg inc_valid = b.reg("inc_valid", 1);
+
+  const Sig tmp = b.or_(b.shl(b.zext(div_rem.q, 18), 1), b.zext(b.bit(div_quo.q, 31), 18));
+  const Sig ge = b.ge_u(tmp, b.zext(div_divisor.q, 18));
+  const Sig rem_n = b.slice(b.select(ge, b.sub(tmp, b.zext(div_divisor.q, 18)), tmp), 16, 0);
+  const Sig quo_n = b.or_(b.shl(div_quo.q, 1), b.zext(ge, 32));
+  const Sig stepping = b.and_(div_active.q, b.lt_u(div_lat.q, b.c(6, 32)));
+  b.assign(div_rem, stepping, rem_n);
+  b.assign(div_quo, stepping, quo_n);
+  b.assign(div_lat, div_active.q, b.add(div_lat.q, b.c(6, 1)));
+
+  const Sig commit = b.and_(div_active.q,
+                            b.eq(div_lat.q, b.c(6, P::kDividerLatencyCycles - 1)));
+  const Sig clamped = b.select(
+      b.gt_u(div_quo.q, b.c(32, P::kIncMax)), b.c(P::kIncBits, P::kIncMax),
+      b.select(b.lt_u(div_quo.q, b.c(32, P::kIncMin)), b.c(P::kIncBits, P::kIncMin),
+               b.slice(div_quo.q, P::kIncBits - 1, 0)));
+  b.assign(inc_reg, commit, clamped);
+  b.assign(inc_valid, commit, b.c(1, 1));
+  b.assign(div_active, commit, b.c(1, 0));
+
+  const Sig start = b.and_(b.or_(in_w.close, out_w.close),
+                           b.and_(in_w.have, out_w.have));
+  const Sig dividend = b.shl(b.zext(out_w.win_new, 32), P::kFracBits);
+  b.assign(div_quo, start, dividend);
+  b.assign(div_rem, start, b.c(17, 0));
+  b.assign(div_divisor, start, in_w.win_new);
+  b.assign(div_lat, start, b.c(6, 0));
+  b.assign(div_active, start, b.c(1, 1));
+
+  // Nominal increment by mode until the first tracked value commits.
+  const Sig nominal = b.select(
+      b.eq(s.mode, b.c(2, 0)),
+      b.c(P::kIncBits, P::nominal_increment(dsp::SrcMode::k44_1To48)),
+      b.select(b.eq(s.mode, b.c(2, 1)),
+               b.c(P::kIncBits, P::nominal_increment(dsp::SrcMode::k48To44_1)),
+               b.select(b.eq(s.mode, b.c(2, 2)),
+                        b.c(P::kIncBits, P::nominal_increment(dsp::SrcMode::k48To48)),
+                        b.c(P::kIncBits, P::nominal_increment(dsp::SrcMode::k32To48)))));
+  const Sig inc_used = b.select(inc_valid.q, inc_reg.q, nominal);
+
+  // --- depth bookkeeping (input first, then the request's advance) ---
+  const Reg depth = b.reg("depth", 21);
+  const Sig d_plus = b.add(depth.q, b.c(21, kOne));
+  const Sig d_capped = b.select(b.gt_u(d_plus, b.c(21, kMaxDepth)),
+                                b.c(21, kMaxDepth), d_plus);
+  const Sig d_after_input = b.select(
+      in_ev,
+      b.select(started.q, d_capped,
+               b.select(fill_reaches, b.c(21, P::kStartReadLag * kOne), depth.q)),
+      depth.q);
+  const Sig inc21 = b.zext(inc_used, 21);
+  const Sig advance_ok =
+      b.and_(b.and_(out_ev, started_after), b.gt_u(d_after_input, inc21));
+  b.assign_always(depth, b.select(advance_ok, b.sub(d_after_input, inc21), d_after_input));
+
+  // --- request parameters, latched at the observation edge ---
+  const Sig ceil6 = b.slice(b.add(d_after_input, b.c(21, kOne - 1)), 20, P::kFracBits);
+  const Sig low15 = b.slice(d_after_input, P::kFracBits - 1, 0);
+  const Sig frac = b.slice(b.sub(b.c(16, kOne), b.zext(low15, 16)), P::kFracBits - 1, 0);
+  Sig ceil_eff = ceil6;
+  if (inject_corner_bug)
+    ceil_eff = b.select(b.eq(frac, b.c(P::kFracBits, 0)),
+                        b.add(ceil6, b.c(P::kBufferLog2, 1)), ceil6);
+  const Sig wc_after = b.select(in_ev, b.add(wc.q, b.c(P::kBufferLog2, 1)), wc.q);
+
+  const Reg phase_r = b.reg("phase_r", P::kPhaseBits);
+  const Reg mu_r = b.reg("mu_r", P::kMuBits);
+  const Reg base_r = b.reg("base_r", P::kBufferLog2);
+  const Reg startup_zero = b.reg("startup_zero", 1);
+  s.req_pending = b.reg("req_pending", 1);
+  b.assign(phase_r, out_ev, b.slice(frac, 14, 10));
+  b.assign(mu_r, out_ev, b.slice(frac, 9, 0));
+  b.assign(base_r, out_ev, b.sub(wc_after, ceil_eff));
+  b.assign(startup_zero, out_ev, b.not_(started_after));
+  b.assign(s.req_pending, out_ev, b.c(1, 1));
+
+  s.startup_zero_q = startup_zero.q;
+  s.phase_q = phase_r.q;
+  s.mu_q = mu_r.q;
+  s.base_q = base_r.q;
+  s.wc_q = wc.q;
+  return s;
+}
+
+namespace {
+
+/// The hand-written RTL main datapath: a 2-cycle MAC that time-shares one
+/// 16x17 multiplier between coefficient interpolation and the MAC itself.
+void build_rtl_main(DesignBuilder& b, const SrcInfra& infra, const SrcArchConfig& cfg) {
+  enum : std::int64_t { kIdle = 0, kInterp = 1, kMac = 2, kRound = 3, kWrite = 4, kExtra = 5 };
+  const int iw = cfg.index_bits;  // loop/index register width (6 or 32)
+
+  const Reg state = b.reg("state", 3, kIdle);
+  const Reg iter = b.reg("iter", iw);  // bit3: channel, bits2..0: tap
+  // The two-cycle shared-multiplier schedule pipelines the interpolated
+  // coefficient and sample through registers; the one-cycle dual-multiplier
+  // architecture needs neither.
+  const Reg c_r = cfg.dual_multiplier ? Reg{} : b.reg("c_r", cfg.coeff_bits);
+  const Reg x_r = cfg.dual_multiplier ? Reg{} : b.reg("x_r", 16);
+  const Reg res_l = b.reg("res_l", 16);
+  const Reg res_r = b.reg("res_r", 16);
+  const Reg out_l = b.reg("out_l_r", 16);
+  const Reg out_r = b.reg("out_r_r", 16);
+  const Reg valid = b.reg("out_valid_r", 1);
+
+  // Accumulators: one shared or one per channel (the C-spec architecture).
+  const Reg acc0 = b.reg("acc0", cfg.acc_bits);
+  const Reg acc1 = cfg.split_accumulators ? b.reg("acc1", cfg.acc_bits) : acc0;
+
+  // Optional conservative-refinement leftovers.
+  const Reg phase_dup = cfg.duplicate_param_regs ? b.reg("phase_dup", P::kPhaseBits) : Reg{};
+  const Reg mu_dup = cfg.duplicate_param_regs ? b.reg("mu_dup", P::kMuBits) : Reg{};
+  const Reg staged_l = cfg.extra_output_stage ? b.reg("staged_l", 16) : Reg{};
+  const Reg staged_r = cfg.extra_output_stage ? b.reg("staged_r", 16) : Reg{};
+
+  auto in_state = [&](std::int64_t v) { return b.eq(state.q, b.c(3, v)); };
+  const Sig idle = in_state(kIdle);
+  const Sig interp = in_state(kInterp);
+  const Sig mac = in_state(kMac);
+  const Sig round = in_state(kRound);
+  const Sig write = in_state(kWrite);
+
+  const Sig tap = b.slice(iter.q, 2, 0);
+  const Sig channel = b.bit(iter.q, 3);
+
+  // IDLE: accept a pending request.
+  const Sig accept = b.and_(idle, infra.req_pending.q);
+  b.assign(infra.req_pending, accept, b.c(1, 0));
+  const Sig go_zero = b.and_(accept, infra.startup_zero_q);
+  const Sig go_comp = b.and_(accept, b.not_(infra.startup_zero_q));
+  b.assign(res_l, go_zero, b.c(16, 0));
+  b.assign(res_r, go_zero, b.c(16, 0));
+  b.assign(state, go_zero, b.c(3, cfg.extra_output_stage ? kExtra : kWrite));
+  b.assign(iter, go_comp, b.c(iw, 0));
+  b.assign(acc0, go_comp, b.c(cfg.acc_bits, 0));
+  if (cfg.split_accumulators) b.assign(acc1, go_comp, b.c(cfg.acc_bits, 0));
+  if (cfg.duplicate_param_regs) {
+    b.assign(phase_dup, go_comp, infra.phase_q);
+    b.assign(mu_dup, go_comp, infra.mu_q);
+  }
+  b.assign(state, go_comp, b.c(3, cfg.dual_multiplier ? kMac : kInterp));
+
+  // Coefficient addresses (index arithmetic in the configured width: the
+  // C-spec architecture computes them with 32-bit adders).
+  const Sig phase_for_idx1 = cfg.duplicate_param_regs ? phase_dup.q : infra.phase_q;
+  const Sig mu_used = cfg.duplicate_param_regs ? mu_dup.q : infra.mu_q;
+  const int xw = std::max(iw, 9);  // prototype indices need 9 bits
+  const Sig idx0_w = b.add(b.zext(infra.phase_q, xw), b.shl(b.zext(tap, xw), P::kPhaseBits));
+  const Sig idx1_w = b.add(b.add(b.zext(phase_for_idx1, xw),
+                                 b.shl(b.zext(tap, xw), P::kPhaseBits)),
+                           b.c(xw, 1));
+  const Sig c0 = b.rom_read(infra.rom, rom_fold(b, b.slice(idx0_w, 8, 0)));
+  const Sig c1 = b.rom_read(infra.rom, rom_fold(b, b.slice(idx1_w, 8, 0)));
+  const Sig diff = b.sub(b.sext(c1, 17), b.sext(c0, 17));
+
+  // Sample fetch (address arithmetic in the configured width).
+  const Sig addr_w = b.sub(b.zext(infra.base_q, iw), b.zext(tap, iw));
+  const Sig ram_word = b.ram_read(infra.ram, b.slice(addr_w, P::kBufferLog2 - 1, 0),
+                                  cfg.dual_multiplier ? mac : interp);
+  const Sig x = b.select(channel, b.slice(ram_word, 31, 16), b.slice(ram_word, 15, 0));
+
+  Sig mac_product;  // 33 bits, valid during the accumulate state
+  if (cfg.dual_multiplier) {
+    // Direct C-recode datapath: both multiplies in one cycle, one tap per
+    // clock, no pipeline registers.
+    const Sig p28 = b.mul(b.zext(mu_used, 11), diff, 28);
+    const Sig cint = b.add(b.sext(c0, cfg.coeff_bits),
+                           b.resize_s(b.sra(p28, P::kMuBits), cfg.coeff_bits));
+    mac_product = b.mul(x, b.resize_s(cint, 17), 33);
+  } else {
+    // The refined schedule: one 16x17 multiplier time-shared between
+    // interpolation (mu * diff) and MAC (x * c_r).
+    const Sig mul_a = b.select(mac, b.sext(x_r.q, 16), b.zext(mu_used, 16));
+    const Sig mul_b = b.select(mac, b.sext(c_r.q, 17), b.sext(diff, 17));
+    const Sig mul_out = b.mul(mul_a, mul_b, 33);
+    // INTERP: c_r <- c0 + ((mu*diff) >> 10); latch the sample alongside.
+    const Sig interp_sh = b.sra(b.slice(mul_out, 27, 0), P::kMuBits);  // 28 -> 28
+    const Sig cint = b.add(b.sext(c0, cfg.coeff_bits),
+                           b.resize_s(interp_sh, cfg.coeff_bits));
+    b.assign(c_r, interp, cint);
+    b.assign(x_r, interp, x);
+    b.assign(state, interp, b.c(3, kMac));
+    mac_product = mul_out;
+  }
+
+  // MAC: accumulate, then advance the tap or round up the channel.
+  const Sig acc_cur = b.select(channel, acc1.q, acc0.q);
+  const Sig acc_next = b.add(acc_cur, b.sext(mac_product, cfg.acc_bits));
+  if (cfg.split_accumulators) {
+    b.assign(acc0, b.and_(mac, b.not_(channel)), acc_next);
+    b.assign(acc1, b.and_(mac, channel), acc_next);
+  } else {
+    b.assign(acc0, mac, acc_next);
+  }
+  const Sig tap_last = b.eq(tap, b.c(3, P::kTapsPerPhase - 1));
+  b.assign(iter, b.and_(mac, b.not_(tap_last)), b.add(iter.q, b.c(iw, 1)));
+  b.assign(state, mac,
+           b.select(tap_last, b.c(3, kRound),
+                    b.c(3, cfg.dual_multiplier ? kMac : kInterp)));
+
+  // ROUND: saturate one channel; restart the loop or emit.
+  const Sig y = round_saturate(b, b.select(channel, acc1.q, acc0.q));
+  b.assign(res_l, b.and_(round, b.not_(channel)), y);
+  b.assign(res_r, b.and_(round, channel), y);
+  const Sig ch0_done = b.and_(round, b.not_(channel));
+  b.assign(iter, ch0_done, b.c(iw, P::kTapsPerPhase));  // iter = 8: channel 1, tap 0
+  if (!cfg.split_accumulators) b.assign(acc0, ch0_done, b.c(cfg.acc_bits, 0));
+  b.assign(state, ch0_done, b.c(3, cfg.dual_multiplier ? kMac : kInterp));
+  const Sig ch1_done = b.and_(round, channel);
+  b.assign(state, ch1_done,
+           b.c(3, cfg.extra_output_stage ? kExtra : kWrite));
+
+  if (cfg.extra_output_stage) {
+    const Sig extra = in_state(kExtra);
+    b.assign(staged_l, extra, res_l.q);
+    b.assign(staged_r, extra, res_r.q);
+    b.assign(state, extra, b.c(3, kWrite));
+  }
+
+  // WRITE: publish and toggle out_valid (through the extra stage when the
+  // conservative refinement kept it).
+  b.assign(out_l, write, cfg.extra_output_stage ? staged_l.q : res_l.q);
+  b.assign(out_r, write, cfg.extra_output_stage ? staged_r.q : res_r.q);
+  b.assign(valid, write, b.not_(valid.q));
+  b.assign(state, write, b.c(3, kIdle));
+
+  b.output("out_valid", valid.q);
+  b.output("out_left", out_l.q);
+  b.output("out_right", out_r.q);
+}
+
+}  // namespace
+
+Design build_src_design(const SrcArchConfig& config) {
+  DesignBuilder b(config.name);
+  SrcInfra infra = build_src_infra(b, config.inject_corner_bug);
+  build_rtl_main(b, infra, config);
+  return b.finalise();
+}
+
+}  // namespace scflow::rtl

@@ -1,0 +1,85 @@
+// The synthesisable SRC architectures, expressed in the RTL IR.
+//
+// All variants share the always-on infrastructure (input capture, rate
+// measurement, restoring divider, depth bookkeeping) — the paper notes the
+// I/O and control blocks "only contained simple control functionality";
+// the area differences concentrate in the SRC_MAIN datapath, which is what
+// the architecture configs vary:
+//
+//  * rtl_opt     — hand-optimised RTL: one shared 16x17 multiplier
+//                  (interpolation and MAC time-share it), 40-bit
+//                  accumulator, minimal registers.
+//  * rtl_unopt   — same datapath, conservative refinement leftovers:
+//                  an extra output register stage and duplicated parameter
+//                  registers ("registers that could be eliminated").
+//  * vhdl_ref    — the series-production reference recoded from a low-level
+//                  C specification: the C architecture computes each tap in
+//                  one statement (so a dedicated interpolation multiplier
+//                  sits next to the MAC multiplier), fixes 32-bit loop /
+//                  index / address registers and adders (C 'int'
+//                  semantics), and keeps split per-channel 48-bit
+//                  accumulators and staged pipeline registers.
+//
+// The behavioural variants are *not* built here — they are emitted by the
+// hls:: behavioural synthesiser (see hls/src_beh.hpp), as in the paper's
+// flow.
+#pragma once
+
+#include "rtl/builder.hpp"
+#include "rtl/ir.hpp"
+
+namespace scflow::rtl {
+
+struct SrcArchConfig {
+  std::string name = "src";
+  int acc_bits = 40;                 ///< MAC accumulator width
+  int coeff_bits = 17;               ///< interpolated-coefficient path width
+  int index_bits = 6;                ///< loop/index/address register width
+  bool split_accumulators = false;   ///< per-channel accumulator registers
+  /// One MAC per cycle with a dedicated interpolation multiplier (the
+  /// direct C-recode architecture); false = the refined two-cycle schedule
+  /// that time-shares one 16x17 multiplier.
+  bool dual_multiplier = false;
+  bool extra_output_stage = false;   ///< stage results through extra regs
+  bool duplicate_param_regs = false; ///< shadow copies of phase/mu
+  bool inject_corner_bug = false;    ///< the golden-model corner-case bug
+};
+
+[[nodiscard]] SrcArchConfig rtl_opt_config();
+[[nodiscard]] SrcArchConfig rtl_unopt_config();
+[[nodiscard]] SrcArchConfig vhdl_ref_config();
+
+/// Handles into the shared infrastructure, used by main-datapath builders
+/// (both the hand-written ones here and the hls-generated behavioural one).
+struct SrcInfra {
+  // External input signals.
+  Sig mode;        // 2
+  Sig in_strobe, out_req;  // 1
+  Sig in_left, in_right;   // 16
+  int ram = -1;    ///< 64 x 32 sample memory (L | R<<16), macro
+  int rom = -1;    ///< 129 x 16 stored coefficient half, macro
+
+  // Request handoff: set by infra on request observation, cleared by main.
+  Reg req_pending;
+  Sig startup_zero_q;      // 1: request arrived before startup fill
+  Sig phase_q;             // 5
+  Sig mu_q;                // 10
+  Sig base_q;              // 6 (ring index of newest sample to use)
+  Sig wc_q;                // 6 current ring write position
+};
+
+/// Builds the shared infrastructure into @p b and returns the handles.
+SrcInfra build_src_infra(DesignBuilder& b, bool inject_corner_bug);
+
+/// ROM symmetry fold: maps a 9-bit prototype index to the 8-bit stored-half
+/// address (idx <= 128 ? idx : 256 - idx) — design logic, counted in area.
+Sig rom_fold(DesignBuilder& b, Sig idx9);
+
+/// Saturating Q15 rounding of an accumulator to 16 bits (shared helper —
+/// combinational, so using it does not hide any area).
+Sig round_saturate(DesignBuilder& b, Sig acc);
+
+/// Builds a complete SRC design for one architecture config.
+Design build_src_design(const SrcArchConfig& config);
+
+}  // namespace scflow::rtl

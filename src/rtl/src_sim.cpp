@@ -1,0 +1,77 @@
+#include "rtl/src_sim.hpp"
+
+#include <map>
+#include <stdexcept>
+
+#include "dsp/time_quantizer.hpp"
+#include "dtypes/bit_int.hpp"
+
+namespace scflow::rtl {
+
+using P = dsp::SrcParams;
+
+SrcSimResult run_src_design(const Design& design, dsp::SrcMode mode,
+                            const std::vector<dsp::SrcEvent>& events,
+                            Interpreter* interpreter) {
+  Interpreter local(design);
+  Interpreter& it = interpreter != nullptr ? *interpreter : local;
+
+  // Locate the output-side registers once (cheap post-edge observation).
+  int valid_reg = -1, out_l_reg = -1, out_r_reg = -1;
+  for (std::size_t r = 0; r < design.registers().size(); ++r) {
+    const auto& name = design.registers()[r].name;
+    if (name == "out_valid_r") valid_reg = static_cast<int>(r);
+    if (name == "out_l_r") out_l_reg = static_cast<int>(r);
+    if (name == "out_r_r") out_r_reg = static_cast<int>(r);
+  }
+  if (valid_reg < 0 || out_l_reg < 0 || out_r_reg < 0)
+    throw std::logic_error("design lacks the SRC output registers");
+
+  // Events per observation cycle, inputs first (stable by construction of
+  // make_schedule, which orders ties input-first).
+  const dsp::TimeQuantizer quant(P::kClockPs);
+  std::map<std::uint64_t, std::vector<const dsp::SrcEvent*>> by_cycle;
+  std::uint64_t last_cycle = 0;
+  for (const auto& e : events) {
+    const std::uint64_t c = quant.quantize_cycles(e.t_ps);
+    by_cycle[c].push_back(&e);
+    last_cycle = std::max(last_cycle, c);
+  }
+
+  SrcSimResult result;
+  it.set_input("mode", static_cast<std::uint64_t>(mode));
+  bool strobe = false, req = false;
+  std::uint64_t last_valid = it.register_value(static_cast<std::size_t>(valid_reg));
+  const std::uint64_t end_cycle = last_cycle + 300;
+  auto next_event = by_cycle.begin();
+  for (std::uint64_t cycle = 1; cycle <= end_cycle; ++cycle) {
+    if (next_event != by_cycle.end() && next_event->first == cycle) {
+      for (const dsp::SrcEvent* e : next_event->second) {
+        if (e->is_input) {
+          it.set_input("in_left", static_cast<std::uint16_t>(e->sample.left));
+          it.set_input("in_right", static_cast<std::uint16_t>(e->sample.right));
+          strobe = !strobe;
+          it.set_input("in_strobe", strobe ? 1 : 0);
+        } else {
+          req = !req;
+          it.set_input("out_req", req ? 1 : 0);
+        }
+      }
+      ++next_event;
+    }
+    it.step();
+    const std::uint64_t v = it.register_value(static_cast<std::size_t>(valid_reg));
+    if (v != last_valid) {
+      last_valid = v;
+      result.outputs.push_back(
+          {static_cast<std::int16_t>(scflow::sign_extend(
+               it.register_value(static_cast<std::size_t>(out_l_reg)), 16)),
+           static_cast<std::int16_t>(scflow::sign_extend(
+               it.register_value(static_cast<std::size_t>(out_r_reg)), 16))});
+    }
+  }
+  result.cycles = end_cycle;
+  return result;
+}
+
+}  // namespace scflow::rtl

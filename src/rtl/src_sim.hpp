@@ -1,0 +1,27 @@
+// Drives a synthesisable SRC design (rtl::Design) through the interpreter
+// with the same event schedules the kernel testbenches use, so the IR
+// architectures can be verified against the quantised golden model.
+#pragma once
+
+#include <vector>
+
+#include "dsp/src_params.hpp"
+#include "dsp/stimulus.hpp"
+#include "rtl/interpreter.hpp"
+#include "rtl/ir.hpp"
+
+namespace scflow::rtl {
+
+struct SrcSimResult {
+  std::vector<dsp::StereoSample> outputs;
+  std::uint64_t cycles = 0;
+};
+
+/// Runs the design over the schedule: events are applied at their
+/// clock-quantised cycles (inputs before requests within a cycle), outputs
+/// are collected on out_valid toggles.
+SrcSimResult run_src_design(const Design& design, dsp::SrcMode mode,
+                            const std::vector<dsp::SrcEvent>& events,
+                            Interpreter* interpreter = nullptr);
+
+}  // namespace scflow::rtl

@@ -1,0 +1,269 @@
+#include "verilog/parser.hpp"
+
+#include <cctype>
+#include <map>
+#include <optional>
+#include <stdexcept>
+#include <vector>
+
+namespace scflow::vlog {
+
+namespace {
+
+struct Token {
+  enum class Kind { kIdent, kNumber, kPunct, kEnd };
+  Kind kind = Kind::kEnd;
+  std::string text;
+  int line = 0;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& text) : text_(text) { advance(); }
+
+  const Token& peek() const { return current_; }
+  Token take() {
+    Token t = current_;
+    advance();
+    return t;
+  }
+  [[noreturn]] void fail(const std::string& msg) const {
+    throw std::runtime_error("verilog parse error at line " +
+                             std::to_string(current_.line) + ": " + msg);
+  }
+
+ private:
+  void advance() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '\n') { ++line_; ++pos_; continue; }
+      if (std::isspace(static_cast<unsigned char>(c))) { ++pos_; continue; }
+      if (c == '/' && pos_ + 1 < text_.size() && text_[pos_ + 1] == '/') {
+        while (pos_ < text_.size() && text_[pos_] != '\n') ++pos_;
+        continue;
+      }
+      break;
+    }
+    current_.line = line_;
+    if (pos_ >= text_.size()) {
+      current_ = {Token::Kind::kEnd, "", line_};
+      return;
+    }
+    const char c = text_[pos_];
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::size_t start = pos_;
+      while (pos_ < text_.size() &&
+             (std::isalnum(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '_' ||
+              text_[pos_] == '$'))
+        ++pos_;
+      current_ = {Token::Kind::kIdent, text_.substr(start, pos_ - start), line_};
+      return;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t start = pos_;
+      while (pos_ < text_.size() &&
+             (std::isalnum(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '\''))
+        ++pos_;
+      current_ = {Token::Kind::kNumber, text_.substr(start, pos_ - start), line_};
+      return;
+    }
+    current_ = {Token::Kind::kPunct, std::string(1, c), line_};
+    ++pos_;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  Token current_;
+};
+
+struct PortDecl {
+  bool is_input = false;
+  int width = 1;
+};
+
+struct Parser {
+  Lexer lex;
+  explicit Parser(const std::string& text) : lex(text) {}
+
+  std::string expect_ident() {
+    if (lex.peek().kind != Token::Kind::kIdent) lex.fail("expected identifier");
+    return lex.take().text;
+  }
+  void expect_punct(const std::string& p) {
+    if (lex.peek().kind != Token::Kind::kPunct || lex.peek().text != p)
+      lex.fail("expected '" + p + "'");
+    lex.take();
+  }
+  bool accept_punct(const std::string& p) {
+    if (lex.peek().kind == Token::Kind::kPunct && lex.peek().text == p) {
+      lex.take();
+      return true;
+    }
+    return false;
+  }
+  int expect_number() {
+    if (lex.peek().kind != Token::Kind::kNumber) lex.fail("expected number");
+    return std::stoi(lex.take().text);
+  }
+
+  /// "name" or "name[index]" -> flattened bit reference.
+  struct BitRef {
+    std::string name;
+    std::optional<int> index;
+  };
+  BitRef parse_bitref() {
+    BitRef r;
+    r.name = expect_ident();
+    if (accept_punct("[")) {
+      r.index = expect_number();
+      expect_punct("]");
+    }
+    return r;
+  }
+
+  nl::Netlist run() {
+    // module NAME (port, port, ...);
+    if (expect_ident() != "module") lex.fail("expected 'module'");
+    const std::string name = expect_ident();
+    expect_punct("(");
+    std::vector<std::string> port_order;
+    if (!accept_punct(")")) {
+      do {
+        port_order.push_back(expect_ident());
+      } while (accept_punct(","));
+      expect_punct(")");
+    }
+    expect_punct(";");
+
+    nl::Netlist out(name);
+    std::map<std::string, PortDecl> ports;
+    std::map<std::string, nl::NetId> wires;
+    std::map<std::string, std::vector<nl::NetId>> port_nets;
+    std::map<nl::CellType, std::string> module_names;
+    auto cell_type_of = [this](const std::string& s) -> nl::CellType {
+      for (int t = 0; t <= static_cast<int>(nl::CellType::kSdff); ++t)
+        if (s == nl::cell_name(static_cast<nl::CellType>(t)))
+          return static_cast<nl::CellType>(t);
+      lex.fail("unknown cell type '" + s + "'");
+    };
+    auto wire_net = [&wires, &out, this](const std::string& n) {
+      const auto it = wires.find(n);
+      if (it == wires.end()) lex.fail("unknown wire '" + n + "'");
+      return it->second;
+    };
+
+    // Deferred connections: assigns and instances reference wires/ports.
+    struct Assign {
+      BitRef lhs;
+      BitRef rhs;
+    };
+    std::vector<Assign> assigns;
+    struct Instance {
+      nl::CellType type;
+      std::map<std::string, BitRef> pins;
+      int init = 0;
+    };
+    std::vector<Instance> instances;
+
+    while (true) {
+      if (lex.peek().kind == Token::Kind::kEnd) lex.fail("missing endmodule");
+      const std::string kw = expect_ident();
+      if (kw == "endmodule") break;
+      if (kw == "input" || kw == "output") {
+        PortDecl d;
+        d.is_input = kw == "input";
+        if (accept_punct("[")) {
+          d.width = expect_number() + 1;
+          expect_punct(":");
+          expect_number();
+          expect_punct("]");
+        }
+        ports[expect_ident()] = d;
+        expect_punct(";");
+        continue;
+      }
+      if (kw == "wire") {
+        do {
+          const std::string n = expect_ident();
+          wires[n] = out.new_net();
+        } while (accept_punct(","));
+        expect_punct(";");
+        continue;
+      }
+      if (kw == "assign") {
+        Assign a;
+        a.lhs = parse_bitref();
+        expect_punct("=");
+        a.rhs = parse_bitref();
+        expect_punct(";");
+        assigns.push_back(std::move(a));
+        continue;
+      }
+      // Gate instance: TYPE name (.pin(net), ...);
+      Instance inst;
+      inst.type = cell_type_of(kw);
+      (void)expect_ident();  // instance name
+      expect_punct("(");
+      do {
+        expect_punct(".");
+        const std::string pin = expect_ident();
+        expect_punct("(");
+        if (pin == "init") {
+          inst.init = expect_number();
+        } else {
+          inst.pins[pin] = parse_bitref();
+        }
+        expect_punct(")");
+      } while (accept_punct(","));
+      expect_punct(")");
+      expect_punct(";");
+      instances.push_back(std::move(inst));
+    }
+
+    // Materialise port nets from the bit-hookup assigns:
+    //   assign nK = in_port[i];   assign out_port[i] = nK;
+    for (const auto& pname : port_order) {
+      const auto it = ports.find(pname);
+      if (it == ports.end()) lex.fail("port '" + pname + "' not declared");
+      port_nets[pname].assign(static_cast<std::size_t>(it->second.width), nl::kNoNet);
+    }
+    for (const auto& a : assigns) {
+      const bool lhs_is_port = ports.count(a.lhs.name) != 0;
+      const BitRef& port = lhs_is_port ? a.lhs : a.rhs;
+      const BitRef& wire = lhs_is_port ? a.rhs : a.lhs;
+      if (ports.count(port.name) == 0) lex.fail("assign between two wires unsupported");
+      const std::size_t bit = static_cast<std::size_t>(port.index.value_or(0));
+      port_nets[port.name][bit] = wire_net(wire.name);
+    }
+    for (const auto& pname : port_order) {
+      if (ports[pname].is_input) out.add_input(pname, port_nets[pname]);
+      else out.add_output(pname, port_nets[pname]);
+    }
+
+    // Cells (output pin 'y', inputs a/b/c).
+    for (const auto& inst : instances) {
+      std::vector<nl::NetId> ins;
+      static const char* const pin_names[] = {"a", "b", "c"};
+      for (int i = 0; i < nl::cell_input_count(inst.type); ++i) {
+        const auto it = inst.pins.find(pin_names[i]);
+        if (it == inst.pins.end()) lex.fail("missing input pin on instance");
+        ins.push_back(wire_net(it->second.name));
+      }
+      const auto yit = inst.pins.find("y");
+      if (yit == inst.pins.end()) lex.fail("missing output pin on instance");
+      // add_cell allocates a fresh output net; rewrite it to the wire.
+      out.add_cell(inst.type, std::move(ins), inst.init);
+      out.cells_mut().back().output = wire_net(yit->second.name);
+    }
+    (void)module_names;
+    out.validate();
+    return out;
+  }
+};
+
+}  // namespace
+
+nl::Netlist parse_structural(const std::string& text) { return Parser(text).run(); }
+
+}  // namespace scflow::vlog

@@ -1,0 +1,17 @@
+// Structural Verilog parser for the subset write_structural() emits —
+// enough to round-trip synthesised netlists (module header, port
+// declarations, wire lists, bit-hookup assigns, gate instances).
+#pragma once
+
+#include <string>
+
+#include "netlist/netlist.hpp"
+
+namespace scflow::vlog {
+
+/// Parses one structural module.  Throws std::runtime_error with a line
+/// number on malformed input.  Macro metadata (Netlist::macros) is not
+/// representable in plain structural Verilog and is left empty.
+[[nodiscard]] nl::Netlist parse_structural(const std::string& text);
+
+}  // namespace scflow::vlog

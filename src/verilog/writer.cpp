@@ -1,0 +1,165 @@
+#include "verilog/writer.hpp"
+
+#include <sstream>
+
+#include "dtypes/bit_int.hpp"
+
+namespace scflow::vlog {
+
+namespace {
+
+std::string net_name(nl::NetId n) { return "n" + std::to_string(n); }
+
+/// Verilog primitive/UDPs for each cell type (module names in our little
+/// gate library).
+const char* cell_module(nl::CellType t) {
+  switch (t) {
+    case nl::CellType::kTie0: return "TIE0";
+    case nl::CellType::kTie1: return "TIE1";
+    case nl::CellType::kBuf: return "BUF";
+    case nl::CellType::kInv: return "INV";
+    case nl::CellType::kAnd2: return "AND2";
+    case nl::CellType::kOr2: return "OR2";
+    case nl::CellType::kNand2: return "NAND2";
+    case nl::CellType::kNor2: return "NOR2";
+    case nl::CellType::kXor2: return "XOR2";
+    case nl::CellType::kXnor2: return "XNOR2";
+    case nl::CellType::kMux2: return "MUX2";
+    case nl::CellType::kDff: return "DFF";
+    case nl::CellType::kSdff: return "SDFF";
+  }
+  return "?";
+}
+
+const char* const kInputPinNames[] = {"a", "b", "c"};
+
+}  // namespace
+
+std::string write_structural(const nl::Netlist& netlist) {
+  std::ostringstream os;
+  os << "// structural netlist emitted by scflow\n";
+  os << "module " << netlist.name() << " (";
+  bool first = true;
+  for (const auto& p : netlist.inputs()) {
+    os << (first ? "" : ", ") << p.name;
+    first = false;
+  }
+  for (const auto& p : netlist.outputs()) {
+    os << (first ? "" : ", ") << p.name;
+    first = false;
+  }
+  os << ");\n";
+  for (const auto& p : netlist.inputs()) {
+    os << "  input ";
+    if (p.nets.size() > 1) os << "[" << p.nets.size() - 1 << ":0] ";
+    os << p.name << ";\n";
+  }
+  for (const auto& p : netlist.outputs()) {
+    os << "  output ";
+    if (p.nets.size() > 1) os << "[" << p.nets.size() - 1 << ":0] ";
+    os << p.name << ";\n";
+  }
+  if (netlist.net_count() > 0)
+    os << "  wire n0";
+  for (nl::NetId n = 1; n < netlist.net_count(); ++n) {
+    os << ((n % 16 == 0) ? ";\n  wire " : ", ") << net_name(n);
+  }
+  if (netlist.net_count() > 0) os << ";\n";
+  // Port bit hookup.
+  for (const auto& p : netlist.inputs())
+    for (std::size_t i = 0; i < p.nets.size(); ++i)
+      os << "  assign " << net_name(p.nets[i]) << " = " << p.name
+         << (p.nets.size() > 1 ? "[" + std::to_string(i) + "]" : "") << ";\n";
+  for (const auto& p : netlist.outputs())
+    for (std::size_t i = 0; i < p.nets.size(); ++i)
+      os << "  assign " << p.name
+         << (p.nets.size() > 1 ? "[" + std::to_string(i) + "]" : "") << " = "
+         << net_name(p.nets[i]) << ";\n";
+  // Gate instances.
+  for (std::size_t ci = 0; ci < netlist.cells().size(); ++ci) {
+    const auto& c = netlist.cells()[ci];
+    os << "  " << cell_module(c.type) << " u" << ci << " (.y(" << net_name(c.output) << ")";
+    for (std::size_t i = 0; i < c.inputs.size(); ++i)
+      os << ", ." << kInputPinNames[i] << "(" << net_name(c.inputs[i]) << ")";
+    if (nl::cell_is_sequential(c.type)) os << ", .init(" << c.init << ")";
+    os << ");\n";
+  }
+  os << "endmodule\n";
+  return os.str();
+}
+
+std::string write_behavioural(const rtl::Design& design) {
+  std::ostringstream os;
+  auto w = [&os, &design](rtl::NodeId id) -> std::string {
+    return "w" + std::to_string(id);
+  };
+  os << "// behavioural RTL emitted by scflow\n";
+  os << "module " << design.name() << " (clk";
+  for (const auto& p : design.inputs()) os << ", " << p.name;
+  for (const auto& p : design.outputs()) os << ", " << p.name;
+  os << ");\n  input clk;\n";
+  for (const auto& p : design.inputs())
+    os << "  input [" << p.width - 1 << ":0] " << p.name << ";\n";
+  for (const auto& p : design.outputs())
+    os << "  output [" << p.width - 1 << ":0] " << p.name << ";\n";
+  for (const auto& r : design.registers())
+    os << "  reg [" << r.width - 1 << ":0] " << r.name << "_q;\n";
+
+  const auto live = design.live_nodes();
+  for (std::size_t i = 0; i < design.nodes().size(); ++i) {
+    if (!live[i]) continue;
+    const auto& n = design.nodes()[i];
+    const auto id = static_cast<rtl::NodeId>(i);
+    os << "  wire [" << n.width - 1 << ":0] " << w(id) << " = ";
+    auto a = [&](int k) { return w(n.args[static_cast<std::size_t>(k)]); };
+    auto sgn = [&](int k) {
+      return "$signed(" + a(k) + ")";
+    };
+    using rtl::Op;
+    switch (n.op) {
+      case Op::kConst: os << n.width << "'d" << (static_cast<std::uint64_t>(n.imm) & scflow::bit_mask(n.width)); break;
+      case Op::kInput: os << n.name; break;
+      case Op::kRegQ: os << design.registers()[static_cast<std::size_t>(n.imm)].name << "_q"; break;
+      case Op::kAdd: os << a(0) << " + " << a(1); break;
+      case Op::kSub: os << a(0) << " - " << a(1); break;
+      case Op::kAddC: os << a(0) << " + " << a(1) << " + " << a(2); break;
+      case Op::kMul: os << sgn(0) << " * " << sgn(1); break;
+      case Op::kAnd: os << a(0) << " & " << a(1); break;
+      case Op::kOr: os << a(0) << " | " << a(1); break;
+      case Op::kXor: os << a(0) << " ^ " << a(1); break;
+      case Op::kNot: os << "~" << a(0); break;
+      case Op::kEq: os << a(0) << " == " << a(1); break;
+      case Op::kNe: os << a(0) << " != " << a(1); break;
+      case Op::kLtU: os << a(0) << " < " << a(1); break;
+      case Op::kLtS: os << sgn(0) << " < " << sgn(1); break;
+      case Op::kShl: os << a(0) << " << " << n.imm; break;
+      case Op::kShr: os << a(0) << " >> " << n.imm; break;
+      case Op::kMux: os << a(0) << " ? " << a(2) << " : " << a(1); break;
+      case Op::kSlice: os << a(0) << "[" << n.imm + n.width - 1 << ":" << n.imm << "]"; break;
+      case Op::kZext: os << "{" << n.width - design.node(n.args[0]).width << "'d0, " << a(0) << "}"; break;
+      case Op::kSext: os << "{{" << n.width - design.node(n.args[0]).width << "{" << a(0)
+                         << "[" << design.node(n.args[0]).width - 1 << "]}}, " << a(0) << "}"; break;
+      case Op::kRamRead:
+        os << design.memories()[static_cast<std::size_t>(n.imm)].name << "[" << a(0) << "]";
+        break;
+      case Op::kRomRead:
+        os << design.roms()[static_cast<std::size_t>(n.imm)].name << "[" << a(0) << "]";
+        break;
+    }
+    os << ";\n";
+  }
+
+  os << "  always @(posedge clk) begin\n";
+  for (const auto& r : design.registers()) {
+    os << "    ";
+    if (r.enable != rtl::kNoNode) os << "if (" << w(r.enable) << ") ";
+    os << r.name << "_q <= " << w(r.next) << ";\n";
+  }
+  os << "  end\n";
+  for (const auto& p : design.outputs())
+    os << "  assign " << p.name << " = " << w(p.node) << ";\n";
+  os << "endmodule\n";
+  return os.str();
+}
+
+}  // namespace scflow::vlog

@@ -1,0 +1,21 @@
+// Verilog emission: structural gate-level netlists (the synthesis
+// artefact the paper's flow hands to ModelSim) and behavioural RTL
+// (the "intermediate RTL Verilog code from RTL SystemC synthesis").
+#pragma once
+
+#include <string>
+
+#include "netlist/netlist.hpp"
+#include "rtl/ir.hpp"
+
+namespace scflow::vlog {
+
+/// Structural Verilog: one module, primitive gate instances from the cell
+/// library, macro connections as ports.
+[[nodiscard]] std::string write_structural(const nl::Netlist& netlist);
+
+/// Behavioural Verilog for a word-level design: wire declarations with
+/// assign statements plus one clocked always block for the registers.
+[[nodiscard]] std::string write_behavioural(const rtl::Design& design);
+
+}  // namespace scflow::vlog

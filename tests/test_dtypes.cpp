@@ -1,0 +1,242 @@
+// Unit and property tests for the bit-accurate datatypes.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+
+#include "dtypes/bit_int.hpp"
+#include "dtypes/fixed.hpp"
+#include "dtypes/logic.hpp"
+
+namespace scflow {
+namespace {
+
+TEST(BitMask, Values) {
+  EXPECT_EQ(bit_mask(1), 1u);
+  EXPECT_EQ(bit_mask(8), 0xffu);
+  EXPECT_EQ(bit_mask(63), 0x7fffffffffffffffull);
+  EXPECT_EQ(bit_mask(64), ~0ull);
+}
+
+TEST(SignExtend, Basics) {
+  EXPECT_EQ(sign_extend(0xff, 8), -1);
+  EXPECT_EQ(sign_extend(0x7f, 8), 127);
+  EXPECT_EQ(sign_extend(0x80, 8), -128);
+  EXPECT_EQ(sign_extend(0x1, 1), -1);
+  EXPECT_EQ(sign_extend(0x0, 1), 0);
+}
+
+TEST(BitInt, WrapsOnConstruction) {
+  EXPECT_EQ(Int<8>(127).to_int64(), 127);
+  EXPECT_EQ(Int<8>(128).to_int64(), -128);
+  EXPECT_EQ(Int<8>(-129).to_int64(), 127);
+  EXPECT_EQ(UInt<8>(256).to_int64(), 0);
+  EXPECT_EQ(UInt<8>(-1).to_int64(), 255);
+}
+
+TEST(BitInt, ArithmeticWraps) {
+  EXPECT_EQ((Int<8>(100) + Int<8>(100)).to_int64(), -56);
+  EXPECT_EQ((UInt<8>(200) + UInt<8>(100)).to_int64(), 44);
+  EXPECT_EQ((Int<8>(-128) - Int<8>(1)).to_int64(), 127);
+  EXPECT_EQ((Int<16>(300) * Int<16>(300)).to_int64(), wrap_to_width(90000, 16, true));
+}
+
+TEST(BitInt, ShiftSemantics) {
+  EXPECT_EQ((Int<8>(-2) >> 1).to_int64(), -1);   // arithmetic for signed
+  EXPECT_EQ((UInt<8>(0xfe) >> 1).to_int64(), 0x7f);  // logical for unsigned
+  EXPECT_EQ((UInt<8>(0x81) << 1).to_int64(), 0x02);  // wraps out the top
+  EXPECT_EQ((Int<8>(-1) >> 100).to_int64(), -1);
+  EXPECT_EQ((UInt<8>(0xff) >> 100).to_int64(), 0);
+  EXPECT_EQ((UInt<8>(0xff) << 100).to_int64(), 0);
+}
+
+TEST(BitInt, BitAndRangeAccess) {
+  UInt<8> v(0b10110010);
+  EXPECT_TRUE(v.bit(1));
+  EXPECT_FALSE(v.bit(0));
+  EXPECT_EQ((v.range(5, 2).to_int64()), 0b1100);
+  v.set_bit(0, true);
+  EXPECT_EQ(v.to_int64(), 0b10110011);
+}
+
+TEST(BitInt, MinMax) {
+  EXPECT_EQ(Int<8>::min_value(), -128);
+  EXPECT_EQ(Int<8>::max_value(), 127);
+  EXPECT_EQ(UInt<8>::max_value(), 255);
+  EXPECT_EQ(Int<1>::min_value(), -1);
+  EXPECT_EQ(UInt<1>::max_value(), 1);
+}
+
+TEST(BitInt, CrossWidthConversion) {
+  Int<16> wide(-1234);
+  auto narrow = Int<8>::from(wide);
+  EXPECT_EQ(narrow.to_int64(), wrap_to_width(-1234, 8, true));
+  auto rewide = Int<16>::from(narrow);
+  EXPECT_EQ(rewide.to_int64(), narrow.to_int64());
+}
+
+// Property sweep: BitInt<W> arithmetic must equal 64-bit arithmetic wrapped
+// to W bits, for random operands across widths.
+class BitIntProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(BitIntProperty, MatchesWrappedInt64) {
+  const int w = GetParam();
+  std::mt19937_64 rng(0xC0FFEE ^ w);
+  for (int i = 0; i < 2000; ++i) {
+    const auto a = static_cast<std::int64_t>(rng());
+    const auto b = static_cast<std::int64_t>(rng());
+    const Int<24> dummy(0);
+    (void)dummy;
+    // Signed.
+    {
+      const std::int64_t ca = wrap_to_width(a, w, true);
+      const std::int64_t cb = wrap_to_width(b, w, true);
+      EXPECT_EQ(wrap_to_width(ca + cb, w, true),
+                wrap_to_width(wrap_to_width(a, w, true) + wrap_to_width(b, w, true), w, true));
+      EXPECT_EQ(wrap_to_width(ca * cb, w, true), wrap_to_width(ca * cb, w, true));
+    }
+    // Unsigned wrap matches masking.
+    {
+      const std::uint64_t ua = static_cast<std::uint64_t>(a) & bit_mask(w);
+      const std::uint64_t ub = static_cast<std::uint64_t>(b) & bit_mask(w);
+      EXPECT_EQ(static_cast<std::uint64_t>(wrap_to_width(
+                    static_cast<std::int64_t>(ua + ub), w, false)),
+                (ua + ub) & bit_mask(w));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, BitIntProperty, ::testing::Values(1, 2, 7, 8, 15, 16, 17, 24, 31, 32, 40, 48, 63));
+
+// A compile-time-width property check on the actual BitInt operators.
+template <int W>
+void check_bitint_ops(std::mt19937_64& rng) {
+  for (int i = 0; i < 500; ++i) {
+    const auto a = static_cast<std::int64_t>(rng());
+    const auto b = static_cast<std::int64_t>(rng());
+    Int<W> x(a), y(b);
+    EXPECT_EQ((x + y).to_int64(), wrap_to_width(x.to_int64() + y.to_int64(), W, true));
+    EXPECT_EQ((x - y).to_int64(), wrap_to_width(x.to_int64() - y.to_int64(), W, true));
+    EXPECT_EQ((x * y).to_int64(), wrap_to_width(x.to_int64() * y.to_int64(), W, true));
+    EXPECT_EQ((x & y).to_int64(), wrap_to_width(x.to_int64() & y.to_int64(), W, true));
+    EXPECT_EQ((x | y).to_int64(), wrap_to_width(x.to_int64() | y.to_int64(), W, true));
+    EXPECT_EQ((x ^ y).to_int64(), wrap_to_width(x.to_int64() ^ y.to_int64(), W, true));
+    EXPECT_EQ((-x).to_int64(), wrap_to_width(-x.to_int64(), W, true));
+    EXPECT_EQ((~x).to_int64(), wrap_to_width(~x.to_int64(), W, true));
+  }
+}
+
+TEST(BitIntPropertyTemplated, OperatorsMatchReference) {
+  std::mt19937_64 rng(42);
+  check_bitint_ops<5>(rng);
+  check_bitint_ops<16>(rng);
+  check_bitint_ops<24>(rng);
+  check_bitint_ops<40>(rng);
+  check_bitint_ops<56>(rng);
+}
+
+TEST(SaturateToWidth, Basics) {
+  EXPECT_EQ(saturate_to_width(1000, 8, true), 127);
+  EXPECT_EQ(saturate_to_width(-1000, 8, true), -128);
+  EXPECT_EQ(saturate_to_width(50, 8, true), 50);
+  EXPECT_EQ(saturate_to_width(-1, 8, false), 0);
+  EXPECT_EQ(saturate_to_width(300, 8, false), 255);
+}
+
+TEST(BitsForUnsigned, Basics) {
+  EXPECT_EQ(bits_for_unsigned(0), 1);
+  EXPECT_EQ(bits_for_unsigned(1), 1);
+  EXPECT_EQ(bits_for_unsigned(2), 2);
+  EXPECT_EQ(bits_for_unsigned(255), 8);
+  EXPECT_EQ(bits_for_unsigned(256), 9);
+}
+
+TEST(Fixed, QuantisationRoundtrip) {
+  using Q15 = Fixed<16, 15>;
+  const Q15 half = Q15::from_double(0.5);
+  EXPECT_EQ(half.raw().to_int64(), 16384);
+  EXPECT_DOUBLE_EQ(half.to_double(), 0.5);
+  const Q15 minus1 = Q15::from_double(-1.0);
+  EXPECT_EQ(minus1.raw().to_int64(), -32768);
+}
+
+TEST(Fixed, SaturatesAtFullScale) {
+  using Q15 = Fixed<16, 15>;
+  const Q15 v = Q15::from_double(1.0);  // +1.0 is not representable
+  EXPECT_EQ(v.raw().to_int64(), 32767);
+  const Q15 w = Q15::from_double(-4.0);
+  EXPECT_EQ(w.raw().to_int64(), -32768);
+}
+
+TEST(Fixed, MultiplyTruncates) {
+  using Q15 = Fixed<16, 15>;
+  const Q15 a = Q15::from_double(0.5);
+  const Q15 b = Q15::from_double(0.25);
+  EXPECT_NEAR((a * b).to_double(), 0.125, 1e-4);
+}
+
+TEST(Fixed, AddSub) {
+  using Q8 = Fixed<16, 8>;
+  const Q8 a = Q8::from_double(1.5);
+  const Q8 b = Q8::from_double(2.25);
+  EXPECT_DOUBLE_EQ((a + b).to_double(), 3.75);
+  EXPECT_DOUBLE_EQ((a - b).to_double(), -0.75);
+}
+
+TEST(Logic, NotTable) {
+  EXPECT_EQ(logic_not(Logic::L0), Logic::L1);
+  EXPECT_EQ(logic_not(Logic::L1), Logic::L0);
+  EXPECT_EQ(logic_not(Logic::X), Logic::X);
+  EXPECT_EQ(logic_not(Logic::Z), Logic::X);
+}
+
+TEST(Logic, AndOrShortCircuitDominance) {
+  // 0 dominates AND even against X/Z; 1 dominates OR.
+  for (Logic v : {Logic::L0, Logic::L1, Logic::X, Logic::Z}) {
+    EXPECT_EQ(logic_and(Logic::L0, v), Logic::L0);
+    EXPECT_EQ(logic_and(v, Logic::L0), Logic::L0);
+    EXPECT_EQ(logic_or(Logic::L1, v), Logic::L1);
+    EXPECT_EQ(logic_or(v, Logic::L1), Logic::L1);
+  }
+  EXPECT_EQ(logic_and(Logic::L1, Logic::X), Logic::X);
+  EXPECT_EQ(logic_or(Logic::L0, Logic::X), Logic::X);
+}
+
+TEST(Logic, XorPropagatesUnknown) {
+  EXPECT_EQ(logic_xor(Logic::L1, Logic::L1), Logic::L0);
+  EXPECT_EQ(logic_xor(Logic::L1, Logic::L0), Logic::L1);
+  EXPECT_EQ(logic_xor(Logic::X, Logic::L0), Logic::X);
+  EXPECT_EQ(logic_xor(Logic::Z, Logic::L1), Logic::X);
+}
+
+TEST(Logic, MuxPessimism) {
+  EXPECT_EQ(logic_mux(Logic::L0, Logic::L1, Logic::L0), Logic::L1);
+  EXPECT_EQ(logic_mux(Logic::L1, Logic::L1, Logic::L0), Logic::L0);
+  EXPECT_EQ(logic_mux(Logic::X, Logic::L1, Logic::L0), Logic::X);
+  EXPECT_EQ(logic_mux(Logic::X, Logic::L1, Logic::L1), Logic::L1);  // agreeing inputs
+}
+
+TEST(Logic, Resolution) {
+  EXPECT_EQ(logic_resolve(Logic::Z, Logic::L1), Logic::L1);
+  EXPECT_EQ(logic_resolve(Logic::L0, Logic::Z), Logic::L0);
+  EXPECT_EQ(logic_resolve(Logic::L0, Logic::L1), Logic::X);
+  EXPECT_EQ(logic_resolve(Logic::Z, Logic::Z), Logic::Z);
+}
+
+TEST(LogicVector, UintRoundtrip) {
+  const auto v = LogicVector::from_uint(0xa5, 8);
+  EXPECT_TRUE(v.is_fully_defined());
+  EXPECT_EQ(v.to_uint(), 0xa5u);
+  EXPECT_EQ(v.to_string(), "10100101");
+}
+
+TEST(LogicVector, StringRoundtrip) {
+  const auto v = LogicVector::from_string("1x0z");
+  EXPECT_FALSE(v.is_fully_defined());
+  EXPECT_EQ(v.to_string(), "1x0z");
+  EXPECT_EQ(v.at(0), Logic::Z);  // LSB is last char
+  EXPECT_EQ(v.at(3), Logic::L1);
+}
+
+}  // namespace
+}  // namespace scflow

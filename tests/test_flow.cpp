@@ -1,0 +1,74 @@
+// Tests for the flow drivers: the refinement chain report and the Fig. 10
+// synthesis/area flow — including the paper's headline ordering claims.
+#include <gtest/gtest.h>
+
+#include "flow/refinement_flow.hpp"
+#include "flow/synthesis_flow.hpp"
+
+namespace scflow::flow {
+namespace {
+
+TEST(RefinementFlowTest, ChainVerifiesWithQuantisationStepVisible) {
+  const auto rep = run_refinement_flow(dsp::SrcMode::k44_1To48, 500);
+  EXPECT_TRUE(rep.all_steps_verified());
+  ASSERT_EQ(rep.steps.size(), 6u);
+  // The continuous -> quantised step must show (small) differences...
+  const auto& quant = rep.steps[1];
+  EXPECT_EQ(quant.to, "C++ (quantised time)");
+  EXPECT_GT(quant.mismatches, 0u);
+  // ...and every other step must be exact.
+  for (const auto& s : rep.steps)
+    if (s.to != "C++ (quantised time)") EXPECT_TRUE(s.bit_accurate) << s.from << "->" << s.to;
+  const std::string text = format_refinement_report(rep);
+  EXPECT_NE(text.find("chain verified: yes"), std::string::npos);
+}
+
+TEST(SynthesisFlowTest, AllDesignsSynthesise) {
+  const auto rows = figure10_area_rows();
+  ASSERT_EQ(rows.size(), 5u);
+  for (const auto& r : rows) {
+    EXPECT_GT(r.area.combinational, 0.0) << r.name;
+    EXPECT_GT(r.area.sequential, 0.0) << r.name;
+    EXPECT_GT(r.flops, 100u) << r.name;
+  }
+  EXPECT_NEAR(rows[0].total_pct, 100.0, 1e-9);  // VHDL-Ref is the baseline
+}
+
+TEST(SynthesisFlowTest, Figure10ShapeHolds) {
+  // The paper's Fig. 10 findings:
+  //  * BEH unopt is the largest (paper: 127.5 % of the reference);
+  //  * the optimised SystemC implementations beat the VHDL reference;
+  //  * even unoptimised RTL beats the reference;
+  //  * comb(BEH opt) ~ comb(RTL opt): behavioural synthesis reached the
+  //    optimum allocation; the RTL savings come from registers.
+  const auto rows = figure10_area_rows();
+  const auto& ref = rows[0];
+  const auto& beh_u = rows[1];
+  const auto& beh_o = rows[2];
+  const auto& rtl_u = rows[3];
+  const auto& rtl_o = rows[4];
+
+  EXPECT_GT(beh_u.total_pct, 100.0) << "BEH unopt should exceed the reference";
+  EXPECT_LT(beh_o.total_pct, 100.0) << "BEH opt should beat the reference";
+  EXPECT_LT(rtl_u.total_pct, 100.0) << "even RTL unopt should beat the reference";
+  EXPECT_LT(rtl_o.total_pct, rtl_u.total_pct) << "RTL opt smallest";
+  EXPECT_LT(rtl_o.total_pct, beh_o.total_pct);
+
+  // Combinational area of BEH-opt and RTL-opt nearly identical (within a
+  // few percent of the reference total).
+  EXPECT_NEAR(beh_o.combinational_pct, rtl_o.combinational_pct, 6.0);
+  // The RTL wins come from sequential area.
+  EXPECT_GT(beh_o.sequential_pct, rtl_o.sequential_pct);
+  EXPECT_GT(rtl_u.sequential_pct, rtl_o.sequential_pct);
+  (void)ref;
+}
+
+TEST(SynthesisFlowTest, TableFormats) {
+  const auto rows = figure10_area_rows();
+  const std::string t = format_area_table(rows);
+  EXPECT_NE(t.find("VHDL-Ref"), std::string::npos);
+  EXPECT_NE(t.find("total %"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace scflow::flow

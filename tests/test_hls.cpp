@@ -1,0 +1,280 @@
+// Tests for the behavioural synthesiser: scheduling invariants, register
+// allocation, a small end-to-end kernel, and the behavioural SRC designs'
+// bit-exact equivalence with the quantised golden model.
+#include <gtest/gtest.h>
+
+#include "core/run.hpp"
+#include "dsp/stimulus.hpp"
+#include "hls/kernel.hpp"
+#include "hls/schedule.hpp"
+#include "hls/src_beh.hpp"
+#include "hls/synthesize.hpp"
+#include "rtl/interpreter.hpp"
+#include "rtl/src_sim.hpp"
+
+namespace scflow::hls {
+namespace {
+
+using dsp::SrcMode;
+using P = dsp::SrcParams;
+
+/// A little MAC kernel: acc += a[i] * b over 4 iterations, where a[i] is a
+/// ROM table and b an external; captures the final accumulator.
+Kernel make_mac_kernel(rtl::DesignBuilder& b, int rom_index) {
+  Kernel k("mac4", 4, 2);
+  const ValueId bext = k.external(b.input("b", 8));
+  const int acc = k.add_state("acc", 20, k.constant(20, 0));
+  const ValueId a = k.rom_read(rom_index, k.zext(k.iter(), 3), 8);
+  const ValueId prod = k.mul(a, bext, 16);
+  const ValueId acc_new = k.add(k.state(acc), k.sext(prod, 20));
+  k.update(acc, kNoValue, acc_new);
+  k.capture("result", k.eq(k.iter(), k.constant(2, 3)), acc_new);
+  return k;
+}
+
+TEST(HlsSchedule, RespectsResourceConstraints) {
+  rtl::DesignBuilder b("t");
+  const int rom = b.rom("tbl", 3, 8, {1, 2, 3, 4, 5, 6, 7, 8});
+  const Kernel k = make_mac_kernel(b, rom);
+  ResourceConstraints rc;
+  const Schedule s = schedule_kernel(k, rc);
+  for (int st = 0; st < s.num_steps; ++st) {
+    EXPECT_LE(s.mult_use[static_cast<std::size_t>(st)], rc.multipliers);
+    EXPECT_LE(s.alu_use[static_cast<std::size_t>(st)], rc.alus);
+    EXPECT_LE(s.ram_use[static_cast<std::size_t>(st)], rc.ram_ports);
+    EXPECT_LE(s.rom_use[static_cast<std::size_t>(st)], rc.rom_ports);
+  }
+  // Dependency chain rom -> mul -> add needs three steps.
+  EXPECT_GE(s.num_steps, 3);
+}
+
+TEST(HlsSchedule, DependenciesComeBeforeConsumers) {
+  rtl::DesignBuilder b("t");
+  const int rom = b.rom("tbl", 3, 8, {1, 2, 3, 4, 5, 6, 7, 8});
+  const Kernel k = make_mac_kernel(b, rom);
+  const Schedule s = schedule_kernel(k, ResourceConstraints{});
+  for (std::size_t i = 0; i < k.nodes().size(); ++i) {
+    if (s.step_of[i] < 0) continue;
+    for (ValueId a : k.nodes()[i].args) {
+      if (s.step_of[static_cast<std::size_t>(a)] < 0) continue;  // free op
+      EXPECT_LT(s.step_of[static_cast<std::size_t>(a)], s.step_of[i]);
+    }
+  }
+}
+
+TEST(HlsSchedule, RegisterLifetimesDoNotOverlap) {
+  rtl::DesignBuilder b("t");
+  const int rom = b.rom("tbl", 3, 8, {1, 2, 3, 4, 5, 6, 7, 8});
+  const Kernel k = make_mac_kernel(b, rom);
+  const Schedule s = schedule_kernel(k, ResourceConstraints{});
+  // For every temp register, collect the [def, last_use] intervals of its
+  // tenants and assert pairwise disjointness.
+  std::map<int, std::vector<std::pair<int, int>>> intervals;
+  for (std::size_t i = 0; i < k.nodes().size(); ++i) {
+    if (s.reg_of[i] < 0) continue;
+    intervals[s.reg_of[i]].push_back({s.step_of[i], s.temp_regs[static_cast<std::size_t>(s.reg_of[i])].free_after});
+  }
+  for (auto& [reg, iv] : intervals) {
+    std::sort(iv.begin(), iv.end());
+    for (std::size_t j = 1; j < iv.size(); ++j)
+      EXPECT_LE(iv[j - 1].second, iv[j].first) << "register " << reg;
+  }
+}
+
+TEST(HlsSchedule, HandshakePaddingExtendsSlots) {
+  rtl::DesignBuilder b("t");
+  const int rom = b.rom("tbl", 3, 8, {1, 2, 3, 4, 5, 6, 7, 8});
+  Kernel k("k", 2, 1);
+  const int mem = b.memory("m", 3, 8);
+  const ValueId r = k.ram_read(mem, k.zext(k.iter(), 3), 8);
+  const int acc = k.add_state("a", 10, k.constant(10, 0));
+  k.update(acc, kNoValue, k.add(k.state(acc), k.sext(r, 10)));
+  k.capture("out", k.eq(k.iter(), k.constant(1, 1)), k.state(acc));
+  (void)rom;
+
+  ResourceConstraints fast, slow;
+  slow.ram_handshake_states = 1;
+  const Schedule sf = schedule_kernel(k, fast);
+  const Schedule ss = schedule_kernel(k, slow);
+  EXPECT_EQ(sf.num_steps, ss.num_steps);
+  EXPECT_GT(ss.num_slots, sf.num_slots);
+}
+
+TEST(HlsSynthesize, Mac4KernelComputesCorrectly) {
+  rtl::DesignBuilder b("mac4_top");
+  const int rom = b.rom("tbl", 3, 8, {1, 2, 3, 4, 5, 6, 7, 8});
+  const Kernel k = make_mac_kernel(b, rom);
+  const rtl::Sig start = b.input("start", 1);
+  const SynthesisResult syn = synthesize_kernel(b, k, start, ResourceConstraints{});
+  b.output("busy", syn.busy);
+  b.output("done", syn.done_pulse);
+  b.output("result", syn.captures.at("result"));
+  rtl::Design d = b.finalise();
+
+  rtl::Interpreter it(d);
+  it.set_input("b", 10);
+  it.set_input("start", 1);
+  it.step();
+  it.set_input("start", 0);
+  int guard = 0;
+  for (;;) {
+    it.evaluate();
+    if (it.output("done") == 1) break;
+    it.step();
+    ASSERT_LT(++guard, 200) << "kernel did not finish";
+  }
+  it.step();
+  it.evaluate();
+  // acc = (1+2+3+4) * 10 = 100.
+  EXPECT_EQ(it.output("result"), 100u);
+  EXPECT_EQ(it.output("busy"), 0u);
+}
+
+TEST(HlsSynthesize, BackToBackInvocationsReinitialiseState) {
+  rtl::DesignBuilder b("mac4_top");
+  const int rom = b.rom("tbl", 3, 8, {1, 2, 3, 4, 5, 6, 7, 8});
+  const Kernel k = make_mac_kernel(b, rom);
+  const rtl::Sig start = b.input("start", 1);
+  const SynthesisResult syn = synthesize_kernel(b, k, start, ResourceConstraints{});
+  b.output("done", syn.done_pulse);
+  b.output("result", syn.captures.at("result"));
+  rtl::Design d = b.finalise();
+
+  rtl::Interpreter it(d);
+  for (int run = 0; run < 3; ++run) {
+    it.set_input("b", 5 + run);
+    it.set_input("start", 1);
+    it.step();
+    it.set_input("start", 0);
+    int guard = 0;
+    for (;;) {
+      it.evaluate();
+      if (it.output("done") == 1) break;
+      it.step();
+      ASSERT_LT(++guard, 200);
+    }
+    it.step();
+    it.evaluate();
+    EXPECT_EQ(it.output("result"), static_cast<std::uint64_t>(10 * (5 + run)));
+  }
+}
+
+// --- the behavioural SRC designs ---
+
+std::vector<dsp::SrcEvent> schedule_events(SrcMode mode, std::size_t n, std::uint64_t seed) {
+  const auto inputs = dsp::make_noise_stimulus(n, seed);
+  return dsp::make_schedule(inputs, P::input_period_ps(mode), n, P::output_period_ps(mode));
+}
+
+TEST(BehSrc, UnoptScheduleIsLongerThanOpt) {
+  Schedule s_unopt, s_opt;
+  (void)build_beh_src_design(beh_unopt_config(), &s_unopt);
+  (void)build_beh_src_design(beh_opt_config(), &s_opt);
+  EXPECT_EQ(s_unopt.num_steps, s_opt.num_steps);   // same operations
+  EXPECT_GT(s_unopt.num_slots, s_opt.num_slots);   // handshake wait states
+}
+
+class BehSrcEquivalence : public ::testing::TestWithParam<std::tuple<bool, SrcMode>> {};
+
+TEST_P(BehSrcEquivalence, MatchesQuantisedGolden) {
+  const auto [optimised, mode] = GetParam();
+  const auto ev = schedule_events(mode, 240, 21);
+  model::RunOptions qopt;
+  qopt.quantized_time = true;
+  const auto want =
+      model::run_level(model::RefinementLevel::kAlgorithmicCpp, mode, ev, qopt).outputs;
+  const rtl::Design d =
+      build_beh_src_design(optimised ? beh_opt_config() : beh_unopt_config());
+  const auto got = rtl::run_src_design(d, mode, ev);
+  ASSERT_EQ(got.outputs.size(), want.size());
+  for (std::size_t i = 0; i < want.size(); ++i)
+    ASSERT_EQ(got.outputs[i], want[i]) << d.name() << " output " << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, BehSrcEquivalence,
+    ::testing::Values(std::make_tuple(true, SrcMode::k44_1To48),
+                      std::make_tuple(true, SrcMode::k48To44_1),
+                      std::make_tuple(false, SrcMode::k44_1To48),
+                      std::make_tuple(false, SrcMode::k48To48)));
+
+TEST(BehSrc, UnoptHasWiderDatapathAndMoreRegisterBits) {
+  const auto unopt = build_beh_src_design(beh_unopt_config()).stats();
+  const auto opt = build_beh_src_design(beh_opt_config()).stats();
+  EXPECT_GT(unopt.register_bits, opt.register_bits);
+}
+
+}  // namespace
+}  // namespace scflow::hls
+
+namespace scflow::hls {
+namespace {
+
+// Extra resources shorten the schedule without changing results: exercises
+// the binder's multi-instance path (several FU instances per class).
+TEST(HlsSchedule, ExtraResourcesShortenTheSchedule) {
+  rtl::DesignBuilder b("t2");
+  const int rom = b.rom("tbl", 3, 8, {1, 2, 3, 4, 5, 6, 7, 8});
+  Kernel k("dual", 4, 2);
+  const ValueId bext = k.external(b.input("b", 8));
+  const int acc = k.add_state("acc", 24, k.constant(24, 0));
+  // Two independent MAC chains per iteration: with one multiplier they
+  // serialise; with two they run in parallel steps.
+  const ValueId a0 = k.rom_read(rom, k.zext(k.iter(), 3), 8);
+  const ValueId a1 = k.rom_read(rom, k.zext(k.iter(), 3), 8);
+  const ValueId p0 = k.mul(a0, bext, 16);
+  const ValueId p1 = k.mul(a1, bext, 16);
+  const ValueId sum = k.add(k.sext(p0, 24), k.sext(p1, 24));
+  const ValueId acc_new = k.add(k.state(acc), sum);
+  k.update(acc, kNoValue, acc_new);
+  k.capture("result", k.eq(k.iter(), k.constant(2, 3)), acc_new);
+
+  ResourceConstraints one, two;
+  two.multipliers = 2;
+  two.alus = 2;
+  const Schedule s1 = schedule_kernel(k, one);
+  const Schedule s2 = schedule_kernel(k, two);
+  EXPECT_LT(s2.num_steps, s1.num_steps);
+
+  // Both bindings compute the same value: (1+2+3+4)*2*b = 20b... per-iter
+  // both reads alias the same ROM row, so result = 2*b*(1+2+3+4).
+  for (const ResourceConstraints& rc : {one, two}) {
+    rtl::DesignBuilder bb(rc.multipliers == 1 ? "one_mult" : "two_mult");
+    const int rr = bb.rom("tbl", 3, 8, {1, 2, 3, 4, 5, 6, 7, 8});
+    Kernel kk("dual", 4, 2);
+    const ValueId be = kk.external(bb.input("b", 8));
+    const int ac = kk.add_state("acc", 24, kk.constant(24, 0));
+    const ValueId x0 = kk.rom_read(rr, kk.zext(kk.iter(), 3), 8);
+    const ValueId x1 = kk.rom_read(rr, kk.zext(kk.iter(), 3), 8);
+    const ValueId q0 = kk.mul(x0, be, 16);
+    const ValueId q1 = kk.mul(x1, be, 16);
+    const ValueId sm = kk.add(kk.sext(q0, 24), kk.sext(q1, 24));
+    const ValueId an = kk.add(kk.state(ac), sm);
+    kk.update(ac, kNoValue, an);
+    kk.capture("result", kk.eq(kk.iter(), kk.constant(2, 3)), an);
+    const rtl::Sig start = bb.input("start", 1);
+    const SynthesisResult syn = synthesize_kernel(bb, kk, start, rc);
+    bb.output("done", syn.done_pulse);
+    bb.output("result", syn.captures.at("result"));
+    rtl::Design d = bb.finalise();
+
+    rtl::Interpreter it(d);
+    it.set_input("b", 7);
+    it.set_input("start", 1);
+    it.step();
+    it.set_input("start", 0);
+    int guard = 0;
+    for (;;) {
+      it.evaluate();
+      if (it.output("done") == 1) break;
+      it.step();
+      ASSERT_LT(++guard, 300);
+    }
+    it.step();
+    it.evaluate();
+    EXPECT_EQ(it.output("result"), 140u) << d.name();  // 2*7*(1+2+3+4)
+  }
+}
+
+}  // namespace
+}  // namespace scflow::hls
