@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_gateopt.dir/bench_ablation_gateopt.cpp.o"
+  "CMakeFiles/bench_ablation_gateopt.dir/bench_ablation_gateopt.cpp.o.d"
+  "bench_ablation_gateopt"
+  "bench_ablation_gateopt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_gateopt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig10_area.cpp" "bench/CMakeFiles/bench_fig10_area.dir/bench_fig10_area.cpp.o" "gcc" "bench/CMakeFiles/bench_fig10_area.dir/bench_fig10_area.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/flow/CMakeFiles/scflow_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/hls/CMakeFiles/scflow_hls.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/scflow_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtl/CMakeFiles/scflow_rtl.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/scflow_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/scflow_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/scflow_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/dtypes/CMakeFiles/scflow_dtypes.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_cosim.dir/bench_fig9_cosim.cpp.o"
+  "CMakeFiles/bench_fig9_cosim.dir/bench_fig9_cosim.cpp.o.d"
+  "bench_fig9_cosim"
+  "bench_fig9_cosim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_cosim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cosim_demo.dir/cosim_demo.cpp.o"
+  "CMakeFiles/cosim_demo.dir/cosim_demo.cpp.o.d"
+  "cosim_demo"
+  "cosim_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cosim_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gate_level_bug.dir/gate_level_bug.cpp.o"
+  "CMakeFiles/gate_level_bug.dir/gate_level_bug.cpp.o.d"
+  "gate_level_bug"
+  "gate_level_bug.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gate_level_bug.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/refinement_flow.dir/refinement_flow.cpp.o"
+  "CMakeFiles/refinement_flow.dir/refinement_flow.cpp.o.d"
+  "refinement_flow"
+  "refinement_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/refinement_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("dtypes")
+subdirs("kernel")
+subdirs("dsp")
+subdirs("core")
+subdirs("rtl")
+subdirs("hls")
+subdirs("netlist")
+subdirs("hdlsim")
+subdirs("cosim")
+subdirs("verilog")
+subdirs("flow")

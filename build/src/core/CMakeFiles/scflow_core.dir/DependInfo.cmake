@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/channel_src.cpp" "src/core/CMakeFiles/scflow_core.dir/channel_src.cpp.o" "gcc" "src/core/CMakeFiles/scflow_core.dir/channel_src.cpp.o.d"
+  "/root/repo/src/core/run.cpp" "src/core/CMakeFiles/scflow_core.dir/run.cpp.o" "gcc" "src/core/CMakeFiles/scflow_core.dir/run.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dsp/CMakeFiles/scflow_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/scflow_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/dtypes/CMakeFiles/scflow_dtypes.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scflow_core.dir/channel_src.cpp.o"
+  "CMakeFiles/scflow_core.dir/channel_src.cpp.o.d"
+  "CMakeFiles/scflow_core.dir/run.cpp.o"
+  "CMakeFiles/scflow_core.dir/run.cpp.o.d"
+  "libscflow_core.a"
+  "libscflow_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scflow_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

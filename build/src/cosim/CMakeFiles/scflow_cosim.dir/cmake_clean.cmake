@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scflow_cosim.dir/bridge.cpp.o"
+  "CMakeFiles/scflow_cosim.dir/bridge.cpp.o.d"
+  "libscflow_cosim.a"
+  "libscflow_cosim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scflow_cosim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dsp/filter_design.cpp" "src/dsp/CMakeFiles/scflow_dsp.dir/filter_design.cpp.o" "gcc" "src/dsp/CMakeFiles/scflow_dsp.dir/filter_design.cpp.o.d"
+  "/root/repo/src/dsp/golden_src.cpp" "src/dsp/CMakeFiles/scflow_dsp.dir/golden_src.cpp.o" "gcc" "src/dsp/CMakeFiles/scflow_dsp.dir/golden_src.cpp.o.d"
+  "/root/repo/src/dsp/polyphase.cpp" "src/dsp/CMakeFiles/scflow_dsp.dir/polyphase.cpp.o" "gcc" "src/dsp/CMakeFiles/scflow_dsp.dir/polyphase.cpp.o.d"
+  "/root/repo/src/dsp/stimulus.cpp" "src/dsp/CMakeFiles/scflow_dsp.dir/stimulus.cpp.o" "gcc" "src/dsp/CMakeFiles/scflow_dsp.dir/stimulus.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dtypes/CMakeFiles/scflow_dtypes.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

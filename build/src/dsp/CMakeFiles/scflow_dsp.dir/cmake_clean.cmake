@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scflow_dsp.dir/filter_design.cpp.o"
+  "CMakeFiles/scflow_dsp.dir/filter_design.cpp.o.d"
+  "CMakeFiles/scflow_dsp.dir/golden_src.cpp.o"
+  "CMakeFiles/scflow_dsp.dir/golden_src.cpp.o.d"
+  "CMakeFiles/scflow_dsp.dir/polyphase.cpp.o"
+  "CMakeFiles/scflow_dsp.dir/polyphase.cpp.o.d"
+  "CMakeFiles/scflow_dsp.dir/stimulus.cpp.o"
+  "CMakeFiles/scflow_dsp.dir/stimulus.cpp.o.d"
+  "libscflow_dsp.a"
+  "libscflow_dsp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scflow_dsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scflow_dtypes.dir/logic.cpp.o"
+  "CMakeFiles/scflow_dtypes.dir/logic.cpp.o.d"
+  "libscflow_dtypes.a"
+  "libscflow_dtypes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scflow_dtypes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

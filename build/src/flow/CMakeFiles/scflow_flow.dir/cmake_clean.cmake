@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scflow_flow.dir/refinement_flow.cpp.o"
+  "CMakeFiles/scflow_flow.dir/refinement_flow.cpp.o.d"
+  "CMakeFiles/scflow_flow.dir/synthesis_flow.cpp.o"
+  "CMakeFiles/scflow_flow.dir/synthesis_flow.cpp.o.d"
+  "libscflow_flow.a"
+  "libscflow_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scflow_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scflow_hdlsim.dir/gate_sim.cpp.o"
+  "CMakeFiles/scflow_hdlsim.dir/gate_sim.cpp.o.d"
+  "CMakeFiles/scflow_hdlsim.dir/src_gate_sim.cpp.o"
+  "CMakeFiles/scflow_hdlsim.dir/src_gate_sim.cpp.o.d"
+  "CMakeFiles/scflow_hdlsim.dir/testbench_vm.cpp.o"
+  "CMakeFiles/scflow_hdlsim.dir/testbench_vm.cpp.o.d"
+  "libscflow_hdlsim.a"
+  "libscflow_hdlsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scflow_hdlsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hls/schedule.cpp" "src/hls/CMakeFiles/scflow_hls.dir/schedule.cpp.o" "gcc" "src/hls/CMakeFiles/scflow_hls.dir/schedule.cpp.o.d"
+  "/root/repo/src/hls/src_beh.cpp" "src/hls/CMakeFiles/scflow_hls.dir/src_beh.cpp.o" "gcc" "src/hls/CMakeFiles/scflow_hls.dir/src_beh.cpp.o.d"
+  "/root/repo/src/hls/synthesize.cpp" "src/hls/CMakeFiles/scflow_hls.dir/synthesize.cpp.o" "gcc" "src/hls/CMakeFiles/scflow_hls.dir/synthesize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rtl/CMakeFiles/scflow_rtl.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/scflow_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/dtypes/CMakeFiles/scflow_dtypes.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scflow_hls.dir/schedule.cpp.o"
+  "CMakeFiles/scflow_hls.dir/schedule.cpp.o.d"
+  "CMakeFiles/scflow_hls.dir/src_beh.cpp.o"
+  "CMakeFiles/scflow_hls.dir/src_beh.cpp.o.d"
+  "CMakeFiles/scflow_hls.dir/synthesize.cpp.o"
+  "CMakeFiles/scflow_hls.dir/synthesize.cpp.o.d"
+  "libscflow_hls.a"
+  "libscflow_hls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scflow_hls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernel/clock.cpp" "src/kernel/CMakeFiles/scflow_kernel.dir/clock.cpp.o" "gcc" "src/kernel/CMakeFiles/scflow_kernel.dir/clock.cpp.o.d"
+  "/root/repo/src/kernel/event.cpp" "src/kernel/CMakeFiles/scflow_kernel.dir/event.cpp.o" "gcc" "src/kernel/CMakeFiles/scflow_kernel.dir/event.cpp.o.d"
+  "/root/repo/src/kernel/object.cpp" "src/kernel/CMakeFiles/scflow_kernel.dir/object.cpp.o" "gcc" "src/kernel/CMakeFiles/scflow_kernel.dir/object.cpp.o.d"
+  "/root/repo/src/kernel/process.cpp" "src/kernel/CMakeFiles/scflow_kernel.dir/process.cpp.o" "gcc" "src/kernel/CMakeFiles/scflow_kernel.dir/process.cpp.o.d"
+  "/root/repo/src/kernel/simulation.cpp" "src/kernel/CMakeFiles/scflow_kernel.dir/simulation.cpp.o" "gcc" "src/kernel/CMakeFiles/scflow_kernel.dir/simulation.cpp.o.d"
+  "/root/repo/src/kernel/vcd.cpp" "src/kernel/CMakeFiles/scflow_kernel.dir/vcd.cpp.o" "gcc" "src/kernel/CMakeFiles/scflow_kernel.dir/vcd.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dtypes/CMakeFiles/scflow_dtypes.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

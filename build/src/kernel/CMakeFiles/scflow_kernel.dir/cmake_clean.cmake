@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scflow_kernel.dir/clock.cpp.o"
+  "CMakeFiles/scflow_kernel.dir/clock.cpp.o.d"
+  "CMakeFiles/scflow_kernel.dir/event.cpp.o"
+  "CMakeFiles/scflow_kernel.dir/event.cpp.o.d"
+  "CMakeFiles/scflow_kernel.dir/object.cpp.o"
+  "CMakeFiles/scflow_kernel.dir/object.cpp.o.d"
+  "CMakeFiles/scflow_kernel.dir/process.cpp.o"
+  "CMakeFiles/scflow_kernel.dir/process.cpp.o.d"
+  "CMakeFiles/scflow_kernel.dir/simulation.cpp.o"
+  "CMakeFiles/scflow_kernel.dir/simulation.cpp.o.d"
+  "CMakeFiles/scflow_kernel.dir/vcd.cpp.o"
+  "CMakeFiles/scflow_kernel.dir/vcd.cpp.o.d"
+  "libscflow_kernel.a"
+  "libscflow_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scflow_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netlist/lower.cpp" "src/netlist/CMakeFiles/scflow_netlist.dir/lower.cpp.o" "gcc" "src/netlist/CMakeFiles/scflow_netlist.dir/lower.cpp.o.d"
+  "/root/repo/src/netlist/netlist.cpp" "src/netlist/CMakeFiles/scflow_netlist.dir/netlist.cpp.o" "gcc" "src/netlist/CMakeFiles/scflow_netlist.dir/netlist.cpp.o.d"
+  "/root/repo/src/netlist/opt.cpp" "src/netlist/CMakeFiles/scflow_netlist.dir/opt.cpp.o" "gcc" "src/netlist/CMakeFiles/scflow_netlist.dir/opt.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rtl/CMakeFiles/scflow_rtl.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/scflow_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/dtypes/CMakeFiles/scflow_dtypes.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

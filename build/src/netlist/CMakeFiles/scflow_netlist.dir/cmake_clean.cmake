@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scflow_netlist.dir/lower.cpp.o"
+  "CMakeFiles/scflow_netlist.dir/lower.cpp.o.d"
+  "CMakeFiles/scflow_netlist.dir/netlist.cpp.o"
+  "CMakeFiles/scflow_netlist.dir/netlist.cpp.o.d"
+  "CMakeFiles/scflow_netlist.dir/opt.cpp.o"
+  "CMakeFiles/scflow_netlist.dir/opt.cpp.o.d"
+  "libscflow_netlist.a"
+  "libscflow_netlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scflow_netlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

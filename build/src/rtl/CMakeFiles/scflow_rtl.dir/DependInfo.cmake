@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rtl/builder.cpp" "src/rtl/CMakeFiles/scflow_rtl.dir/builder.cpp.o" "gcc" "src/rtl/CMakeFiles/scflow_rtl.dir/builder.cpp.o.d"
+  "/root/repo/src/rtl/interpreter.cpp" "src/rtl/CMakeFiles/scflow_rtl.dir/interpreter.cpp.o" "gcc" "src/rtl/CMakeFiles/scflow_rtl.dir/interpreter.cpp.o.d"
+  "/root/repo/src/rtl/ir.cpp" "src/rtl/CMakeFiles/scflow_rtl.dir/ir.cpp.o" "gcc" "src/rtl/CMakeFiles/scflow_rtl.dir/ir.cpp.o.d"
+  "/root/repo/src/rtl/passes.cpp" "src/rtl/CMakeFiles/scflow_rtl.dir/passes.cpp.o" "gcc" "src/rtl/CMakeFiles/scflow_rtl.dir/passes.cpp.o.d"
+  "/root/repo/src/rtl/src_design.cpp" "src/rtl/CMakeFiles/scflow_rtl.dir/src_design.cpp.o" "gcc" "src/rtl/CMakeFiles/scflow_rtl.dir/src_design.cpp.o.d"
+  "/root/repo/src/rtl/src_sim.cpp" "src/rtl/CMakeFiles/scflow_rtl.dir/src_sim.cpp.o" "gcc" "src/rtl/CMakeFiles/scflow_rtl.dir/src_sim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dtypes/CMakeFiles/scflow_dtypes.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/scflow_dsp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

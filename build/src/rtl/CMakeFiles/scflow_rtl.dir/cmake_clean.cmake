@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scflow_rtl.dir/builder.cpp.o"
+  "CMakeFiles/scflow_rtl.dir/builder.cpp.o.d"
+  "CMakeFiles/scflow_rtl.dir/interpreter.cpp.o"
+  "CMakeFiles/scflow_rtl.dir/interpreter.cpp.o.d"
+  "CMakeFiles/scflow_rtl.dir/ir.cpp.o"
+  "CMakeFiles/scflow_rtl.dir/ir.cpp.o.d"
+  "CMakeFiles/scflow_rtl.dir/passes.cpp.o"
+  "CMakeFiles/scflow_rtl.dir/passes.cpp.o.d"
+  "CMakeFiles/scflow_rtl.dir/src_design.cpp.o"
+  "CMakeFiles/scflow_rtl.dir/src_design.cpp.o.d"
+  "CMakeFiles/scflow_rtl.dir/src_sim.cpp.o"
+  "CMakeFiles/scflow_rtl.dir/src_sim.cpp.o.d"
+  "libscflow_rtl.a"
+  "libscflow_rtl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scflow_rtl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

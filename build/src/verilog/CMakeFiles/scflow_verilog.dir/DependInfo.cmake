@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/verilog/parser.cpp" "src/verilog/CMakeFiles/scflow_verilog.dir/parser.cpp.o" "gcc" "src/verilog/CMakeFiles/scflow_verilog.dir/parser.cpp.o.d"
+  "/root/repo/src/verilog/writer.cpp" "src/verilog/CMakeFiles/scflow_verilog.dir/writer.cpp.o" "gcc" "src/verilog/CMakeFiles/scflow_verilog.dir/writer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netlist/CMakeFiles/scflow_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtl/CMakeFiles/scflow_rtl.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/scflow_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/dtypes/CMakeFiles/scflow_dtypes.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

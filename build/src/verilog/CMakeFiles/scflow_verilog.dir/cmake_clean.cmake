@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scflow_verilog.dir/parser.cpp.o"
+  "CMakeFiles/scflow_verilog.dir/parser.cpp.o.d"
+  "CMakeFiles/scflow_verilog.dir/writer.cpp.o"
+  "CMakeFiles/scflow_verilog.dir/writer.cpp.o.d"
+  "libscflow_verilog.a"
+  "libscflow_verilog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scflow_verilog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dtypes.dir/test_dtypes.cpp.o"
+  "CMakeFiles/test_dtypes.dir/test_dtypes.cpp.o.d"
+  "test_dtypes"
+  "test_dtypes.pdb"
+  "test_dtypes[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dtypes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

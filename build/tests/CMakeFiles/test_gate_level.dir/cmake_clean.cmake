@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gate_level.dir/test_gate_level.cpp.o"
+  "CMakeFiles/test_gate_level.dir/test_gate_level.cpp.o.d"
+  "test_gate_level"
+  "test_gate_level.pdb"
+  "test_gate_level[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gate_level.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_src_design.dir/test_src_design.cpp.o"
+  "CMakeFiles/test_src_design.dir/test_src_design.cpp.o.d"
+  "test_src_design"
+  "test_src_design.pdb"
+  "test_src_design[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_src_design.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
