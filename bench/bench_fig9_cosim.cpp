@@ -50,33 +50,58 @@ std::unique_ptr<hdlsim::Dut> make_dut(DutKind kind) {
   return dut;
 }
 
+// Attach the simulator-internals counters (see hdlsim::SimCounters) next
+// to the throughput numbers, so a run shows *why* the engines differ, not
+// just how fast they go.
+void report_counters(benchmark::State& state, const hdlsim::SimCounters& c) {
+  state.counters["evals"] = static_cast<double>(c.evaluations);
+  state.counters["dirty_pushes"] = static_cast<double>(c.dirty_pushes);
+  state.counters["peak_q"] = static_cast<double>(c.peak_queue_depth);
+  state.counters["ss_allocs"] = static_cast<double>(c.steady_state_allocs);
+}
+
+// DUT construction (netlist copy + simulator build) is setup, not
+// simulation: keep it outside the timed region so cyc_per_s measures the
+// engines, comparable across DUTs of very different construction cost.
 void native_bench(benchmark::State& state, DutKind kind) {
   const auto prog = hdlsim::build_src_testbench(events(), dsp::SrcMode::k44_1To48);
   std::uint64_t cycles = 0, tb_instructions = 0;
+  hdlsim::SimCounters last{};
   for (auto _ : state) {
+    state.PauseTiming();
     auto dut = make_dut(kind);
+    state.ResumeTiming();
     const auto r = hdlsim::run_testbench_vm(*dut, prog);
     benchmark::DoNotOptimize(r.outputs.data());
     cycles += r.cycles;
     tb_instructions += r.instructions_executed;
+    last = r.dut_counters;
   }
   state.counters["cyc_per_s"] =
       benchmark::Counter(static_cast<double>(cycles), benchmark::Counter::kIsRate);
   state.counters["tb_instr"] = static_cast<double>(tb_instructions);
+  report_counters(state, last);
 }
 
 void cosim_bench(benchmark::State& state, DutKind kind) {
   std::uint64_t cycles = 0, syncs = 0;
+  hdlsim::SimCounters last{};
   for (auto _ : state) {
+    state.PauseTiming();
     auto dut = make_dut(kind);
-    const auto r = cosim::run_cosim(*dut, dsp::SrcMode::k44_1To48, events());
+    // run_cosim builds the minisc testbench world before starting the
+    // kernel; resume the clock only once it actually runs.
+    const auto r = cosim::run_cosim(*dut, dsp::SrcMode::k44_1To48, events(),
+                                    [&state] { state.ResumeTiming(); });
     benchmark::DoNotOptimize(r.outputs.data());
     cycles += r.cycles;
     syncs += r.syncs;
+    last = r.dut_counters;
   }
   state.counters["cyc_per_s"] =
       benchmark::Counter(static_cast<double>(cycles), benchmark::Counter::kIsRate);
   state.counters["syncs"] = static_cast<double>(syncs);
+  report_counters(state, last);
 }
 
 void Fig9_RTL_VhdlTestbench(benchmark::State& s) { native_bench(s, DutKind::kRtl); }
@@ -99,4 +124,30 @@ FIG9_BENCH(Fig9_GateRTL_SystemCTestbench);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Adds a `--json FILE` convenience flag (for scripted runs and the
+// EXPERIMENTS.md tables) on top of the standard benchmark flags; it
+// expands to --benchmark_out=FILE --benchmark_out_format=json.
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv, argv + argc);
+  std::vector<std::string> expanded;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--json" && i + 1 < args.size()) {
+      expanded.push_back("--benchmark_out=" + args[++i]);
+      expanded.push_back("--benchmark_out_format=json");
+    } else if (args[i].rfind("--json=", 0) == 0) {
+      expanded.push_back("--benchmark_out=" + args[i].substr(7));
+      expanded.push_back("--benchmark_out_format=json");
+    } else {
+      expanded.push_back(args[i]);
+    }
+  }
+  std::vector<char*> cargs;
+  cargs.reserve(expanded.size());
+  for (auto& a : expanded) cargs.push_back(a.data());
+  int cargc = static_cast<int>(cargs.size());
+  benchmark::Initialize(&cargc, cargs.data());
+  if (benchmark::ReportUnrecognizedArguments(cargc, cargs.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -183,7 +183,12 @@ bench/CMakeFiles/bench_fig9_cosim.dir/bench_fig9_cosim.cpp.o: \
  /usr/include/c++/12/bits/exception_ptr.h \
  /usr/include/c++/12/bits/cxxabi_init_exception.h \
  /usr/include/c++/12/typeinfo /usr/include/c++/12/bits/nested_exception.h \
- /root/repo/src/cosim/../cosim/bridge.hpp \
+ /root/repo/src/cosim/../cosim/bridge.hpp /usr/include/c++/12/functional \
+ /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
+ /usr/include/c++/12/bits/hashtable_policy.h \
+ /usr/include/c++/12/bits/enable_special_members.h \
+ /usr/include/c++/12/bits/unordered_map.h /usr/include/c++/12/array \
  /root/repo/src/cosim/../core/pins.hpp \
  /root/repo/src/cosim/../dtypes/bit_int.hpp /usr/include/c++/12/ostream \
  /usr/include/c++/12/ios /usr/include/c++/12/bits/ios_base.h \
@@ -202,12 +207,7 @@ bench/CMakeFiles/bench_fig9_cosim.dir/bench_fig9_cosim.cpp.o: \
  /usr/include/c++/12/bits/locale_facets.tcc \
  /usr/include/c++/12/bits/basic_ios.tcc \
  /usr/include/c++/12/bits/ostream.tcc \
- /root/repo/src/cosim/../kernel/module.hpp /usr/include/c++/12/functional \
- /usr/include/c++/12/bits/std_function.h \
- /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
- /usr/include/c++/12/bits/hashtable_policy.h \
- /usr/include/c++/12/bits/enable_special_members.h \
- /usr/include/c++/12/bits/unordered_map.h /usr/include/c++/12/array \
+ /root/repo/src/cosim/../kernel/module.hpp \
  /root/repo/src/cosim/../kernel/event.hpp \
  /root/repo/src/cosim/../kernel/time.hpp \
  /root/repo/src/cosim/../kernel/object.hpp \
@@ -238,6 +238,7 @@ bench/CMakeFiles/bench_fig9_cosim.dir/bench_fig9_cosim.cpp.o: \
  /root/repo/src/cosim/../hdlsim/dut.hpp \
  /root/repo/src/cosim/../hdlsim/gate_sim.hpp \
  /root/repo/src/cosim/../dtypes/logic.hpp \
+ /root/repo/src/cosim/../hdlsim/sim_counters.hpp \
  /root/repo/src/cosim/../netlist/netlist.hpp \
  /root/repo/src/cosim/../rtl/interpreter.hpp \
  /root/repo/src/cosim/../rtl/ir.hpp \

@@ -159,14 +159,7 @@ examples/CMakeFiles/cosim_demo.dir/cosim_demo.cpp.o: \
  /usr/include/c++/12/bits/ostream.tcc \
  /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc \
- /root/repo/src/cosim/../cosim/bridge.hpp /usr/include/c++/12/vector \
- /usr/include/c++/12/bits/stl_uninitialized.h \
- /usr/include/c++/12/bits/stl_vector.h \
- /usr/include/c++/12/bits/stl_bvector.h \
- /usr/include/c++/12/bits/vector.tcc \
- /root/repo/src/cosim/../core/pins.hpp \
- /root/repo/src/cosim/../dtypes/bit_int.hpp \
- /root/repo/src/cosim/../kernel/module.hpp /usr/include/c++/12/functional \
+ /root/repo/src/cosim/../cosim/bridge.hpp /usr/include/c++/12/functional \
  /usr/include/c++/12/tuple /usr/include/c++/12/bits/uses_allocator.h \
  /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map \
@@ -176,12 +169,19 @@ examples/CMakeFiles/cosim_demo.dir/cosim_demo.cpp.o: \
  /usr/include/c++/12/bits/enable_special_members.h \
  /usr/include/c++/12/bits/node_handle.h \
  /usr/include/c++/12/bits/unordered_map.h \
- /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/array \
+ /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/vector \
+ /usr/include/c++/12/bits/stl_uninitialized.h \
+ /usr/include/c++/12/bits/stl_vector.h \
+ /usr/include/c++/12/bits/stl_bvector.h \
+ /usr/include/c++/12/bits/vector.tcc /usr/include/c++/12/array \
  /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/stl_tempbuf.h \
  /usr/include/c++/12/bits/uniform_int_dist.h \
+ /root/repo/src/cosim/../core/pins.hpp \
+ /root/repo/src/cosim/../dtypes/bit_int.hpp \
+ /root/repo/src/cosim/../kernel/module.hpp \
  /root/repo/src/cosim/../kernel/event.hpp \
  /root/repo/src/cosim/../kernel/time.hpp \
  /root/repo/src/cosim/../kernel/object.hpp \
@@ -238,6 +238,7 @@ examples/CMakeFiles/cosim_demo.dir/cosim_demo.cpp.o: \
  /root/repo/src/cosim/../hdlsim/dut.hpp \
  /root/repo/src/cosim/../hdlsim/gate_sim.hpp \
  /root/repo/src/cosim/../dtypes/logic.hpp \
+ /root/repo/src/cosim/../hdlsim/sim_counters.hpp \
  /root/repo/src/cosim/../netlist/netlist.hpp \
  /root/repo/src/cosim/../rtl/interpreter.hpp \
  /root/repo/src/cosim/../rtl/ir.hpp \

@@ -233,5 +233,6 @@ examples/CMakeFiles/gate_level_bug.dir/gate_level_bug.cpp.o: \
  /root/repo/src/flow/../hdlsim/src_gate_sim.hpp \
  /root/repo/src/flow/../hdlsim/gate_sim.hpp \
  /root/repo/src/flow/../dtypes/logic.hpp \
+ /root/repo/src/flow/../hdlsim/sim_counters.hpp \
  /root/repo/src/flow/../rtl/src_design.hpp \
  /root/repo/src/flow/../rtl/builder.hpp

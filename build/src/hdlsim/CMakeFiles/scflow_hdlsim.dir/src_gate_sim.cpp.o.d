@@ -170,6 +170,7 @@ src/hdlsim/CMakeFiles/scflow_hdlsim.dir/src_gate_sim.cpp.o: \
  /usr/include/c++/12/bits/locale_facets.tcc \
  /usr/include/c++/12/bits/basic_ios.tcc \
  /usr/include/c++/12/bits/ostream.tcc \
+ /root/repo/src/hdlsim/../hdlsim/sim_counters.hpp \
  /root/repo/src/hdlsim/../netlist/netlist.hpp /usr/include/c++/12/map \
  /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h \

@@ -209,6 +209,7 @@ src/hdlsim/CMakeFiles/scflow_hdlsim.dir/testbench_vm.cpp.o: \
  /usr/include/c++/12/bits/unordered_map.h \
  /usr/include/c++/12/bits/erase_if.h \
  /root/repo/src/hdlsim/../dtypes/logic.hpp \
+ /root/repo/src/hdlsim/../hdlsim/sim_counters.hpp \
  /root/repo/src/hdlsim/../netlist/netlist.hpp \
  /root/repo/src/hdlsim/../rtl/interpreter.hpp \
  /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \

@@ -315,6 +315,7 @@ tests/CMakeFiles/test_cosim.dir/test_cosim.cpp.o: \
  /root/repo/src/cosim/../hdlsim/dut.hpp \
  /root/repo/src/cosim/../hdlsim/gate_sim.hpp \
  /root/repo/src/cosim/../dtypes/logic.hpp \
+ /root/repo/src/cosim/../hdlsim/sim_counters.hpp \
  /root/repo/src/cosim/../netlist/netlist.hpp \
  /root/repo/src/cosim/../rtl/interpreter.hpp \
  /root/repo/src/cosim/../rtl/ir.hpp \

@@ -323,6 +323,7 @@ tests/CMakeFiles/test_fuzz_equivalence.dir/test_fuzz_equivalence.cpp.o: \
  /root/repo/src/hdlsim/../dtypes/bit_int.hpp \
  /root/repo/src/hdlsim/../hdlsim/gate_sim.hpp \
  /root/repo/src/hdlsim/../dtypes/logic.hpp \
+ /root/repo/src/hdlsim/../hdlsim/sim_counters.hpp \
  /root/repo/src/hdlsim/../netlist/netlist.hpp \
  /root/repo/src/hdlsim/../netlist/lower.hpp \
  /root/repo/src/hdlsim/../rtl/ir.hpp \

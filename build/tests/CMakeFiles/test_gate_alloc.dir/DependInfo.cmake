@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_gate_alloc.cpp" "tests/CMakeFiles/test_gate_alloc.dir/test_gate_alloc.cpp.o" "gcc" "tests/CMakeFiles/test_gate_alloc.dir/test_gate_alloc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hdlsim/CMakeFiles/scflow_hdlsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtl/CMakeFiles/scflow_rtl.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/scflow_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/scflow_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/dtypes/CMakeFiles/scflow_dtypes.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gate_alloc.dir/test_gate_alloc.cpp.o"
+  "CMakeFiles/test_gate_alloc.dir/test_gate_alloc.cpp.o.d"
+  "test_gate_alloc"
+  "test_gate_alloc.pdb"
+  "test_gate_alloc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gate_alloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

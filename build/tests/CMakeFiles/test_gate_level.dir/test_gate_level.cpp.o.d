@@ -311,6 +311,7 @@ tests/CMakeFiles/test_gate_level.dir/test_gate_level.cpp.o: \
  /root/repo/src/hdlsim/../hdlsim/src_gate_sim.hpp \
  /root/repo/src/hdlsim/../hdlsim/gate_sim.hpp \
  /root/repo/src/hdlsim/../dtypes/logic.hpp \
+ /root/repo/src/hdlsim/../hdlsim/sim_counters.hpp \
  /root/repo/src/hdlsim/../netlist/netlist.hpp \
  /root/repo/src/hdlsim/../hls/src_beh.hpp \
  /root/repo/src/hdlsim/../hls/schedule.hpp \

@@ -327,4 +327,5 @@ tests/CMakeFiles/test_netlist.dir/test_netlist.cpp.o: \
  /root/repo/src/hdlsim/../netlist/opt.hpp \
  /root/repo/src/hdlsim/../hdlsim/gate_sim.hpp \
  /root/repo/src/hdlsim/../dtypes/logic.hpp \
+ /root/repo/src/hdlsim/../hdlsim/sim_counters.hpp \
  /root/repo/src/hdlsim/../rtl/builder.hpp

@@ -322,6 +322,7 @@ tests/CMakeFiles/test_verilog.dir/test_verilog.cpp.o: \
  /usr/include/c++/12/pstl/glue_numeric_defs.h \
  /root/repo/src/verilog/../hdlsim/gate_sim.hpp \
  /root/repo/src/verilog/../dtypes/logic.hpp \
+ /root/repo/src/verilog/../hdlsim/sim_counters.hpp \
  /root/repo/src/verilog/../netlist/netlist.hpp \
  /root/repo/src/verilog/../netlist/lower.hpp \
  /root/repo/src/verilog/../rtl/ir.hpp \

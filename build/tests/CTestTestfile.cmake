@@ -13,6 +13,7 @@ include("/root/repo/build/tests/test_src_design[1]_include.cmake")
 include("/root/repo/build/tests/test_hls[1]_include.cmake")
 include("/root/repo/build/tests/test_netlist[1]_include.cmake")
 include("/root/repo/build/tests/test_gate_level[1]_include.cmake")
+include("/root/repo/build/tests/test_gate_alloc[1]_include.cmake")
 include("/root/repo/build/tests/test_verilog[1]_include.cmake")
 include("/root/repo/build/tests/test_cosim[1]_include.cmake")
 include("/root/repo/build/tests/test_flow[1]_include.cmake")

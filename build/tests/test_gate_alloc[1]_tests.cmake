@@ -1,0 +1,3 @@
+add_test([=[GateSimAllocation.SteadyStateHotPathIsAllocationFree]=]  /root/repo/build/tests/test_gate_alloc [==[--gtest_filter=GateSimAllocation.SteadyStateHotPathIsAllocationFree]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[GateSimAllocation.SteadyStateHotPathIsAllocationFree]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build/tests SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==])
+set(  test_gate_alloc_TESTS GateSimAllocation.SteadyStateHotPathIsAllocationFree)

@@ -18,18 +18,27 @@ DutBridge::DutBridge(minisc::Simulation& sim, std::string name, model::SrcPins& 
       dut_(&dut),
       sync_cycles_(std::move(sync_cycles)) {
   dut.set_input("mode", static_cast<std::uint64_t>(mode));
-  dut.set_input("in_strobe", 0);
-  dut.set_input("in_left", 0);
-  dut.set_input("in_right", 0);
-  dut.set_input("out_req", 0);
+  // Port handles resolved once; every per-cycle transfer across the
+  // bridge then skips the DUT's name lookup.
+  h_in_strobe_ = dut.input_handle("in_strobe");
+  h_in_left_ = dut.input_handle("in_left");
+  h_in_right_ = dut.input_handle("in_right");
+  h_out_req_ = dut.input_handle("out_req");
+  h_out_valid_ = dut.output_handle("out_valid");
+  h_out_left_ = dut.output_handle("out_left");
+  h_out_right_ = dut.output_handle("out_right");
+  dut.set_input(h_in_strobe_, 0);
+  dut.set_input(h_in_left_, 0);
+  dut.set_input(h_in_right_, 0);
+  dut.set_input(h_out_req_, 0);
   thread("sync", [this] { run(); });
 }
 
 void DutBridge::transfer_inputs() {
-  dut_->set_input("in_strobe", pins_->in_strobe.read() ? 1 : 0);
-  dut_->set_input("in_left", pins_->in_left.read().to_uint64());
-  dut_->set_input("in_right", pins_->in_right.read().to_uint64());
-  dut_->set_input("out_req", pins_->out_req.read() ? 1 : 0);
+  dut_->set_input(h_in_strobe_, pins_->in_strobe.read() ? 1 : 0);
+  dut_->set_input(h_in_left_, pins_->in_left.read().to_uint64());
+  dut_->set_input(h_in_right_, pins_->in_right.read().to_uint64());
+  dut_->set_input(h_out_req_, pins_->out_req.read() ? 1 : 0);
 }
 
 bool DutBridge::advance_to(std::uint64_t target) {
@@ -37,7 +46,7 @@ bool DutBridge::advance_to(std::uint64_t target) {
   while (dut_cycle_ < target) {
     dut_->step();
     ++dut_cycle_;
-    const std::uint64_t valid = dut_->output("out_valid");
+    const std::uint64_t valid = dut_->output(h_out_valid_);
     if (valid != last_valid_) {
       last_valid_ = valid;
       publish = true;  // at most one result per inter-event batch
@@ -45,9 +54,9 @@ bool DutBridge::advance_to(std::uint64_t target) {
   }
   if (publish) {
     pins_->out_left.write(model::Sample16(
-        static_cast<std::int64_t>(scflow::sign_extend(dut_->output("out_left"), 16))));
+        static_cast<std::int64_t>(scflow::sign_extend(dut_->output(h_out_left_), 16))));
     pins_->out_right.write(model::Sample16(
-        static_cast<std::int64_t>(scflow::sign_extend(dut_->output("out_right"), 16))));
+        static_cast<std::int64_t>(scflow::sign_extend(dut_->output(h_out_right_), 16))));
     pins_->out_valid.write(last_valid_ != 0);
   }
   return publish;
@@ -76,7 +85,8 @@ void DutBridge::run() {
 }
 
 CosimResult run_cosim(hdlsim::Dut& dut, dsp::SrcMode mode,
-                      const std::vector<dsp::SrcEvent>& events) {
+                      const std::vector<dsp::SrcEvent>& events,
+                      const std::function<void()>& on_run_start) {
   minisc::Simulation sim;
   model::SrcPins pins(sim);
   model::PinProducer producer(sim, pins, events);
@@ -90,6 +100,7 @@ CosimResult run_cosim(hdlsim::Dut& dut, dsp::SrcMode mode,
                     sync_cycles.end());
   DutBridge bridge(sim, "bridge", pins, dut, mode, std::move(sync_cycles));
 
+  if (on_run_start) on_run_start();
   sim.run();
 
   CosimResult r;
@@ -98,6 +109,7 @@ CosimResult run_cosim(hdlsim::Dut& dut, dsp::SrcMode mode,
   r.cycles = bridge.dut_cycles();
   r.syncs = bridge.sync_count();
   r.dut_work_units = dut.work_units();
+  r.dut_counters = dut.counters();
   return r;
 }
 

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "core/pins.hpp"
@@ -40,6 +41,9 @@ class DutBridge : public minisc::Module {
 
   model::SrcPins* pins_;
   hdlsim::Dut* dut_;
+  // Resolved DUT port handles (see Dut::input_handle).
+  int h_in_strobe_ = -1, h_in_left_ = -1, h_in_right_ = -1, h_out_req_ = -1;
+  int h_out_valid_ = -1, h_out_left_ = -1, h_out_right_ = -1;
   std::vector<std::uint64_t> sync_cycles_;
   std::uint64_t dut_cycle_ = 0;
   std::uint64_t syncs_ = 0;
@@ -52,11 +56,15 @@ struct CosimResult {
   std::uint64_t cycles = 0;
   std::uint64_t syncs = 0;
   std::uint64_t dut_work_units = 0;
+  hdlsim::SimCounters dut_counters;
 };
 
 /// Runs a schedule against @p dut with the compiled minisc testbench
-/// (PinProducer/PinConsumer) through the bridge.
+/// (PinProducer/PinConsumer) through the bridge.  @p on_run_start fires
+/// after elaboration/setup, immediately before the kernel starts — the
+/// benches use it to keep setup out of the timed region.
 CosimResult run_cosim(hdlsim::Dut& dut, dsp::SrcMode mode,
-                      const std::vector<dsp::SrcEvent>& events);
+                      const std::vector<dsp::SrcEvent>& events,
+                      const std::function<void()>& on_run_start = {});
 
 }  // namespace scflow::cosim

@@ -3,6 +3,14 @@
 // including the behavioural macro models for the buffer RAM (optionally
 // the address-checking variant that exposed the paper's golden-model bug)
 // and the coefficient ROM.
+//
+// The evaluation core is table-driven and allocation-free: Logic values
+// are 2-bit codes, every 0–3-input cell is one lookup in a precomputed
+// 64-entry truth table, fanout lives in a CSR (offsets + targets) layout,
+// input nets sit inline in each 20-byte evaluation unit, and the dirty
+// set is a bitmap swept in topological (level) order.
+// The original switch-based evaluator is retained behind
+// Options::use_reference_eval as the differential-testing oracle.
 #pragma once
 
 #include <cstdint>
@@ -11,6 +19,7 @@
 #include <vector>
 
 #include "dtypes/logic.hpp"
+#include "hdlsim/sim_counters.hpp"
 #include "netlist/netlist.hpp"
 
 namespace scflow::hdlsim {
@@ -24,6 +33,10 @@ class GateSim {
     /// Attach the checking RAM simulation model: flags reads of
     /// never-written or stale (age > 55 samples) slots and X addresses.
     bool check_ram = false;
+    /// Evaluate cells through the original switch + logic_*() call chain
+    /// instead of the packed truth-table LUTs.  Slower; kept as the
+    /// reference oracle for the fuzz-equivalence tests.
+    bool use_reference_eval = false;
   };
 
   struct RamViolation {
@@ -36,8 +49,18 @@ class GateSim {
   explicit GateSim(const nl::Netlist& netlist) : GateSim(netlist, Options()) {}
   GateSim(const nl::Netlist& netlist, Options options);
 
+  /// Resolved port handles: look the name up once, then drive/read the
+  /// port every cycle without the string-keyed map lookup.
+  using PortRef = const nl::PortBits*;
+  [[nodiscard]] PortRef input_port(const std::string& name) const;
+  [[nodiscard]] PortRef output_port(const std::string& name) const;
+
   void set_input(const std::string& name, std::uint64_t value);
+  void set_input(PortRef port, std::uint64_t value);
   void set_input_x(const std::string& name);
+  /// Drives an input port with arbitrary four-valued bits (X/Z injection
+  /// for verification); vector width must not exceed the port width.
+  void set_input_logic(const std::string& name, const scflow::LogicVector& bits);
 
   /// Settles combinational logic for the current inputs.
   void settle();
@@ -47,12 +70,14 @@ class GateSim {
   [[nodiscard]] scflow::LogicVector output_bits(const std::string& name);
   /// Numeric output; requires all bits 0/1 (throws on X/Z).
   [[nodiscard]] std::uint64_t output(const std::string& name);
+  [[nodiscard]] std::uint64_t output(PortRef port);
 
   [[nodiscard]] const RamViolation& ram_violations() const { return ram_violation_; }
   [[nodiscard]] std::uint64_t cycles() const { return cycles_; }
   /// Gate evaluations performed so far — the "interpreted simulator work"
   /// metric the Fig. 9 benchmark reports against.
-  [[nodiscard]] std::uint64_t gate_evaluations() const { return evaluations_; }
+  [[nodiscard]] std::uint64_t gate_evaluations() const { return counters_.evaluations; }
+  [[nodiscard]] const SimCounters& counters() const { return counters_; }
 
  private:
   struct MacroState {
@@ -61,12 +86,65 @@ class GateSim {
     std::vector<bool> written;
     std::vector<std::uint64_t> written_at;  // write serial per slot
     std::uint64_t write_count = 0;
+    // Write-side nets resolved once at construction (RAM only).
+    std::vector<nl::NetId> wen_nets, waddr_nets, wdata_nets;
+    // (macro, port) -> evaluation-unit index, so a RAM write re-queues its
+    // read ports in O(#ports) instead of scanning every unit.
+    std::vector<std::uint32_t> port_unit;
   };
 
-  void eval_cell(std::size_t index);
-  void eval_macro_port(std::size_t macro, std::size_t port);
+  // Read-port nets resolved once at construction; shared by the LUT and
+  // reference paths so neither chases port-name lookups while settling.
+  struct MacroPort {
+    std::uint32_t macro = 0;
+    std::uint32_t port = 0;
+    std::vector<nl::NetId> addr_nets, en_nets, data_nets;
+  };
+
+  // One evaluation unit: a combinational cell or a macro read port.
+  // 10 bytes, with the (≤3) input nets inline as 16-bit ids (the
+  // constructor rejects netlists with ≥2^16 nets), so six units share
+  // each cache line the settle() sweep walks.  Levels are construction
+  // scaffolding only — after the (level, creation) sort the index order
+  // IS the topological order.
+  struct Unit {
+    std::uint16_t in[3] = {0, 0, 0};  // cell input nets (unused slots: 0)
+    std::uint16_t out = 0;            // cell output net | macro_ports_ index
+    std::uint8_t type = 0;            // nl::CellType, or kMacroUnit
+    std::uint8_t n_inputs = 0;
+  };
+  static constexpr std::uint8_t kMacroUnit = 0xff;
+
+  struct FlopRec {
+    nl::NetId d = nl::kNoNet, si = nl::kNoNet, se = nl::kNoNet;
+    nl::NetId out = nl::kNoNet;
+    bool sdff = false;
+    int init = 0;
+  };
+
+  void eval_unit(const Unit& u);
+  void eval_macro_port(const Unit& u);
   void set_net(nl::NetId net, scflow::Logic v);
   void mark_dirty_fanout(nl::NetId net);
+  /// CSR target: unit index, or n_units + flop index for flop D/SI/SE taps.
+  /// Kept inline — this runs once per fanout edge of every changed net.
+  void mark_target_dirty(std::uint32_t t) {
+    if (t >= units_.size()) {
+      const std::uint32_t x = t - static_cast<std::uint32_t>(units_.size());
+      if (x < flops_.size()) {
+        flop_dirty_words_[x >> 6] |= std::uint64_t{1} << (x & 63u);
+      } else {
+        out_cache_[x - flops_.size()].dirty = true;
+      }
+      return;
+    }
+    std::uint64_t& w = dirty_words_[t >> 6];
+    const std::uint64_t m = std::uint64_t{1} << (t & 63u);
+    if ((w & m) != 0) return;
+    w |= m;
+    ++counters_.dirty_pushes;
+    if (++queued_now_ > counters_.peak_queue_depth) counters_.peak_queue_depth = queued_now_;
+  }
   [[nodiscard]] scflow::Logic net(nl::NetId n) const {
     return values_[static_cast<std::size_t>(n)];
   }
@@ -76,26 +154,50 @@ class GateSim {
   Options options_;
   std::vector<scflow::Logic> values_;
 
-  // Evaluation units: cells then macro read ports, levelised.
-  struct Unit {
-    bool is_macro = false;
-    std::size_t index = 0;  // cell index or (macro<<8|port)
-    int level = 0;
-  };
-  std::vector<Unit> units_;
-  std::vector<std::vector<std::size_t>> fanout_;       // net -> unit indices
-  std::vector<std::vector<std::size_t>> dirty_levels_; // per level: unit queue
-  std::vector<bool> in_queue_;
-  int max_level_ = 0;
+  std::vector<Unit> units_;             // sorted by (level, creation order)
+  const std::uint8_t* luts_ = nullptr;  // flat 16x64 truth tables
+  // Fanout in CSR form: one offsets array per net, one flat target array.
+  // Targets < units_.size() are evaluation units; larger targets encode
+  // flop sample taps (n_units + flop index) and output-port taps
+  // (n_units + n_flops + port index), so one lookup per net change serves
+  // the dirty set, the touched-flop delta set and output-cache
+  // invalidation alike.
+  std::vector<std::uint32_t> fanout_offsets_;
+  std::vector<std::uint32_t> fanout_targets_;
+  // Within each net's CSR range, unit targets come first and flop taps
+  // last; this is the boundary, so the hot sweep walks each sub-range
+  // without a per-target range test.
+  std::vector<std::uint32_t> fanout_unit_end_;
+  // Dirty set as a bitmap over unit indices.  Units are sorted by level,
+  // so a single forward bit-scan visits them in topological order, and
+  // evaluating one can only set bits ahead of the scan cursor.
+  std::vector<std::uint64_t> dirty_words_;
+  std::uint64_t queued_now_ = 0;
 
-  std::vector<std::size_t> flop_cells_;
+  std::vector<FlopRec> flops_;
+  std::vector<scflow::Logic> next_flop_;  // persistent step() buffer
+  // Flop delta tracking: only flops whose D/SI/SE nets changed since the
+  // last edge are re-sampled and re-committed.  Bitmap marks, drained
+  // into the scratch index list each step (no steady-state allocation).
+  std::vector<std::uint64_t> flop_dirty_words_;
+  std::vector<std::uint32_t> flop_active_;
   std::vector<MacroState> macros_;
+  std::vector<MacroPort> macro_ports_;
   std::unordered_map<std::string, const nl::PortBits*> in_ports_;
   std::unordered_map<std::string, const nl::PortBits*> out_ports_;
+  // Packed per-output-port value cache, invalidated through the CSR port
+  // taps; repeated monitor reads of an unchanged port cost O(1) instead
+  // of a per-bit walk.  Parallel to nl_->outputs().
+  struct OutCache {
+    std::uint64_t value = 0;
+    bool defined = false;
+    bool dirty = true;
+  };
+  std::vector<OutCache> out_cache_;
 
   RamViolation ram_violation_;
   std::uint64_t cycles_ = 0;
-  std::uint64_t evaluations_ = 0;
+  SimCounters counters_;
 };
 
 }  // namespace scflow::hdlsim

@@ -35,9 +35,16 @@ GateRunResult run_src_netlist(const nl::Netlist& netlist, dsp::SrcMode mode,
   GateRunResult result;
   bool strobe = false, req = false;
   bool last_valid = false;
+  const auto p_in_left = sim.input_port("in_left");
+  const auto p_in_right = sim.input_port("in_right");
+  const auto p_in_strobe = sim.input_port("in_strobe");
+  const auto p_out_req = sim.input_port("out_req");
+  const auto p_out_valid = sim.output_port("out_valid");
+  const auto p_out_left = sim.output_port("out_left");
+  const auto p_out_right = sim.output_port("out_right");
   {
     sim.settle();
-    last_valid = sim.output("out_valid") != 0;
+    last_valid = sim.output(p_out_valid) != 0;
   }
   auto next_event = by_cycle.begin();
   const std::uint64_t end_cycle = last_cycle + 300;
@@ -45,29 +52,30 @@ GateRunResult run_src_netlist(const nl::Netlist& netlist, dsp::SrcMode mode,
     if (next_event != by_cycle.end() && next_event->first == cycle) {
       for (const dsp::SrcEvent* e : next_event->second) {
         if (e->is_input) {
-          sim.set_input("in_left", static_cast<std::uint16_t>(e->sample.left));
-          sim.set_input("in_right", static_cast<std::uint16_t>(e->sample.right));
+          sim.set_input(p_in_left, static_cast<std::uint16_t>(e->sample.left));
+          sim.set_input(p_in_right, static_cast<std::uint16_t>(e->sample.right));
           strobe = !strobe;
-          sim.set_input("in_strobe", strobe ? 1 : 0);
+          sim.set_input(p_in_strobe, strobe ? 1 : 0);
         } else {
           req = !req;
-          sim.set_input("out_req", req ? 1 : 0);
+          sim.set_input(p_out_req, req ? 1 : 0);
         }
       }
       ++next_event;
     }
     sim.step();
-    const bool v = sim.output("out_valid") != 0;
+    const bool v = sim.output(p_out_valid) != 0;
     if (v != last_valid) {
       last_valid = v;
       result.outputs.push_back(
-          {static_cast<std::int16_t>(scflow::sign_extend(sim.output("out_left"), 16)),
-           static_cast<std::int16_t>(scflow::sign_extend(sim.output("out_right"), 16))});
+          {static_cast<std::int16_t>(scflow::sign_extend(sim.output(p_out_left), 16)),
+           static_cast<std::int16_t>(scflow::sign_extend(sim.output(p_out_right), 16))});
     }
   }
   result.cycles = end_cycle;
   result.gate_evaluations = sim.gate_evaluations();
   result.ram_violations = sim.ram_violations();
+  result.counters = sim.counters();
   return result;
 }
 

@@ -17,6 +17,7 @@ struct GateRunResult {
   std::uint64_t cycles = 0;
   std::uint64_t gate_evaluations = 0;
   GateSim::RamViolation ram_violations;
+  SimCounters counters;
 };
 
 /// Runs the netlist over the schedule (events applied at their quantised

@@ -84,6 +84,26 @@ VmRunResult run_testbench_vm(Dut& dut, const SrcTestbenchProgram& program) {
   std::map<std::string, bool> toggles;
 
   Process procs[2] = {{&program.stimulus, 0, false}, {&program.monitor, 0, false}};
+  // Resolve every port reference once up front; the dispatch loop then
+  // drives the DUT through handles instead of string-keyed lookups.
+  std::map<std::string, int> in_by_name, out_by_name;
+  std::vector<int> port_handles[2];
+  for (int pi = 0; pi < 2; ++pi) {
+    const TbProgram& code = *procs[pi].code;
+    port_handles[pi].assign(code.size(), -1);
+    for (std::size_t pc = 0; pc < code.size(); ++pc) {
+      const TbInstr& in = code[pc];
+      if (in.op == TbInstr::Op::kSet || in.op == TbInstr::Op::kToggle) {
+        auto [it, fresh] = in_by_name.try_emplace(in.port, -1);
+        if (fresh) it->second = dut.input_handle(in.port);
+        port_handles[pi][pc] = it->second;
+      } else if (in.op == TbInstr::Op::kSample) {
+        auto [it, fresh] = out_by_name.try_emplace(in.port, -1);
+        if (fresh) it->second = dut.output_handle(in.port);
+        port_handles[pi][pc] = it->second;
+      }
+    }
+  }
   // The simulator's event calendar: interpreted testbench processes are
   // scheduled through it on every wait, like any HDL simulator kernel.
   using WakeEntry = std::pair<std::uint64_t, int>;  // (cycle, process)
@@ -113,13 +133,13 @@ VmRunResult run_testbench_vm(Dut& dut, const SrcTestbenchProgram& program) {
         ++result.instructions_executed;
         switch (in.op) {
           case TbInstr::Op::kSet:
-            dut.set_input(in.port, static_cast<std::uint64_t>(in.imm));
+            dut.set_input(port_handles[proc_index][p.pc], static_cast<std::uint64_t>(in.imm));
             ++p.pc;
             break;
           case TbInstr::Op::kToggle: {
             bool& t = toggles[in.port];
             t = !t;
-            dut.set_input(in.port, t ? 1 : 0);
+            dut.set_input(port_handles[proc_index][p.pc], t ? 1 : 0);
             ++p.pc;
             break;
           }
@@ -129,7 +149,7 @@ VmRunResult run_testbench_vm(Dut& dut, const SrcTestbenchProgram& program) {
             ++p.pc;
             break;
           case TbInstr::Op::kSample:
-            regs[in.reg_a] = dut.output(in.port);
+            regs[in.reg_a] = dut.output(port_handles[proc_index][p.pc]);
             ++p.pc;
             break;
           case TbInstr::Op::kMov:
@@ -164,6 +184,7 @@ VmRunResult run_testbench_vm(Dut& dut, const SrcTestbenchProgram& program) {
   }
   result.cycles = program.run_cycles;
   result.dut_work_units = dut.work_units();
+  result.dut_counters = dut.counters();
   return result;
 }
 

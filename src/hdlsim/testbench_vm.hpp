@@ -55,6 +55,7 @@ struct VmRunResult {
   std::uint64_t cycles = 0;
   std::uint64_t instructions_executed = 0;  ///< interpreted testbench work
   std::uint64_t dut_work_units = 0;
+  SimCounters dut_counters;
 };
 
 /// Runs the interpreted testbench against the DUT: each clock cycle, every

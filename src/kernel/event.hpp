@@ -49,6 +49,10 @@ class Event {
   void add_static_waiter(ProcessBase& p);
   /// Wakes waiters: called by the kernel when the notification matures.
   void fire();
+  /// Membership flag for the kernel's delta-notification queue, so
+  /// duplicate notify_delta() calls are deduplicated in O(1) instead of a
+  /// linear scan of the queue.  Owned by Simulation.
+  bool in_delta_queue = false;
 
  private:
   struct DynWaiter {

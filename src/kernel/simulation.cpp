@@ -12,18 +12,33 @@ namespace minisc {
 Simulation::Simulation() = default;
 Simulation::~Simulation() = default;
 
-void Simulation::register_object(Object& o) { objects_.push_back(&o); }
+void Simulation::register_object(Object& o) {
+  objects_.push_back(&o);
+  // First registration wins, matching the old linear scan over the
+  // registration-ordered list.
+  object_index_.emplace(o.full_name(), &o);
+}
 
 void Simulation::unregister_object(Object& o) {
   objects_.erase(std::remove(objects_.begin(), objects_.end(), &o), objects_.end());
+  const auto it = object_index_.find(o.full_name());
+  if (it == object_index_.end() || it->second != &o) return;
+  object_index_.erase(it);
+  // Another object may share the name; the earliest-registered survivor
+  // takes over the index slot.
+  for (Object* other : objects_) {
+    if (other->full_name() == o.full_name()) {
+      object_index_.emplace(other->full_name(), other);
+      break;
+    }
+  }
 }
 
 void Simulation::register_port(PortBase& p) { ports_.push_back(&p); }
 
 Object* Simulation::find_object(const std::string& full_name) const {
-  for (Object* o : objects_)
-    if (o->full_name() == full_name) return o;
-  return nullptr;
+  const auto it = object_index_.find(full_name);
+  return it == object_index_.end() ? nullptr : it->second;
 }
 
 ThreadProcess& Simulation::create_thread(Object* parent, std::string name,
@@ -63,8 +78,9 @@ void Simulation::make_runnable(ProcessBase& p) {
 void Simulation::request_update(SignalUpdateIF& s) { update_queue_.push_back(&s); }
 
 void Simulation::schedule_delta_fire(Event& e) {
-  if (std::find(delta_events_.begin(), delta_events_.end(), &e) == delta_events_.end())
-    delta_events_.push_back(&e);
+  if (e.in_delta_queue) return;
+  e.in_delta_queue = true;
+  delta_events_.push_back(&e);
 }
 
 void Simulation::schedule_at(Time t, std::function<void()> fn) {
@@ -98,6 +114,9 @@ void Simulation::update_phase() {
 void Simulation::delta_notify_phase() {
   std::vector<Event*> events;
   events.swap(delta_events_);
+  // Clear every membership flag before firing anything: a notify_delta()
+  // from within a fire() must re-queue for the next delta cycle.
+  for (Event* e : events) e->in_delta_queue = false;
   for (Event* e : events) e->fire();
 }
 

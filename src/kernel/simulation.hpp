@@ -9,6 +9,7 @@
 #include <queue>
 #include <string>
 #include <ucontext.h>
+#include <unordered_map>
 #include <vector>
 
 #include "kernel/process.hpp"
@@ -122,6 +123,9 @@ class Simulation {
 
   std::vector<std::unique_ptr<ProcessBase>> processes_;
   std::vector<Object*> objects_;
+  // Name lookup index for find_object; holds the earliest-registered
+  // object per full name.
+  std::unordered_map<std::string, Object*> object_index_;
   std::vector<PortBase*> ports_;
 
   ThreadProcess* current_thread_ = nullptr;

@@ -114,6 +114,67 @@ void Netlist::validate() const {
         throw std::logic_error(name_ + ": undriven output net " + p.name);
 }
 
+std::string describe_cell(const Netlist& n, std::size_t cell_index) {
+  const Cell& c = n.cells()[cell_index];
+  std::string s = std::string(cell_name(c.type)) + " #" + std::to_string(cell_index) +
+                  " -> net " + std::to_string(c.output);
+  for (const auto& p : n.outputs())
+    for (std::size_t i = 0; i < p.nets.size(); ++i)
+      if (p.nets[i] == c.output)
+        return s + " (feeds output '" + p.name + "[" + std::to_string(i) + "]')";
+  return s;
+}
+
+std::vector<std::size_t> combinational_topo_order(const Netlist& n) {
+  const auto& cells = n.cells();
+  // Net -> combinational driver cell (sequential outputs, primary inputs
+  // and macro data ports count as sources and contribute no edge).
+  std::vector<std::int32_t> driver(static_cast<std::size_t>(n.net_count()), -1);
+  std::vector<std::size_t> comb;
+  for (std::size_t ci = 0; ci < cells.size(); ++ci) {
+    if (cell_is_sequential(cells[ci].type)) continue;
+    driver[static_cast<std::size_t>(cells[ci].output)] = static_cast<std::int32_t>(ci);
+    comb.push_back(ci);
+  }
+  std::vector<std::size_t> indeg(cells.size(), 0);
+  for (std::size_t ci : comb)
+    for (NetId in : cells[ci].inputs)
+      if (driver[static_cast<std::size_t>(in)] >= 0) ++indeg[ci];
+  std::vector<std::size_t> order;
+  order.reserve(comb.size());
+  // FIFO seeded in creation order keeps the result deterministic.
+  std::vector<std::size_t> ready;
+  for (std::size_t ci : comb)
+    if (indeg[ci] == 0) ready.push_back(ci);
+  // Per-net fanout among combinational cells, CSR-style.
+  std::vector<std::size_t> fan_off(static_cast<std::size_t>(n.net_count()) + 1, 0);
+  for (std::size_t ci : comb)
+    for (NetId in : cells[ci].inputs)
+      if (driver[static_cast<std::size_t>(in)] >= 0) ++fan_off[static_cast<std::size_t>(in) + 1];
+  for (std::size_t i = 1; i < fan_off.size(); ++i) fan_off[i] += fan_off[i - 1];
+  std::vector<std::size_t> fan(fan_off.back());
+  {
+    std::vector<std::size_t> cur(fan_off.begin(), fan_off.end() - 1);
+    for (std::size_t ci : comb)
+      for (NetId in : cells[ci].inputs)
+        if (driver[static_cast<std::size_t>(in)] >= 0) fan[cur[static_cast<std::size_t>(in)]++] = ci;
+  }
+  for (std::size_t head = 0; head < ready.size(); ++head) {
+    const std::size_t ci = ready[head];
+    order.push_back(ci);
+    const auto out = static_cast<std::size_t>(cells[ci].output);
+    for (std::size_t k = fan_off[out]; k < fan_off[out + 1]; ++k)
+      if (--indeg[fan[k]] == 0) ready.push_back(fan[k]);
+  }
+  if (order.size() != comb.size()) {
+    for (std::size_t ci : comb)
+      if (indeg[ci] != 0)
+        throw std::logic_error(n.name() + ": combinational cycle through " +
+                               describe_cell(n, ci));
+  }
+  return order;
+}
+
 AreaReport report_area(const Netlist& n) {
   AreaReport r;
   for (const Cell& c : n.cells()) {

@@ -102,6 +102,17 @@ class Netlist {
   NetId tie1_ = kNoNet;
 };
 
+/// One-line human-readable cell description for diagnostics, e.g.
+/// "AND2 #12 -> net 42 (feeds output 'out_left[3]')".
+[[nodiscard]] std::string describe_cell(const Netlist& n, std::size_t cell_index);
+
+/// Deterministic Kahn topological order over the combinational cells.
+/// Sequential cell outputs, primary inputs and macro data ports are
+/// sources.  Ready cells are released in creation order, so the result is
+/// stable across runs for the same netlist.  Throws std::logic_error
+/// naming an offending cell (via describe_cell) on a combinational cycle.
+[[nodiscard]] std::vector<std::size_t> combinational_topo_order(const Netlist& n);
+
 /// Area accounting in the style of Design Compiler's report_area: macros
 /// (RAM/ROM) excluded, scan flops included.
 struct AreaReport {

@@ -37,9 +37,19 @@ void Interpreter::reset() {
 }
 
 void Interpreter::set_input(const std::string& name, std::uint64_t value) {
+  set_input(input_index(name), value);
+}
+
+std::size_t Interpreter::input_index(const std::string& name) const {
   const auto it = input_by_name_.find(name);
   if (it == input_by_name_.end()) throw std::invalid_argument("no input '" + name + "'");
-  set_input(it->second, value);
+  return it->second;
+}
+
+NodeId Interpreter::output_node(const std::string& name) const {
+  const auto it = output_by_name_.find(name);
+  if (it == output_by_name_.end()) throw std::invalid_argument("no output '" + name + "'");
+  return it->second;
 }
 
 void Interpreter::set_input(std::size_t index, std::uint64_t value) {

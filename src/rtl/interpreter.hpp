@@ -22,6 +22,10 @@ class Interpreter {
 
   void set_input(const std::string& name, std::uint64_t value);
   void set_input(std::size_t index, std::uint64_t value);
+  /// Index of a named input, for the indexed set_input overload.
+  [[nodiscard]] std::size_t input_index(const std::string& name) const;
+  /// Node driving a named output, for direct value() reads.
+  [[nodiscard]] NodeId output_node(const std::string& name) const;
 
   /// Evaluates combinational logic for the current inputs (no clock).
   void evaluate();
