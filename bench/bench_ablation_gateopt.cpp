@@ -4,6 +4,8 @@
 // paper's results implicitly depend on.
 #include <benchmark/benchmark.h>
 
+#include "bench_json_main.hpp"
+
 #include "netlist/lower.hpp"
 #include "netlist/opt.hpp"
 #include "rtl/passes.hpp"
@@ -44,4 +46,4 @@ BENCHMARK(GateOpt_Full)->Unit(benchmark::kMillisecond)->Iterations(3);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+SCFLOW_BENCHMARK_MAIN()

@@ -4,6 +4,8 @@
 // updates are what the clocked levels pay per cycle.
 #include <benchmark/benchmark.h>
 
+#include "bench_json_main.hpp"
+
 #include "kernel/clock.hpp"
 #include "kernel/module.hpp"
 #include "kernel/signal.hpp"
@@ -79,12 +81,15 @@ void Kernel_MethodActivations(benchmark::State& state) {
 }
 
 /// Clock generation plus one clocked method — the per-cycle floor every
-/// RTL/behavioural model pays.
-void Kernel_ClockedMethodCycle(benchmark::State& state) {
+/// RTL/behavioural model pays.  Parameterised by the instrumentation flag:
+/// comparing the two rows measures the full cost of the obs::Probe
+/// counters on the kernel hot path (acceptance target: < 3 %).
+void clocked_method_cycle(benchmark::State& state, bool instrumented) {
   std::uint64_t total = 0;
   for (auto _ : state) {
     state.PauseTiming();
     Simulation sim;
+    sim.set_instrumentation(instrumented);
     Clock clk(sim, "clk", Time::ns(40));
     std::uint64_t edges = 0;
 
@@ -102,6 +107,13 @@ void Kernel_ClockedMethodCycle(benchmark::State& state) {
   }
   state.counters["cyc_per_s"] =
       benchmark::Counter(static_cast<double>(total), benchmark::Counter::kIsRate);
+}
+
+void Kernel_ClockedMethodCycle(benchmark::State& state) {
+  clocked_method_cycle(state, true);
+}
+void Kernel_ClockedMethodCycle_NoInstrumentation(benchmark::State& state) {
+  clocked_method_cycle(state, false);
 }
 
 /// Signal write+update+notification cost.
@@ -136,8 +148,9 @@ void Kernel_SignalUpdates(benchmark::State& state) {
 BENCHMARK(Kernel_ThreadPingPong)->Unit(benchmark::kMillisecond);
 BENCHMARK(Kernel_MethodActivations)->Unit(benchmark::kMillisecond);
 BENCHMARK(Kernel_ClockedMethodCycle)->Unit(benchmark::kMillisecond);
+BENCHMARK(Kernel_ClockedMethodCycle_NoInstrumentation)->Unit(benchmark::kMillisecond);
 BENCHMARK(Kernel_SignalUpdates)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+SCFLOW_BENCHMARK_MAIN()

@@ -5,6 +5,8 @@
 // handshake states and of the pessimistic bit-widths, separately.
 #include <benchmark/benchmark.h>
 
+#include "bench_json_main.hpp"
+
 #include "flow/synthesis_flow.hpp"
 #include "hls/src_beh.hpp"
 
@@ -57,4 +59,4 @@ BENCHMARK(Ablation_Beh_WideWidthsOnly)->Unit(benchmark::kMillisecond)->Iteration
 
 }  // namespace
 
-BENCHMARK_MAIN();
+SCFLOW_BENCHMARK_MAIN()

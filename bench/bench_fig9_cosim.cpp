@@ -7,6 +7,7 @@
 // smaller than the interpretation overhead it replaces.
 #include <benchmark/benchmark.h>
 
+#include "bench_json_main.hpp"
 #include "cosim/bridge.hpp"
 #include "dsp/stimulus.hpp"
 #include "flow/synthesis_flow.hpp"
@@ -124,30 +125,4 @@ FIG9_BENCH(Fig9_GateRTL_SystemCTestbench);
 
 }  // namespace
 
-// Adds a `--json FILE` convenience flag (for scripted runs and the
-// EXPERIMENTS.md tables) on top of the standard benchmark flags; it
-// expands to --benchmark_out=FILE --benchmark_out_format=json.
-int main(int argc, char** argv) {
-  std::vector<std::string> args(argv, argv + argc);
-  std::vector<std::string> expanded;
-  for (std::size_t i = 0; i < args.size(); ++i) {
-    if (args[i] == "--json" && i + 1 < args.size()) {
-      expanded.push_back("--benchmark_out=" + args[++i]);
-      expanded.push_back("--benchmark_out_format=json");
-    } else if (args[i].rfind("--json=", 0) == 0) {
-      expanded.push_back("--benchmark_out=" + args[i].substr(7));
-      expanded.push_back("--benchmark_out_format=json");
-    } else {
-      expanded.push_back(args[i]);
-    }
-  }
-  std::vector<char*> cargs;
-  cargs.reserve(expanded.size());
-  for (auto& a : expanded) cargs.push_back(a.data());
-  int cargc = static_cast<int>(cargs.size());
-  benchmark::Initialize(&cargc, cargs.data());
-  if (benchmark::ReportUnrecognizedArguments(cargc, cargs.data())) return 1;
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
-}
+SCFLOW_BENCHMARK_MAIN()

@@ -1,0 +1,46 @@
+// Shared main() for the google-benchmark binaries: adds a `--json FILE`
+// convenience flag (for scripted runs and the EXPERIMENTS.md tables) on
+// top of the standard benchmark flags; it expands to
+// --benchmark_out=FILE --benchmark_out_format=json.  The per-mechanism
+// observability counters each bench attaches via state.counters land in
+// that JSON next to the timing numbers.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+namespace scflow::benchutil {
+
+inline int run_benchmark_main(int argc, char** argv) {
+  std::vector<std::string> args(argv, argv + argc);
+  std::vector<std::string> expanded;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--json" && i + 1 < args.size()) {
+      expanded.push_back("--benchmark_out=" + args[++i]);
+      expanded.push_back("--benchmark_out_format=json");
+    } else if (args[i].rfind("--json=", 0) == 0) {
+      expanded.push_back("--benchmark_out=" + args[i].substr(7));
+      expanded.push_back("--benchmark_out_format=json");
+    } else {
+      expanded.push_back(args[i]);
+    }
+  }
+  std::vector<char*> cargs;
+  cargs.reserve(expanded.size());
+  for (auto& a : expanded) cargs.push_back(a.data());
+  int cargc = static_cast<int>(cargs.size());
+  benchmark::Initialize(&cargc, cargs.data());
+  if (benchmark::ReportUnrecognizedArguments(cargc, cargs.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace scflow::benchutil
+
+#define SCFLOW_BENCHMARK_MAIN()                                              \
+  int main(int argc, char** argv) {                                          \
+    return scflow::benchutil::run_benchmark_main(argc, argv);                \
+  }

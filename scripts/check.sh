@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Full pre-merge check: the tier-1 build + test cycle, then the same test
+# suite under AddressSanitizer + UBSan (-DSCFLOW_SANITIZE=ON) so the
+# sanitizer wiring is actually exercised on every change.
+#
+# Usage: scripts/check.sh [--skip-sanitize]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS=$(nproc 2>/dev/null || echo 4)
+SKIP_SANITIZE=0
+[[ "${1:-}" == "--skip-sanitize" ]] && SKIP_SANITIZE=1
+
+echo "== tier-1: configure + build + ctest (build/) =="
+cmake -B build -S . >/dev/null
+cmake --build build -j"$JOBS"
+ctest --test-dir build --output-on-failure -j"$JOBS"
+
+if [[ "$SKIP_SANITIZE" == 1 ]]; then
+  echo "== sanitize pass skipped (--skip-sanitize) =="
+  exit 0
+fi
+
+echo "== sanitize: ASan+UBSan configure + build + ctest (build-asan/) =="
+cmake -B build-asan -S . -DSCFLOW_SANITIZE=ON >/dev/null
+cmake --build build-asan -j"$JOBS"
+# halt_on_error keeps UBSan findings fatal so ctest actually fails on them.
+UBSAN_OPTIONS=halt_on_error=1 ASAN_OPTIONS=detect_leaks=1 \
+  ctest --test-dir build-asan --output-on-failure -j"$JOBS"
+
+echo "== all checks passed =="

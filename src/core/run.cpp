@@ -28,6 +28,18 @@ const char* level_name(RefinementLevel level) {
   return "?";
 }
 
+const char* level_slug(RefinementLevel level) {
+  switch (level) {
+    case RefinementLevel::kAlgorithmicCpp: return "cpp";
+    case RefinementLevel::kChannelSystemC: return "channel";
+    case RefinementLevel::kBehUnopt: return "beh_unopt";
+    case RefinementLevel::kBehOpt: return "beh_opt";
+    case RefinementLevel::kRtlUnopt: return "rtl_unopt";
+    case RefinementLevel::kRtlOpt: return "rtl_opt";
+  }
+  return "unknown";
+}
+
 bool level_is_clocked(RefinementLevel level) {
   return level == RefinementLevel::kBehUnopt || level == RefinementLevel::kBehOpt ||
          level == RefinementLevel::kRtlUnopt || level == RefinementLevel::kRtlOpt;
@@ -81,6 +93,7 @@ RunResult run_channel(SrcMode mode, const std::vector<SrcEvent>& events) {
   RunResult r;
   r.outputs = consumer.outputs;
   r.stats = sim.stats();
+  r.process_activations = sim.process_activations();
   // Unclocked level: scale to simulated cycles assuming the 25 MHz clock,
   // exactly as the paper does for Fig. 8.
   r.simulated_cycles = sim.now().picoseconds() / P::kClockPs;
@@ -102,6 +115,7 @@ RunResult run_clocked(SrcMode mode, const std::vector<SrcEvent>& events,
   RunResult r;
   r.outputs = consumer.outputs;
   r.stats = sim.stats();
+  r.process_activations = sim.process_activations();
   r.simulated_cycles = clk.posedge_count();
   r.ram_violations = src.ram().violations();
   for (std::size_t i = 0;

@@ -5,6 +5,7 @@
 #pragma once
 
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/sample_ram.hpp"
@@ -25,6 +26,9 @@ enum class RefinementLevel {
 };
 
 [[nodiscard]] const char* level_name(RefinementLevel level);
+/// Short machine-readable name ("cpp", "channel", "beh_opt", ...) used as
+/// the registry/JSON key for the level.
+[[nodiscard]] const char* level_slug(RefinementLevel level);
 [[nodiscard]] bool level_is_clocked(RefinementLevel level);
 
 struct RunOptions {
@@ -42,6 +46,9 @@ struct RunResult {
   SampleRam::Violation ram_violations;         ///< when check_ram was set
   /// Clocked levels: request-to-result latency of each output, in clocks.
   std::vector<std::uint64_t> output_latency_cycles;
+  /// Kernel levels: per-process activation counts (full name -> count),
+  /// attributing the activation load to individual processes.
+  std::vector<std::pair<std::string, std::uint64_t>> process_activations;
 };
 
 /// Runs one refinement level over the schedule.

@@ -5,6 +5,7 @@
 #include "core/testbench.hpp"
 #include "dsp/time_quantizer.hpp"
 #include "dtypes/bit_int.hpp"
+#include "obs/registry.hpp"
 
 namespace scflow::cosim {
 
@@ -108,9 +109,16 @@ CosimResult run_cosim(hdlsim::Dut& dut, dsp::SrcMode mode,
   r.kernel_stats = sim.stats();
   r.cycles = bridge.dut_cycles();
   r.syncs = bridge.sync_count();
-  r.dut_work_units = dut.work_units();
   r.dut_counters = dut.counters();
   return r;
+}
+
+void CosimResult::record_into(scflow::obs::Registry& reg, std::string_view prefix) const {
+  const std::string p(prefix);
+  minisc::record_stats(reg, p + ".kernel", kernel_stats);
+  dut_counters.record_into(reg, p + ".dut");
+  reg.set_counter(p + ".bridge.syncs", syncs);
+  reg.set_counter(p + ".bridge.dut_cycles", cycles);
 }
 
 }  // namespace scflow::cosim

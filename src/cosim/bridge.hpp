@@ -7,6 +7,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <string_view>
 #include <vector>
 
 #include "core/pins.hpp"
@@ -55,8 +56,15 @@ struct CosimResult {
   minisc::SimulationStats kernel_stats;
   std::uint64_t cycles = 0;
   std::uint64_t syncs = 0;
-  std::uint64_t dut_work_units = 0;
   hdlsim::SimCounters dut_counters;
+  /// DUT evaluations, derived from the one SimCounters copy so it cannot
+  /// drift from dut_counters.evaluations.
+  [[nodiscard]] std::uint64_t dut_work_units() const { return dut_counters.evaluations; }
+
+  /// Records the whole result — kernel stats under "<prefix>.kernel.*",
+  /// DUT counters under "<prefix>.dut.*", bridge sync counts under
+  /// "<prefix>.bridge.*" — into the unified registry.
+  void record_into(scflow::obs::Registry& reg, std::string_view prefix) const;
 };
 
 /// Runs a schedule against @p dut with the compiled minisc testbench

@@ -35,6 +35,23 @@ constexpr std::int64_t wrap_to_width(std::int64_t v, int width, bool is_signed) 
   return is_signed ? sign_extend(u, width) : static_cast<std::int64_t>(u);
 }
 
+/// 64-bit two's-complement wrapping primitives.  The "compute in 64 bits,
+/// then wrap" semantics promised by BitInt need modular arithmetic, and
+/// signed overflow is undefined behaviour — so the intermediate goes
+/// through unsigned.
+constexpr std::int64_t wrapping_add(std::int64_t a, std::int64_t b) {
+  return static_cast<std::int64_t>(static_cast<std::uint64_t>(a) + static_cast<std::uint64_t>(b));
+}
+constexpr std::int64_t wrapping_sub(std::int64_t a, std::int64_t b) {
+  return static_cast<std::int64_t>(static_cast<std::uint64_t>(a) - static_cast<std::uint64_t>(b));
+}
+constexpr std::int64_t wrapping_mul(std::int64_t a, std::int64_t b) {
+  return static_cast<std::int64_t>(static_cast<std::uint64_t>(a) * static_cast<std::uint64_t>(b));
+}
+constexpr std::int64_t wrapping_neg(std::int64_t a) {
+  return static_cast<std::int64_t>(0u - static_cast<std::uint64_t>(a));
+}
+
 /// Fixed-width two's-complement integer, W in [1, 64].
 ///
 /// All arithmetic is performed in 64 bits and wrapped back to W bits, which
@@ -94,16 +111,16 @@ class BitInt {
   }
 
   // Arithmetic (wrapping to W bits).
-  friend constexpr BitInt operator+(BitInt a, BitInt b) { return BitInt(a.value_ + b.value_); }
-  friend constexpr BitInt operator-(BitInt a, BitInt b) { return BitInt(a.value_ - b.value_); }
-  friend constexpr BitInt operator*(BitInt a, BitInt b) { return BitInt(a.value_ * b.value_); }
+  friend constexpr BitInt operator+(BitInt a, BitInt b) { return BitInt(wrapping_add(a.value_, b.value_)); }
+  friend constexpr BitInt operator-(BitInt a, BitInt b) { return BitInt(wrapping_sub(a.value_, b.value_)); }
+  friend constexpr BitInt operator*(BitInt a, BitInt b) { return BitInt(wrapping_mul(a.value_, b.value_)); }
   friend constexpr BitInt operator/(BitInt a, BitInt b) { return BitInt(a.value_ / b.value_); }
   friend constexpr BitInt operator%(BitInt a, BitInt b) { return BitInt(a.value_ % b.value_); }
   friend constexpr BitInt operator&(BitInt a, BitInt b) { return BitInt(a.value_ & b.value_); }
   friend constexpr BitInt operator|(BitInt a, BitInt b) { return BitInt(a.value_ | b.value_); }
   friend constexpr BitInt operator^(BitInt a, BitInt b) { return BitInt(a.value_ ^ b.value_); }
   constexpr BitInt operator~() const { return BitInt(~value_); }
-  constexpr BitInt operator-() const { return BitInt(-value_); }
+  constexpr BitInt operator-() const { return BitInt(wrapping_neg(value_)); }
 
   /// Shifts: logical left; right shift is arithmetic for signed, logical
   /// for unsigned (hardware convention).

@@ -1,6 +1,7 @@
 #include "flow/refinement_flow.hpp"
 
 #include <iomanip>
+#include <optional>
 #include <sstream>
 
 #include "dsp/stimulus.hpp"
@@ -38,33 +39,69 @@ bool RefinementReport::all_steps_verified() const {
   return true;
 }
 
-RefinementReport run_refinement_flow(dsp::SrcMode mode, std::size_t samples) {
+RefinementReport run_refinement_flow(dsp::SrcMode mode, std::size_t samples,
+                                     obs::Session* session) {
   const double in_rate = 1e12 / static_cast<double>(P::input_period_ps(mode));
   const auto inputs = dsp::make_sine_stimulus(samples, 1000.0, in_rate);
   const auto events = dsp::make_schedule(inputs, P::input_period_ps(mode), samples,
                                          P::output_period_ps(mode));
 
   RefinementReport rep;
-  auto run = [&](RefinementLevel level, const RunOptions& opt = {}) {
-    return model::run_level(level, mode, events, opt);
+  obs::Registry* reg = session != nullptr ? &session->registry : nullptr;
+  if (reg != nullptr) {
+    reg->set_gauge("flow.samples", static_cast<double>(samples));
+    reg->set_gauge("flow.events", static_cast<double>(events.size()));
+  }
+  // Runs one level, timed as a "level:<slug>" trace slice, and records its
+  // kernel statistics plus per-process activation attribution.
+  auto run = [&](RefinementLevel level, const char* tag = nullptr,
+                 const RunOptions& opt = {}) {
+    const std::string slug = tag != nullptr ? tag : model::level_slug(level);
+    std::optional<obs::Registry::ScopedTimer> t;
+    if (reg != nullptr) t.emplace(reg->time_scope("level:" + slug));
+    auto r = model::run_level(level, mode, events, opt);
+    if (reg != nullptr) {
+      minisc::record_stats(*reg, "level." + slug, r.stats);
+      reg->set_counter("level." + slug + ".simulated_cycles", r.simulated_cycles);
+      reg->set_counter("level." + slug + ".outputs", r.outputs.size());
+      for (const auto& [proc, n] : r.process_activations)
+        reg->set_counter("process." + slug + "." + proc + ".activations", n);
+      if (session != nullptr)
+        session->trace.counter_event("activations", session->trace.now_ns(),
+                                     static_cast<double>(r.stats.process_activations));
+    }
+    return r;
+  };
+  // Revalidates one refinement step, timed as a "verify:..." trace slice.
+  auto check = [&](const std::string& from, const std::string& to, const RunResult& a,
+                   const RunResult& b) {
+    std::optional<obs::Registry::ScopedTimer> t;
+    if (reg != nullptr) t.emplace(reg->time_scope("verify:" + from + " -> " + to));
+    RefinementStep s = compare(from, to, a, b);
+    if (reg != nullptr) {
+      reg->count("verify.steps");
+      reg->count("verify.outputs_compared", s.outputs_compared);
+      reg->count("verify.mismatches", s.mismatches);
+    }
+    rep.steps.push_back(std::move(s));
   };
   RunOptions quantised;
   quantised.quantized_time = true;
 
   const auto cpp = run(RefinementLevel::kAlgorithmicCpp);
   const auto chan = run(RefinementLevel::kChannelSystemC);
-  const auto cpp_q = run(RefinementLevel::kAlgorithmicCpp, quantised);
+  const auto cpp_q = run(RefinementLevel::kAlgorithmicCpp, "cpp_quantised", quantised);
   const auto beh_u = run(RefinementLevel::kBehUnopt);
   const auto beh_o = run(RefinementLevel::kBehOpt);
   const auto rtl_u = run(RefinementLevel::kRtlUnopt);
   const auto rtl_o = run(RefinementLevel::kRtlOpt);
 
-  rep.steps.push_back(compare("C++ (algorithmic)", "SystemC (channels)", cpp, chan));
-  rep.steps.push_back(compare("C++ (algorithmic)", "C++ (quantised time)", cpp, cpp_q));
-  rep.steps.push_back(compare("C++ (quantised time)", "Behavioural (unopt)", cpp_q, beh_u));
-  rep.steps.push_back(compare("Behavioural (unopt)", "Behavioural (opt)", beh_u, beh_o));
-  rep.steps.push_back(compare("Behavioural (opt)", "RTL (unopt)", beh_o, rtl_u));
-  rep.steps.push_back(compare("RTL (unopt)", "RTL (opt)", rtl_u, rtl_o));
+  check("C++ (algorithmic)", "SystemC (channels)", cpp, chan);
+  check("C++ (algorithmic)", "C++ (quantised time)", cpp, cpp_q);
+  check("C++ (quantised time)", "Behavioural (unopt)", cpp_q, beh_u);
+  check("Behavioural (unopt)", "Behavioural (opt)", beh_u, beh_o);
+  check("Behavioural (opt)", "RTL (unopt)", beh_o, rtl_u);
+  check("RTL (unopt)", "RTL (opt)", rtl_u, rtl_o);
 
   rep.level_results.emplace_back("C++ (algorithmic)", cpp);
   rep.level_results.emplace_back("SystemC (channels)", chan);

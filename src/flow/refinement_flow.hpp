@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "core/run.hpp"
+#include "obs/session.hpp"
 
 namespace scflow::flow {
 
@@ -27,7 +28,16 @@ struct RefinementReport {
 };
 
 /// Runs the chain on @p samples of stereo tone stimulus in @p mode.
-RefinementReport run_refinement_flow(dsp::SrcMode mode, std::size_t samples);
+///
+/// With @p session, the flow becomes observable: every level run and every
+/// bit-accuracy revalidation is timed (trace slices on the session's
+/// timeline, loadable in chrome://tracing / Perfetto), each level's kernel
+/// statistics land in the registry under "level.<name>.*" (activations,
+/// context_switches, delta_cycles, ...), per-process activation counts
+/// under "process.<name>.activations", and revalidation outcomes under
+/// "verify.*".  Dump with session.dump("report.json", "trace.json").
+RefinementReport run_refinement_flow(dsp::SrcMode mode, std::size_t samples,
+                                     obs::Session* session = nullptr);
 
 std::string format_refinement_report(const RefinementReport& report);
 

@@ -1,44 +1,97 @@
 #include "flow/synthesis_flow.hpp"
 
 #include <iomanip>
+#include <optional>
 #include <sstream>
 
 #include "hls/src_beh.hpp"
 #include "netlist/lower.hpp"
+#include "obs/registry.hpp"
 #include "rtl/passes.hpp"
 #include "rtl/src_design.hpp"
 
 namespace scflow::flow {
 
-nl::Netlist synthesize_to_gates(const rtl::Design& design, nl::GateOptStats* gate_stats) {
+namespace obs = scflow::obs;
+
+nl::Netlist synthesize_to_gates(const rtl::Design& design, nl::GateOptStats* gate_stats,
+                                obs::Registry* reg, std::string_view prefix) {
+  // One optional outer scope so the per-pass timers nest as
+  // "<prefix>/word_passes", "<prefix>/lower", ...
+  std::optional<obs::Registry::ScopedTimer> whole;
+  if (reg != nullptr) whole.emplace(reg->time_scope(std::string(prefix)));
+  const auto timed = [reg](const char* step) {
+    return reg == nullptr ? std::optional<obs::Registry::ScopedTimer>()
+                          : std::optional<obs::Registry::ScopedTimer>(
+                                reg->time_scope(step));
+  };
+
   rtl::PassOptions word_opts;  // constant fold + CSE + DCE for every design
-  const rtl::Design optimised = rtl::run_passes(design, word_opts);
-  nl::Netlist gates = nl::lower_to_gates(optimised, {});
-  gates = nl::optimize_gates(gates, gate_stats);
-  nl::insert_scan_chain(gates);
+  rtl::Design optimised = [&] {
+    const auto t = timed("word_passes");
+    return rtl::run_passes(design, word_opts);
+  }();
+  nl::Netlist gates = [&] {
+    const auto t = timed("lower");
+    return nl::lower_to_gates(optimised, {});
+  }();
+  nl::GateOptStats local_stats;
+  nl::GateOptStats* stats = gate_stats != nullptr ? gate_stats : &local_stats;
+  gates = [&] {
+    const auto t = timed("gate_opt");
+    return nl::optimize_gates(gates, stats);
+  }();
+  const std::size_t scan_flops = [&] {
+    const auto t = timed("scan_insertion");
+    return nl::insert_scan_chain(gates);
+  }();
   gates.validate();
+
+  if (reg != nullptr) {
+    const std::string p(prefix);
+    stats->record_into(*reg, p + ".opt");
+    reg->set_counter(p + ".scan_flops", scan_flops);
+    reg->set_counter(p + ".cells", gates.cells().size());
+  }
   return gates;
 }
 
-std::vector<AreaRow> figure10_area_rows() {
+std::vector<AreaRow> figure10_area_rows(obs::Registry* reg) {
   struct Entry {
     std::string label;
+    std::string slug;  // registry-friendly name
     rtl::Design design;
+    std::optional<hls::Schedule> schedule;
   };
   std::vector<Entry> entries;
-  entries.push_back({"VHDL-Ref", rtl::build_src_design(rtl::vhdl_ref_config())});
-  entries.push_back({"BEH unopt.", hls::build_beh_src_design(hls::beh_unopt_config())});
-  entries.push_back({"BEH opt.", hls::build_beh_src_design(hls::beh_opt_config())});
-  entries.push_back({"RTL unopt.", rtl::build_src_design(rtl::rtl_unopt_config())});
-  entries.push_back({"RTL opt.", rtl::build_src_design(rtl::rtl_opt_config())});
+  entries.push_back(
+      {"VHDL-Ref", "vhdl_ref", rtl::build_src_design(rtl::vhdl_ref_config()), {}});
+  hls::Schedule beh_u_sched, beh_o_sched;
+  entries.push_back({"BEH unopt.", "beh_unopt",
+                     hls::build_beh_src_design(hls::beh_unopt_config(), &beh_u_sched),
+                     beh_u_sched});
+  entries.push_back({"BEH opt.", "beh_opt",
+                     hls::build_beh_src_design(hls::beh_opt_config(), &beh_o_sched),
+                     beh_o_sched});
+  entries.push_back(
+      {"RTL unopt.", "rtl_unopt", rtl::build_src_design(rtl::rtl_unopt_config()), {}});
+  entries.push_back(
+      {"RTL opt.", "rtl_opt", rtl::build_src_design(rtl::rtl_opt_config()), {}});
 
   std::vector<AreaRow> rows;
   for (auto& e : entries) {
     AreaRow row;
     row.name = e.label;
-    const nl::Netlist gates = synthesize_to_gates(e.design);
+    const std::string p = "fig10." + e.slug;
+    const nl::Netlist gates = synthesize_to_gates(e.design, nullptr, reg, p);
     row.area = nl::report_area(gates);
     row.flops = row.area.flop_count;
+    if (reg != nullptr) {
+      reg->set_gauge(p + ".comb_um2", row.area.combinational);
+      reg->set_gauge(p + ".seq_um2", row.area.sequential);
+      reg->set_counter(p + ".flops", row.flops);
+      if (e.schedule) e.schedule->record_into(*reg, p + ".hls");
+    }
     rows.push_back(std::move(row));
   }
   const double ref_total = rows.front().area.total();
@@ -46,6 +99,10 @@ std::vector<AreaRow> figure10_area_rows() {
     r.combinational_pct = 100.0 * r.area.combinational / ref_total;
     r.sequential_pct = 100.0 * r.area.sequential / ref_total;
     r.total_pct = 100.0 * r.area.total() / ref_total;
+  }
+  if (reg != nullptr) {
+    for (std::size_t i = 0; i < rows.size(); ++i)
+      reg->set_gauge("fig10." + entries[i].slug + ".total_pct", rows[i].total_pct);
   }
   return rows;
 }

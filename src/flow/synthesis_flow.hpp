@@ -5,18 +5,29 @@
 #pragma once
 
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "netlist/netlist.hpp"
 #include "netlist/opt.hpp"
 #include "rtl/ir.hpp"
 
+namespace scflow::obs {
+class Registry;
+}
+
 namespace scflow::flow {
 
 /// Complete gate-level synthesis of one design (the "SystemC Compiler +
-/// Design Compiler" pipeline of the paper).
+/// Design Compiler" pipeline of the paper).  With @p reg, every pass is
+/// timed (scoped under "<prefix>") and its stats are recorded:
+/// "<prefix>.opt.cells_before/.cells_after/.rewrites/.iterations",
+/// "<prefix>.scan_flops", "<prefix>.cells" — the per-pass evidence behind
+/// the Fig. 10 deltas.
 nl::Netlist synthesize_to_gates(const rtl::Design& design,
-                                nl::GateOptStats* gate_stats = nullptr);
+                                nl::GateOptStats* gate_stats = nullptr,
+                                scflow::obs::Registry* reg = nullptr,
+                                std::string_view prefix = "synth");
 
 struct AreaRow {
   std::string name;
@@ -29,8 +40,10 @@ struct AreaRow {
 
 /// All Fig. 10 designs: the VHDL reference, behavioural unopt/opt (through
 /// the hls flow) and RTL unopt/opt — synthesised and normalised to the
-/// reference's total area.
-std::vector<AreaRow> figure10_area_rows();
+/// reference's total area.  With @p reg, per-design synthesis pass stats,
+/// hls scheduling stats (for the behavioural designs) and area results are
+/// recorded under "fig10.<design>.*".
+std::vector<AreaRow> figure10_area_rows(scflow::obs::Registry* reg = nullptr);
 
 /// Formats the rows as the paper-style table.
 std::string format_area_table(const std::vector<AreaRow>& rows);

@@ -5,6 +5,11 @@
 #pragma once
 
 #include <cstdint>
+#include <string_view>
+
+namespace scflow::obs {
+class Registry;
+}
 
 namespace scflow::hdlsim {
 
@@ -24,6 +29,13 @@ struct SimCounters {
   /// Heap allocations performed by step()/settle() after construction.
   /// The table-driven engine keeps this at zero in steady state.
   std::uint64_t steady_state_allocs = 0;
+
+  /// THE accessor that maps these fields into the unified metric registry
+  /// ("<prefix>.evaluations", ...).  Every consumer (run_src_netlist
+  /// results, the testbench VM, the cosim bridge, the benches) goes
+  /// through this one function, so adding a field here cannot silently
+  /// desync any of them.
+  void record_into(scflow::obs::Registry& reg, std::string_view prefix) const;
 };
 
 }  // namespace scflow::hdlsim

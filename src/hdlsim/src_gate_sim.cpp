@@ -73,7 +73,6 @@ GateRunResult run_src_netlist(const nl::Netlist& netlist, dsp::SrcMode mode,
     }
   }
   result.cycles = end_cycle;
-  result.gate_evaluations = sim.gate_evaluations();
   result.ram_violations = sim.ram_violations();
   result.counters = sim.counters();
   return result;

@@ -15,9 +15,11 @@ namespace scflow::hdlsim {
 struct GateRunResult {
   std::vector<dsp::StereoSample> outputs;
   std::uint64_t cycles = 0;
-  std::uint64_t gate_evaluations = 0;
   GateSim::RamViolation ram_violations;
   SimCounters counters;
+  /// Derived from the one SimCounters copy — not a separately maintained
+  /// field, so it cannot drift from counters.evaluations.
+  [[nodiscard]] std::uint64_t gate_evaluations() const { return counters.evaluations; }
 };
 
 /// Runs the netlist over the schedule (events applied at their quantised

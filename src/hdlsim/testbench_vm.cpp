@@ -183,7 +183,6 @@ VmRunResult run_testbench_vm(Dut& dut, const SrcTestbenchProgram& program) {
     dut.step();
   }
   result.cycles = program.run_cycles;
-  result.dut_work_units = dut.work_units();
   result.dut_counters = dut.counters();
   return result;
 }

@@ -54,8 +54,10 @@ struct VmRunResult {
   std::vector<dsp::StereoSample> outputs;
   std::uint64_t cycles = 0;
   std::uint64_t instructions_executed = 0;  ///< interpreted testbench work
-  std::uint64_t dut_work_units = 0;
   SimCounters dut_counters;
+  /// DUT evaluations, derived from the one SimCounters copy (see
+  /// SimCounters::record_into for the registry mapping).
+  [[nodiscard]] std::uint64_t dut_work_units() const { return dut_counters.evaluations; }
 };
 
 /// Runs the interpreted testbench against the DUT: each clock cycle, every

@@ -9,7 +9,10 @@ Event::Event(Simulation& sim, std::string name) : sim_(&sim), name_(std::move(na
 
 Event::~Event() = default;
 
-void Event::notify() { fire(); }
+void Event::notify() {
+  sim_->note_event_notified();
+  fire();
+}
 
 void Event::notify_delta() {
   ++pending_generation_;
@@ -18,6 +21,7 @@ void Event::notify_delta() {
 
 void Event::notify(Time delay) {
   const std::uint64_t gen = ++pending_generation_;
+  sim_->note_event_notified();
   sim_->schedule_at(sim_->now() + delay, [this, gen] {
     if (gen == pending_generation_) fire();
   });
@@ -32,6 +36,7 @@ void Event::add_dynamic_waiter(ThreadProcess& p, std::uint64_t generation) {
 void Event::add_static_waiter(ProcessBase& p) { static_waiters_.push_back(&p); }
 
 void Event::fire() {
+  sim_->note_event_fired();
   // Dynamic (one-shot) waiters: skip registrations from superseded waits.
   if (!dynamic_waiters_.empty()) {
     std::vector<DynWaiter> waiters;

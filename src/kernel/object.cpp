@@ -6,14 +6,10 @@ namespace minisc {
 
 Object::Object(Simulation& sim, Object* parent, std::string name)
     : sim_(&sim), parent_(parent), name_(std::move(name)) {
+  full_name_ = parent_ == nullptr ? name_ : parent_->full_name() + "." + name_;
   sim_->register_object(*this);
 }
 
 Object::~Object() { sim_->unregister_object(*this); }
-
-std::string Object::full_name() const {
-  if (parent_ == nullptr) return name_;
-  return parent_->full_name() + "." + name_;
-}
 
 }  // namespace minisc

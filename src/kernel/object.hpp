@@ -19,7 +19,7 @@ class Object {
   Object& operator=(const Object&) = delete;
 
   [[nodiscard]] const std::string& name() const { return name_; }
-  [[nodiscard]] std::string full_name() const;
+  [[nodiscard]] const std::string& full_name() const { return full_name_; }
   [[nodiscard]] Object* parent() const { return parent_; }
   [[nodiscard]] Simulation& sim() const { return *sim_; }
 
@@ -30,6 +30,11 @@ class Object {
   Simulation* sim_;
   Object* parent_;
   std::string name_;
+  // Computed once at construction: the hierarchy above an object never
+  // changes, and kernel-owned objects (processes) can outlive their
+  // caller-owned parent modules — walking parent_ later would be a
+  // use-after-destruction.
+  std::string full_name_;
 };
 
 }  // namespace minisc

@@ -27,6 +27,10 @@ class ProcessBase : public Object {
   void add_static_sensitivity(Event& e);
   [[nodiscard]] const std::vector<Event*>& static_sensitivity() const { return static_events_; }
 
+  /// Times this process was dispatched in an evaluate phase (counted while
+  /// the simulation's instrumentation probe is enabled).
+  std::uint64_t activations = 0;
+
   // Scheduler bookkeeping.
   bool in_runnable_queue = false;
   /// Threads only: true while suspended in wait() on static sensitivity.

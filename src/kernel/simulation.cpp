@@ -6,11 +6,34 @@
 #include "kernel/event.hpp"
 #include "kernel/object.hpp"
 #include "kernel/port.hpp"
+#include "obs/registry.hpp"
 
 namespace minisc {
 
+void record_stats(scflow::obs::Registry& reg, std::string_view prefix,
+                  const SimulationStats& s) {
+  const std::string p = std::string(prefix) + ".";
+  reg.set_counter(p + "delta_cycles", s.delta_cycles);
+  reg.set_counter(p + "timed_steps", s.timed_steps);
+  reg.set_counter(p + "activations", s.process_activations);
+  reg.set_counter(p + "context_switches", s.context_switches);
+  reg.set_counter(p + "method_invocations", s.method_invocations);
+  reg.set_counter(p + "signal_updates", s.signal_updates);
+  reg.set_counter(p + "events_notified", s.events_notified);
+  reg.set_counter(p + "events_fired", s.events_fired);
+}
+
 Simulation::Simulation() = default;
-Simulation::~Simulation() = default;
+
+Simulation::~Simulation() {
+  // Members are destroyed in reverse declaration order, so objects_ and
+  // object_index_ die before processes_ — whose Object destructors would
+  // then unregister against freed containers.  Their parent modules
+  // (owned by the caller) may be gone by now as well, so full_name() is
+  // not safe either.  Nothing can look objects up once the simulation is
+  // going away; make unregistration a no-op instead of reordering.
+  tearing_down_ = true;
+}
 
 void Simulation::register_object(Object& o) {
   objects_.push_back(&o);
@@ -20,6 +43,7 @@ void Simulation::register_object(Object& o) {
 }
 
 void Simulation::unregister_object(Object& o) {
+  if (tearing_down_) return;
   objects_.erase(std::remove(objects_.begin(), objects_.end(), &o), objects_.end());
   const auto it = object_index_.find(o.full_name());
   if (it == object_index_.end() || it->second != &o) return;
@@ -39,6 +63,14 @@ void Simulation::register_port(PortBase& p) { ports_.push_back(&p); }
 Object* Simulation::find_object(const std::string& full_name) const {
   const auto it = object_index_.find(full_name);
   return it == object_index_.end() ? nullptr : it->second;
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> Simulation::process_activations()
+    const {
+  std::vector<std::pair<std::string, std::uint64_t>> out;
+  out.reserve(processes_.size());
+  for (const auto& p : processes_) out.emplace_back(p->full_name(), p->activations);
+  return out;
 }
 
 ThreadProcess& Simulation::create_thread(Object* parent, std::string name,
@@ -78,6 +110,9 @@ void Simulation::make_runnable(ProcessBase& p) {
 void Simulation::request_update(SignalUpdateIF& s) { update_queue_.push_back(&s); }
 
 void Simulation::schedule_delta_fire(Event& e) {
+  // Counted here, not in Event::notify_delta, so that signal updates (which
+  // schedule their change events directly) are observed as notifications too.
+  note_event_notified();
   if (e.in_delta_queue) return;
   e.in_delta_queue = true;
   delta_events_.push_back(&e);
@@ -93,12 +128,14 @@ void Simulation::evaluate_phase() {
     ProcessBase* p = runnable_.front();
     runnable_.pop_front();
     p->in_runnable_queue = false;
-    ++stats_.process_activations;
+    probe_.hit(stats_.process_activations);
+    probe_.hit(p->activations);
     if (p->is_thread()) {
       current_thread_ = static_cast<ThreadProcess*>(p);
       p->execute();
       current_thread_ = nullptr;
     } else {
+      probe_.hit(stats_.method_invocations);
       p->execute();
     }
     if (stop_requested_) return;
@@ -123,7 +160,7 @@ void Simulation::delta_notify_phase() {
 bool Simulation::run_delta_cycles() {
   std::uint64_t deltas_here = 0;
   while (!runnable_.empty() || !update_queue_.empty() || !delta_events_.empty()) {
-    ++stats_.delta_cycles;
+    probe_.hit(stats_.delta_cycles);
     if (++deltas_here > max_delta_cycles_)
       throw std::runtime_error("delta cycle limit exceeded (zero-delay loop?)");
     evaluate_phase();
@@ -144,7 +181,7 @@ void Simulation::run_until(Time until) {
     const Time next = timed_.top().at;
     if (next > until) { now_ = until == Time::max() ? now_ : until; return; }
     now_ = next;
-    ++stats_.timed_steps;
+    probe_.hit(stats_.timed_steps);
     // Release every action scheduled for this instant.
     while (!timed_.empty() && timed_.top().at == now_) {
       auto fn = std::move(const_cast<TimedEntry&>(timed_.top()).fn);

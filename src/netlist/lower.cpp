@@ -298,20 +298,23 @@ Netlist lower_to_gates(const rtl::Design& design, const LowerOptions& options) {
   return std::move(l.out);
 }
 
-void insert_scan_chain(Netlist& n) {
+std::size_t insert_scan_chain(Netlist& n) {
   NetId scan_in = n.new_net();
   n.add_input("scan_in", {scan_in});
   const NetId scan_en = n.new_net();
   n.add_input("scan_enable", {scan_en});
   NetId chain = scan_in;
+  std::size_t converted = 0;
   for (Cell& c : n.cells_mut()) {
     if (c.type != CellType::kDff) continue;
     c.type = CellType::kSdff;
     c.inputs.push_back(chain);    // si
     c.inputs.push_back(scan_en);  // se
     chain = c.output;
+    ++converted;
   }
   n.add_output("scan_out", {chain});
+  return converted;
 }
 
 }  // namespace scflow::nl

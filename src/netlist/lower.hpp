@@ -21,6 +21,7 @@ Netlist lower_to_gates(const rtl::Design& design, const LowerOptions& options = 
 
 /// Converts every DFF into an SDFF and threads scan_in -> ... -> scan_out
 /// with a scan_enable input (idempotent on netlists without plain DFFs).
-void insert_scan_chain(Netlist& n);
+/// Returns the number of flops converted to scan flops.
+std::size_t insert_scan_chain(Netlist& n);
 
 }  // namespace scflow::nl

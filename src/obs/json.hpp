@@ -1,0 +1,24 @@
+// Minimal JSON utilities for the observability layer: string escaping for
+// the emitters and a tiny syntax checker so tests can assert that every
+// report.json / trace.json the flow writes is actually well-formed JSON
+// (the structural half of "loads in Perfetto").  No DOM, no dependencies.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace scflow::obs {
+
+/// Escapes @p s for use inside a JSON string literal (quotes not added):
+/// ", \, control characters as \uXXXX, common ones as \n \t \r \b \f.
+/// Bytes >= 0x20 pass through, so UTF-8 payloads survive untouched.
+[[nodiscard]] std::string json_escape(std::string_view s);
+
+/// Full-syntax JSON well-formedness check (RFC 8259 grammar: values,
+/// objects, arrays, strings with escapes, numbers, literals; rejects
+/// trailing garbage).  Returns true iff @p text is one valid JSON value;
+/// on failure, *error (if given) describes the first problem and its
+/// byte offset.
+[[nodiscard]] bool json_validate(std::string_view text, std::string* error = nullptr);
+
+}  // namespace scflow::obs

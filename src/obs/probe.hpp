@@ -1,0 +1,33 @@
+// The near-zero-cost instrumentation switch.  Hot paths route every
+// counter increment through a Probe owned by their engine; when
+// instrumentation is enabled the hit() compiles to an unconditional
+// `add 1`, when disabled to `add 0` — branchless either way, so the
+// gate/kernel hot loops pay (at most) one fused add per counter and the
+// off mode costs nothing measurable (see the EXPERIMENTS.md note).
+#pragma once
+
+#include <cstdint>
+
+namespace scflow::obs {
+
+class Probe {
+ public:
+  constexpr Probe() = default;
+  explicit constexpr Probe(bool enabled) : enabled_(enabled ? 1 : 0) {}
+
+  constexpr void set_enabled(bool on) { enabled_ = on ? 1 : 0; }
+  [[nodiscard]] constexpr bool enabled() const { return enabled_ != 0; }
+
+  /// Counter increment: c += 1 when enabled, c += 0 when not.
+  constexpr void hit(std::uint64_t& c) const { c += enabled_; }
+  /// Counter bulk add (gated; delta may be expensive to compute — callers
+  /// should guard with enabled() in that case).
+  constexpr void add(std::uint64_t& c, std::uint64_t delta) const {
+    c += delta * enabled_;
+  }
+
+ private:
+  std::uint64_t enabled_ = 1;
+};
+
+}  // namespace scflow::obs

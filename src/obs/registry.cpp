@@ -1,0 +1,133 @@
+#include "obs/registry.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <sstream>
+
+#include "obs/json.hpp"
+#include "obs/trace.hpp"
+
+namespace scflow::obs {
+
+namespace {
+
+std::uint64_t steady_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+void Registry::count(std::string_view name, std::uint64_t delta) {
+  const auto it = counters_.find(name);
+  if (it == counters_.end()) counters_.emplace(std::string(name), delta);
+  else it->second += delta;
+}
+
+void Registry::set_counter(std::string_view name, std::uint64_t value) {
+  counters_.insert_or_assign(std::string(name), value);
+}
+
+std::uint64_t Registry::counter(std::string_view name) const {
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+bool Registry::has_counter(std::string_view name) const {
+  return counters_.find(name) != counters_.end();
+}
+
+void Registry::set_gauge(std::string_view name, double value) {
+  gauges_.insert_or_assign(std::string(name), value);
+}
+
+double Registry::gauge(std::string_view name) const {
+  const auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0.0 : it->second;
+}
+
+Registry::ScopedTimer::~ScopedTimer() {
+  if (reg_ != nullptr) reg_->close_scope(start_ns_);
+}
+
+Registry::ScopedTimer::ScopedTimer(ScopedTimer&& o) noexcept
+    : reg_(o.reg_), start_ns_(o.start_ns_) {
+  o.reg_ = nullptr;
+}
+
+Registry::ScopedTimer Registry::time_scope(std::string name) {
+  scope_stack_.push_back(std::move(name));
+  return ScopedTimer(*this, steady_ns());
+}
+
+void Registry::close_scope(std::uint64_t start_ns) {
+  const std::uint64_t elapsed = steady_ns() - start_ns;
+  std::string path;
+  for (const std::string& s : scope_stack_) {
+    if (!path.empty()) path += '/';
+    path += s;
+  }
+  TimerStat& t = timers_[path];
+  t.total_ns += elapsed;
+  ++t.count;
+  if (trace_ != nullptr && !scope_stack_.empty()) {
+    // Slice timestamps live on the trace's own epoch.
+    const std::uint64_t end = trace_->now_ns();
+    const std::uint64_t dur = elapsed < end ? elapsed : end;
+    trace_->complete_event(scope_stack_.back(), "timer", end - dur, dur);
+  }
+  if (!scope_stack_.empty()) scope_stack_.pop_back();
+}
+
+const Registry::TimerStat* Registry::timer(std::string_view path) const {
+  const auto it = timers_.find(path);
+  return it == timers_.end() ? nullptr : &it->second;
+}
+
+void Registry::merge_from(const Registry& other, std::string_view prefix) {
+  const std::string pre = prefix.empty() ? std::string() : std::string(prefix) + ".";
+  for (const auto& [k, v] : other.counters_) count(pre + k, v);
+  for (const auto& [k, v] : other.gauges_) set_gauge(pre + k, v);
+  for (const auto& [k, v] : other.timers_) {
+    TimerStat& t = timers_[pre + k];
+    t.total_ns += v.total_ns;
+    t.count += v.count;
+  }
+}
+
+std::string Registry::report_json() const {
+  std::ostringstream os;
+  os << "{\"schema\":\"scflow-obs-1\",\"counters\":{";
+  bool first = true;
+  for (const auto& [k, v] : counters_) {
+    os << (first ? "" : ",") << '"' << json_escape(k) << "\":" << v;
+    first = false;
+  }
+  os << "},\"gauges\":{";
+  first = true;
+  for (const auto& [k, v] : gauges_) {
+    os << (first ? "" : ",") << '"' << json_escape(k) << "\":" << v;
+    first = false;
+  }
+  os << "},\"timers\":{";
+  first = true;
+  for (const auto& [k, v] : timers_) {
+    os << (first ? "" : ",") << '"' << json_escape(k) << "\":{\"ns\":" << v.total_ns
+       << ",\"count\":" << v.count << '}';
+    first = false;
+  }
+  os << "}}";
+  return os.str();
+}
+
+bool Registry::write_report(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string json = report_json();
+  const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+}  // namespace scflow::obs

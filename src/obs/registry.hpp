@@ -1,0 +1,93 @@
+// The flow-wide metric registry: named monotonic counters, gauges and
+// scoped RAII timers with monotonic-clock nesting.  Every layer of the
+// stack (kernel stats, gate-sim counters, hls/netlist pass stats, flow
+// step timings) records into one Registry, which then emits a single
+// machine-readable report.json — the unified schema the benches and the
+// flow drivers share ("scflow-obs-1").
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace scflow::obs {
+
+class TraceWriter;
+
+class Registry {
+ public:
+  Registry() = default;
+  // Scoped timers hold a pointer back into the registry.
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  // --- counters (monotonic, integral) ---
+  void count(std::string_view name, std::uint64_t delta = 1);
+  /// Sets an absolute counter value (for re-exposing externally accumulated
+  /// counts such as SimCounters fields).
+  void set_counter(std::string_view name, std::uint64_t value);
+  [[nodiscard]] std::uint64_t counter(std::string_view name) const;  ///< 0 if absent
+  [[nodiscard]] bool has_counter(std::string_view name) const;
+
+  // --- gauges (latest-value, floating point) ---
+  void set_gauge(std::string_view name, double value);
+  [[nodiscard]] double gauge(std::string_view name) const;  ///< 0.0 if absent
+
+  // --- scoped timers ---
+  struct TimerStat {
+    std::uint64_t total_ns = 0;
+    std::uint64_t count = 0;
+  };
+
+  /// RAII scope: accumulates wall time (monotonic clock) into the timer
+  /// named by the '/'-joined stack of open scopes, so nested scopes record
+  /// under hierarchical paths ("flow/level/RTL (opt)").  If a TraceWriter
+  /// is attached, closing the scope also emits a complete trace slice.
+  class ScopedTimer {
+   public:
+    ~ScopedTimer();
+    ScopedTimer(ScopedTimer&& o) noexcept;
+    ScopedTimer(const ScopedTimer&) = delete;
+    ScopedTimer& operator=(const ScopedTimer&) = delete;
+    ScopedTimer& operator=(ScopedTimer&&) = delete;
+
+   private:
+    friend class Registry;
+    ScopedTimer(Registry& reg, std::uint64_t start_ns) : reg_(&reg), start_ns_(start_ns) {}
+    Registry* reg_;
+    std::uint64_t start_ns_;
+  };
+
+  [[nodiscard]] ScopedTimer time_scope(std::string name);
+  [[nodiscard]] const TimerStat* timer(std::string_view path) const;  ///< null if absent
+
+  /// Attaches a trace timeline: every scope close adds a slice; counter
+  /// and gauge writes do not (call TraceWriter::counter_event directly for
+  /// sampled tracks).  Pass nullptr to detach.
+  void attach_trace(TraceWriter* trace) { trace_ = trace; }
+  [[nodiscard]] TraceWriter* trace() const { return trace_; }
+
+  /// Merges every metric of @p other into this registry under
+  /// "<prefix>.name" (counters add, gauges overwrite, timers accumulate).
+  void merge_from(const Registry& other, std::string_view prefix = {});
+
+  /// The unified report: {"schema":"scflow-obs-1","counters":{...},
+  /// "gauges":{...},"timers":{"path":{"ns":..,"count":..}}} with keys in
+  /// deterministic (lexicographic) order.
+  [[nodiscard]] std::string report_json() const;
+  /// Writes report_json() to @p path; returns false on I/O failure.
+  bool write_report(const std::string& path) const;
+
+ private:
+  void close_scope(std::uint64_t start_ns);
+
+  std::map<std::string, std::uint64_t, std::less<>> counters_;
+  std::map<std::string, double, std::less<>> gauges_;
+  std::map<std::string, TimerStat, std::less<>> timers_;
+  std::vector<std::string> scope_stack_;
+  TraceWriter* trace_ = nullptr;
+};
+
+}  // namespace scflow::obs

@@ -1,0 +1,31 @@
+// An observability session: one Registry wired to one TraceWriter.  The
+// flow drivers and benches take an optional Session* and, when given,
+// record step timings (as trace slices), counters and gauges into it; the
+// caller then dumps report.json / trace.json.  Stack-allocate and keep it
+// alive for the run — the registry holds a pointer to the trace.
+#pragma once
+
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
+
+namespace scflow::obs {
+
+struct Session {
+  Session() { registry.attach_trace(&trace); }
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  Registry registry;
+  TraceWriter trace;
+
+  /// Convenience: writes both artifacts; empty paths are skipped.
+  /// Returns false if any requested write failed.
+  bool dump(const std::string& report_path, const std::string& trace_path) const {
+    bool ok = true;
+    if (!report_path.empty()) ok = registry.write_report(report_path) && ok;
+    if (!trace_path.empty()) ok = trace.write_file(trace_path) && ok;
+    return ok;
+  }
+};
+
+}  // namespace scflow::obs

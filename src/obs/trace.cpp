@@ -1,0 +1,84 @@
+#include "obs/trace.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <sstream>
+
+#include "obs/json.hpp"
+
+namespace scflow::obs {
+
+namespace {
+
+std::uint64_t steady_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Trace-event timestamps are microseconds; emit with ns precision.
+void append_us(std::ostringstream& os, std::uint64_t ns) {
+  os << ns / 1000 << '.' << static_cast<char>('0' + (ns % 1000) / 100)
+     << static_cast<char>('0' + (ns % 100) / 10) << static_cast<char>('0' + ns % 10);
+}
+
+}  // namespace
+
+TraceWriter::TraceWriter() : epoch_ns_(steady_ns()) {}
+
+std::uint64_t TraceWriter::now_ns() const { return steady_ns() - epoch_ns_; }
+
+void TraceWriter::complete_event(std::string name, std::string category,
+                                 std::uint64_t ts_ns, std::uint64_t dur_ns, int tid) {
+  events_.push_back({Phase::kComplete, std::move(name), std::move(category), ts_ns,
+                     dur_ns, tid, 0.0});
+}
+
+void TraceWriter::instant_event(std::string name, std::string category,
+                                std::uint64_t ts_ns, int tid) {
+  events_.push_back(
+      {Phase::kInstant, std::move(name), std::move(category), ts_ns, 0, tid, 0.0});
+}
+
+void TraceWriter::counter_event(std::string name, std::uint64_t ts_ns, double value) {
+  events_.push_back({Phase::kCounter, std::move(name), "counter", ts_ns, 0, 0, value});
+}
+
+std::string TraceWriter::to_json() const {
+  std::ostringstream os;
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  for (const Event& e : events_) {
+    if (!first) os << ',';
+    first = false;
+    os << "{\"name\":\"" << json_escape(e.name) << "\",\"cat\":\""
+       << json_escape(e.category) << "\",\"pid\":1,\"tid\":" << e.tid << ",\"ts\":";
+    append_us(os, e.ts_ns);
+    switch (e.phase) {
+      case Phase::kComplete:
+        os << ",\"ph\":\"X\",\"dur\":";
+        append_us(os, e.dur_ns);
+        break;
+      case Phase::kInstant:
+        os << ",\"ph\":\"i\",\"s\":\"t\"";
+        break;
+      case Phase::kCounter:
+        os << ",\"ph\":\"C\",\"args\":{\"value\":" << e.value << '}';
+        break;
+    }
+    os << '}';
+  }
+  os << "],\"displayTimeUnit\":\"ms\"}";
+  return os.str();
+}
+
+bool TraceWriter::write_file(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string json = to_json();
+  const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+}  // namespace scflow::obs

@@ -1,0 +1,54 @@
+// Chrome trace-event JSON writer (the "JSON Object Format" understood by
+// chrome://tracing and Perfetto): complete slices ("ph":"X"), instant
+// events ("ph":"i") and counter tracks ("ph":"C").  The flow drivers use
+// it to lay scheduler / synthesis / cosim activity on one timeline.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace scflow::obs {
+
+class TraceWriter {
+ public:
+  /// Construction pins the trace epoch: all timestamps are nanoseconds
+  /// relative to it (emitted as microseconds, the trace-event unit).
+  TraceWriter();
+
+  /// Nanoseconds elapsed since the epoch (monotonic clock).
+  [[nodiscard]] std::uint64_t now_ns() const;
+
+  /// A completed slice: [ts, ts+dur) on thread track @p tid.
+  void complete_event(std::string name, std::string category, std::uint64_t ts_ns,
+                      std::uint64_t dur_ns, int tid = 0);
+  /// A zero-duration marker.
+  void instant_event(std::string name, std::string category, std::uint64_t ts_ns,
+                     int tid = 0);
+  /// A sample on a counter track (renders as a value graph).
+  void counter_event(std::string name, std::uint64_t ts_ns, double value);
+
+  [[nodiscard]] std::size_t event_count() const { return events_.size(); }
+
+  /// The whole trace as {"traceEvents":[...],"displayTimeUnit":"ms"}.
+  [[nodiscard]] std::string to_json() const;
+  /// Writes to_json() to @p path; returns false on I/O failure.
+  bool write_file(const std::string& path) const;
+
+ private:
+  enum class Phase { kComplete, kInstant, kCounter };
+  struct Event {
+    Phase phase;
+    std::string name;
+    std::string category;
+    std::uint64_t ts_ns = 0;
+    std::uint64_t dur_ns = 0;
+    int tid = 0;
+    double value = 0.0;
+  };
+
+  std::uint64_t epoch_ns_;  // steady-clock origin
+  std::vector<Event> events_;
+};
+
+}  // namespace scflow::obs

@@ -40,7 +40,7 @@ TEST(TestbenchVm, DrivesRtlDutToGoldenOutputs) {
   for (std::size_t i = 0; i < want.size(); ++i)
     ASSERT_EQ(got.outputs[i], want[i]) << "output " << i;
   EXPECT_GT(got.instructions_executed, got.cycles);  // per-clock monitor
-  EXPECT_GT(got.dut_work_units, 0u);
+  EXPECT_GT(got.dut_work_units(), 0u);
 }
 
 TEST(TestbenchVm, DrivesGateDutToGoldenOutputs) {
@@ -93,9 +93,9 @@ TEST(Fig9Machinery, NativeAndCosimAgreeOnOutputs) {
   for (std::size_t i = 0; i < native.outputs.size(); ++i)
     ASSERT_EQ(native.outputs[i], cs.outputs[i]);
   // Both simulate the same number of DUT cycles (same interpreted load).
-  EXPECT_NEAR(static_cast<double>(native.dut_work_units),
-              static_cast<double>(cs.dut_work_units),
-              0.01 * static_cast<double>(native.dut_work_units));
+  EXPECT_NEAR(static_cast<double>(native.dut_work_units()),
+              static_cast<double>(cs.dut_work_units()),
+              0.01 * static_cast<double>(native.dut_work_units()));
 }
 
 }  // namespace

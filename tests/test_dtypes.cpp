@@ -87,13 +87,15 @@ TEST_P(BitIntProperty, MatchesWrappedInt64) {
     const auto b = static_cast<std::int64_t>(rng());
     const Int<24> dummy(0);
     (void)dummy;
-    // Signed.
+    // Signed: wrapping first must not change the w-bit result (the mod-2^w
+    // homomorphism hardware arithmetic relies on).
     {
       const std::int64_t ca = wrap_to_width(a, w, true);
       const std::int64_t cb = wrap_to_width(b, w, true);
-      EXPECT_EQ(wrap_to_width(ca + cb, w, true),
-                wrap_to_width(wrap_to_width(a, w, true) + wrap_to_width(b, w, true), w, true));
-      EXPECT_EQ(wrap_to_width(ca * cb, w, true), wrap_to_width(ca * cb, w, true));
+      EXPECT_EQ(wrap_to_width(wrapping_add(ca, cb), w, true),
+                wrap_to_width(wrapping_add(a, b), w, true));
+      EXPECT_EQ(wrap_to_width(wrapping_mul(ca, cb), w, true),
+                wrap_to_width(wrapping_mul(a, b), w, true));
     }
     // Unsigned wrap matches masking.
     {
@@ -115,13 +117,13 @@ void check_bitint_ops(std::mt19937_64& rng) {
     const auto a = static_cast<std::int64_t>(rng());
     const auto b = static_cast<std::int64_t>(rng());
     Int<W> x(a), y(b);
-    EXPECT_EQ((x + y).to_int64(), wrap_to_width(x.to_int64() + y.to_int64(), W, true));
-    EXPECT_EQ((x - y).to_int64(), wrap_to_width(x.to_int64() - y.to_int64(), W, true));
-    EXPECT_EQ((x * y).to_int64(), wrap_to_width(x.to_int64() * y.to_int64(), W, true));
+    EXPECT_EQ((x + y).to_int64(), wrap_to_width(wrapping_add(x.to_int64(), y.to_int64()), W, true));
+    EXPECT_EQ((x - y).to_int64(), wrap_to_width(wrapping_sub(x.to_int64(), y.to_int64()), W, true));
+    EXPECT_EQ((x * y).to_int64(), wrap_to_width(wrapping_mul(x.to_int64(), y.to_int64()), W, true));
     EXPECT_EQ((x & y).to_int64(), wrap_to_width(x.to_int64() & y.to_int64(), W, true));
     EXPECT_EQ((x | y).to_int64(), wrap_to_width(x.to_int64() | y.to_int64(), W, true));
     EXPECT_EQ((x ^ y).to_int64(), wrap_to_width(x.to_int64() ^ y.to_int64(), W, true));
-    EXPECT_EQ((-x).to_int64(), wrap_to_width(-x.to_int64(), W, true));
+    EXPECT_EQ((-x).to_int64(), wrap_to_width(wrapping_neg(x.to_int64()), W, true));
     EXPECT_EQ((~x).to_int64(), wrap_to_width(~x.to_int64(), W, true));
   }
 }

@@ -130,7 +130,7 @@ TEST(GateLevelSrc, GateActivityIsReported) {
   const auto ev = schedule(SrcMode::k44_1To48, 40, 10);
   const auto gates = synthesise(rtl::build_src_design(rtl::rtl_opt_config()));
   const auto got = run_src_netlist(gates, SrcMode::k44_1To48, ev);
-  EXPECT_GT(got.gate_evaluations, got.cycles);  // multiple gates per cycle
+  EXPECT_GT(got.gate_evaluations(), got.cycles);  // multiple gates per cycle
 }
 
 TEST(SimCounters, TracksTheEventEngineExactly) {
@@ -192,7 +192,6 @@ TEST(SimCounters, RamWritesForceReadPortRereads) {
   const auto gates = synthesise(rtl::build_src_design(rtl::rtl_opt_config()));
   const auto got = run_src_netlist(gates, SrcMode::k44_1To48, ev);
   EXPECT_GT(got.counters.ram_rereads, 0u);  // the SRC buffer RAM is written
-  EXPECT_EQ(got.counters.evaluations, got.gate_evaluations);
   EXPECT_GT(got.counters.peak_queue_depth, 0u);
   EXPECT_EQ(got.counters.steady_state_allocs, 0u);
   // run_src_netlist performs one pre-loop settle to read the initial

@@ -12,6 +12,7 @@
 #include "kernel/signal.hpp"
 #include "kernel/simulation.hpp"
 #include "kernel/time.hpp"
+#include "obs/registry.hpp"
 
 namespace minisc {
 namespace {
@@ -484,6 +485,112 @@ TEST(Channels, BlockingFifoThroughIMC) {
   sim.run();
   ASSERT_EQ(got.size(), 10u);
   for (int i = 0; i < 10; ++i) EXPECT_EQ(got[i], i);
+}
+
+// --- instrumentation-counter semantics -----------------------------------
+//
+// A hand-built two-process design with fully known event counts: a thread
+// driving a signal N times on a fixed period and a method observing every
+// value change.  This pins down what each SimulationStats field means.
+class TwoProcess : public Module {
+ public:
+  static constexpr int kWrites = 3;
+  TwoProcess(Simulation& sim, Signal<int>& s, int& observations)
+      : Module(sim, "two") {
+    thread("driver", [this, &s] {
+      for (int i = 0; i < kWrites; ++i) {
+        s.write(i + 1);
+        wait(Time::ns(1));
+      }
+    });
+    method("observer", [&observations] { ++observations; })
+        .sensitive(s.value_changed_event());
+  }
+};
+
+TEST(InstrumentationCounters, TwoProcessDesignHasKnownCounts) {
+  Simulation sim;
+  Signal<int> s(sim, nullptr, "s", 0);
+  int observations = 0;
+  TwoProcess top(sim, s, observations);
+  sim.run();
+
+  const auto& st = sim.stats();
+  // Driver: init run + (kWrites - 1) timed wake-ups + final wake-up to
+  // fall off the end = kWrites + 1 activations.  Observer: init run +
+  // kWrites value changes.
+  const std::uint64_t driver_acts = TwoProcess::kWrites + 1;
+  const std::uint64_t observer_acts = TwoProcess::kWrites + 1;
+  EXPECT_EQ(observations, TwoProcess::kWrites + 1);
+  EXPECT_EQ(st.process_activations, driver_acts + observer_acts);
+  // Only the method process counts as a method invocation.
+  EXPECT_EQ(st.method_invocations, observer_acts);
+  // Every thread activation costs a switch in and a switch out — except
+  // the terminating one, which returns to the scheduler via uc_link.
+  EXPECT_EQ(st.context_switches, 2 * driver_acts - 1);
+  EXPECT_EQ(st.signal_updates, static_cast<std::uint64_t>(TwoProcess::kWrites));
+  EXPECT_GE(st.delta_cycles, static_cast<std::uint64_t>(TwoProcess::kWrites));
+  // One value-changed notification and firing per effective write.
+  EXPECT_EQ(st.events_notified, static_cast<std::uint64_t>(TwoProcess::kWrites));
+  EXPECT_EQ(st.events_fired, static_cast<std::uint64_t>(TwoProcess::kWrites));
+
+  // Per-process attribution sums to the simulation-wide total.
+  std::uint64_t sum = 0;
+  bool saw_driver = false, saw_observer = false;
+  for (const auto& [name, n] : sim.process_activations()) {
+    sum += n;
+    if (name == "two.driver") { saw_driver = true; EXPECT_EQ(n, driver_acts); }
+    if (name == "two.observer") { saw_observer = true; EXPECT_EQ(n, observer_acts); }
+  }
+  EXPECT_TRUE(saw_driver);
+  EXPECT_TRUE(saw_observer);
+  EXPECT_EQ(sum, st.process_activations);
+}
+
+TEST(InstrumentationCounters, DisabledInstrumentationKeepsBehaviour) {
+  auto run_one = [](bool instrumented, SimulationStats& stats_out) {
+    Simulation sim;
+    sim.set_instrumentation(instrumented);
+    Signal<int> s(sim, nullptr, "s", 0);
+    int observations = 0;
+    TwoProcess top(sim, s, observations);
+    sim.run();
+    stats_out = sim.stats();
+    return observations;
+  };
+  SimulationStats on{}, off{};
+  const int obs_on = run_one(true, on);
+  const int obs_off = run_one(false, off);
+  // Identical functional behaviour...
+  EXPECT_EQ(obs_on, obs_off);
+  EXPECT_GT(on.process_activations, 0u);
+  // ...but with instrumentation off every counter stays zero.
+  EXPECT_EQ(off.process_activations, 0u);
+  EXPECT_EQ(off.context_switches, 0u);
+  EXPECT_EQ(off.method_invocations, 0u);
+  EXPECT_EQ(off.delta_cycles, 0u);
+  EXPECT_EQ(off.signal_updates, 0u);
+  EXPECT_EQ(off.events_notified, 0u);
+  EXPECT_EQ(off.events_fired, 0u);
+}
+
+TEST(InstrumentationCounters, RecordStatsMapsEveryField) {
+  Simulation sim;
+  Signal<int> s(sim, nullptr, "s", 0);
+  int observations = 0;
+  TwoProcess top(sim, s, observations);
+  sim.run();
+
+  scflow::obs::Registry reg;
+  record_stats(reg, "k", sim.stats());
+  EXPECT_EQ(reg.counter("k.activations"), sim.stats().process_activations);
+  EXPECT_EQ(reg.counter("k.context_switches"), sim.stats().context_switches);
+  EXPECT_EQ(reg.counter("k.method_invocations"), sim.stats().method_invocations);
+  EXPECT_EQ(reg.counter("k.delta_cycles"), sim.stats().delta_cycles);
+  EXPECT_EQ(reg.counter("k.timed_steps"), sim.stats().timed_steps);
+  EXPECT_EQ(reg.counter("k.signal_updates"), sim.stats().signal_updates);
+  EXPECT_EQ(reg.counter("k.events_notified"), sim.stats().events_notified);
+  EXPECT_EQ(reg.counter("k.events_fired"), sim.stats().events_fired);
 }
 
 TEST(Scheduler, DeltaLimitCatchesOscillation) {

@@ -1,0 +1,228 @@
+// Tests for the observability layer: metric registry (counters, gauges,
+// nested scoped timers), JSON escaping + the structural validator, the
+// Chrome trace-event writer, and the Probe increment semantics.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "obs/json.hpp"
+#include "obs/probe.hpp"
+#include "obs/registry.hpp"
+#include "obs/session.hpp"
+#include "obs/trace.hpp"
+
+namespace scflow::obs {
+namespace {
+
+// --- JSON escaping -------------------------------------------------------
+
+TEST(JsonEscape, PassesPlainTextThrough) {
+  EXPECT_EQ(json_escape("counter.name_0"), "counter.name_0");
+}
+
+TEST(JsonEscape, EscapesQuotesAndBackslash) {
+  EXPECT_EQ(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+}
+
+TEST(JsonEscape, EscapesControlCharacters) {
+  EXPECT_EQ(json_escape("a\nb\tc\rd"), "a\\nb\\tc\\rd");
+  EXPECT_EQ(json_escape(std::string("\x01", 1)), "\\u0001");
+  EXPECT_EQ(json_escape(std::string("\x1f", 1)), "\\u001f");
+}
+
+TEST(JsonEscape, LeavesUtf8Alone) {
+  EXPECT_EQ(json_escape("müx/µs"), "müx/µs");
+}
+
+// --- structural validator ------------------------------------------------
+
+TEST(JsonValidate, AcceptsWellFormedDocuments) {
+  EXPECT_TRUE(json_validate("{}"));
+  EXPECT_TRUE(json_validate("[]"));
+  EXPECT_TRUE(json_validate(R"({"a":[1,2.5,-3e2,true,false,null,"s\n"]})"));
+  EXPECT_TRUE(json_validate("  [ { } , [ ] ]  "));
+}
+
+TEST(JsonValidate, RejectsMalformedDocuments) {
+  std::string err;
+  EXPECT_FALSE(json_validate("", &err));
+  EXPECT_FALSE(json_validate("{", &err));
+  EXPECT_FALSE(json_validate("{\"a\":}", &err));
+  EXPECT_FALSE(json_validate("[1,]", &err));
+  EXPECT_FALSE(json_validate("{} trailing", &err));
+  EXPECT_FALSE(json_validate("[01]", &err));       // leading zero
+  EXPECT_FALSE(json_validate("\"\\x\"", &err));    // bad escape
+  EXPECT_FALSE(json_validate("nul", &err));
+  EXPECT_FALSE(err.empty());
+}
+
+// --- Probe ---------------------------------------------------------------
+
+TEST(ProbeTest, CountsWhenEnabledOnly) {
+  Probe p;
+  std::uint64_t c = 0;
+  p.hit(c);
+  p.add(c, 10);
+  EXPECT_EQ(c, 11u);
+  p.set_enabled(false);
+  p.hit(c);
+  p.add(c, 100);
+  EXPECT_EQ(c, 11u);
+  p.set_enabled(true);
+  p.hit(c);
+  EXPECT_EQ(c, 12u);
+}
+
+// --- Registry counters / gauges ------------------------------------------
+
+TEST(RegistryTest, CountersAccumulate) {
+  Registry r;
+  EXPECT_FALSE(r.has_counter("a"));
+  EXPECT_EQ(r.counter("a"), 0u);
+  r.count("a");
+  r.count("a", 4);
+  EXPECT_EQ(r.counter("a"), 5u);
+  r.set_counter("a", 2);
+  EXPECT_EQ(r.counter("a"), 2u);
+  EXPECT_TRUE(r.has_counter("a"));
+}
+
+TEST(RegistryTest, GaugesKeepLatestValue) {
+  Registry r;
+  r.set_gauge("g", 1.5);
+  r.set_gauge("g", -2.25);
+  EXPECT_DOUBLE_EQ(r.gauge("g"), -2.25);
+  EXPECT_DOUBLE_EQ(r.gauge("missing"), 0.0);
+}
+
+// --- Registry scoped timers ----------------------------------------------
+
+TEST(RegistryTest, NestedScopesRecordHierarchicalPaths) {
+  Registry r;
+  {
+    auto outer = r.time_scope("outer");
+    {
+      auto inner = r.time_scope("inner");
+    }
+    {
+      auto inner = r.time_scope("inner");
+    }
+  }
+  ASSERT_NE(r.timer("outer"), nullptr);
+  ASSERT_NE(r.timer("outer/inner"), nullptr);
+  EXPECT_EQ(r.timer("outer")->count, 1u);
+  EXPECT_EQ(r.timer("outer/inner")->count, 2u);
+  EXPECT_EQ(r.timer("inner"), nullptr);  // never recorded as a root scope
+  // The outer scope contains both inner scopes, so it cannot be shorter.
+  EXPECT_GE(r.timer("outer")->total_ns, r.timer("outer/inner")->total_ns);
+}
+
+TEST(RegistryTest, SequentialScopesAccumulate) {
+  Registry r;
+  for (int i = 0; i < 3; ++i) auto t = r.time_scope("step");
+  ASSERT_NE(r.timer("step"), nullptr);
+  EXPECT_EQ(r.timer("step")->count, 3u);
+}
+
+// --- merge ---------------------------------------------------------------
+
+TEST(RegistryTest, MergePrefixesAndAggregates) {
+  Registry a, b;
+  a.count("hits", 2);
+  a.set_gauge("temp", 1.0);
+  b.count("hits", 3);
+  b.set_gauge("temp", 9.0);
+  { auto t = b.time_scope("run"); }
+
+  a.merge_from(b, "sub");
+  EXPECT_EQ(a.counter("hits"), 2u);       // untouched
+  EXPECT_EQ(a.counter("sub.hits"), 3u);   // prefixed
+  EXPECT_DOUBLE_EQ(a.gauge("sub.temp"), 9.0);
+  ASSERT_NE(a.timer("sub.run"), nullptr);
+  EXPECT_EQ(a.timer("sub.run")->count, 1u);
+
+  // Merging again: counters add, gauges overwrite, timer counts accumulate.
+  a.merge_from(b, "sub");
+  EXPECT_EQ(a.counter("sub.hits"), 6u);
+  EXPECT_EQ(a.timer("sub.run")->count, 2u);
+}
+
+// --- report --------------------------------------------------------------
+
+TEST(RegistryTest, ReportJsonIsValidAndCarriesSchema) {
+  Registry r;
+  r.count("k.v", 7);
+  r.set_gauge("g\"quoted\"", 0.5);
+  { auto t = r.time_scope("phase"); }
+  const std::string json = r.report_json();
+  std::string err;
+  EXPECT_TRUE(json_validate(json, &err)) << err << "\n" << json;
+  EXPECT_NE(json.find("\"schema\":\"scflow-obs-1\""), std::string::npos);
+  EXPECT_NE(json.find("\"k.v\":7"), std::string::npos);
+  EXPECT_NE(json.find("g\\\"quoted\\\""), std::string::npos);
+  EXPECT_NE(json.find("\"phase\""), std::string::npos);
+}
+
+// --- trace writer --------------------------------------------------------
+
+TEST(TraceWriterTest, EmitsWellFormedChromeTraceJson) {
+  TraceWriter tw;
+  tw.complete_event("slice \"x\"", "flow", 1000, 2500);
+  tw.instant_event("marker", "flow", 4000, 2);
+  tw.counter_event("activations", 5000, 42.0);
+  EXPECT_EQ(tw.event_count(), 3u);
+
+  const std::string json = tw.to_json();
+  std::string err;
+  EXPECT_TRUE(json_validate(json, &err)) << err << "\n" << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos);
+  // ns -> us conversion: 2500 ns slice is a 2.5 us duration.
+  EXPECT_NE(json.find("\"dur\":2.500"), std::string::npos);
+}
+
+TEST(TraceWriterTest, ClockIsMonotoneFromEpoch) {
+  TraceWriter tw;
+  const auto a = tw.now_ns();
+  const auto b = tw.now_ns();
+  EXPECT_GE(b, a);
+}
+
+// --- registry + trace integration ----------------------------------------
+
+TEST(SessionTest, ScopeCloseEmitsTraceSlice) {
+  Session s;
+  { auto t = s.registry.time_scope("outer"); auto u = s.registry.time_scope("in"); }
+  EXPECT_EQ(s.trace.event_count(), 2u);  // one slice per closed scope
+  std::string err;
+  const std::string json = s.trace.to_json();
+  EXPECT_TRUE(json_validate(json, &err)) << err;
+  // Slices carry the leaf scope name; the hierarchy lives in the registry.
+  EXPECT_NE(json.find("\"name\":\"in\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"outer\""), std::string::npos);
+  ASSERT_NE(s.registry.timer("outer/in"), nullptr);
+}
+
+TEST(SessionTest, DumpWritesBothArtifacts) {
+  Session s;
+  s.registry.count("n", 1);
+  { auto t = s.registry.time_scope("w"); }
+  const std::string rp = ::testing::TempDir() + "obs_report.json";
+  const std::string tp = ::testing::TempDir() + "obs_trace.json";
+  ASSERT_TRUE(s.dump(rp, tp));
+  for (const auto& path : {rp, tp}) {
+    std::ifstream in(path);
+    std::stringstream buf;
+    buf << in.rdbuf();
+    std::string err;
+    EXPECT_TRUE(json_validate(buf.str(), &err)) << path << ": " << err;
+    std::remove(path.c_str());
+  }
+}
+
+}  // namespace
+}  // namespace scflow::obs
