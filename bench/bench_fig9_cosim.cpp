@@ -7,10 +7,13 @@
 // smaller than the interpretation overhead it replaces.
 #include <benchmark/benchmark.h>
 
+#include <string>
+
 #include "bench_json_main.hpp"
 #include "cosim/bridge.hpp"
 #include "dsp/stimulus.hpp"
 #include "flow/synthesis_flow.hpp"
+#include "hdlsim/batch_runner.hpp"
 #include "hdlsim/dut.hpp"
 #include "hdlsim/testbench_vm.hpp"
 #include "hls/src_beh.hpp"
@@ -33,16 +36,30 @@ const std::vector<dsp::SrcEvent>& events() {
 
 enum class DutKind { kRtl, kGateBeh, kGateRtl };
 
-std::unique_ptr<hdlsim::Dut> make_dut(DutKind kind) {
-  static const rtl::Design rtl_design = rtl::build_src_design(rtl::rtl_opt_config());
-  static const nl::Netlist gates_beh =
+const rtl::Design& rtl_design() {
+  static const rtl::Design d = rtl::build_src_design(rtl::rtl_opt_config());
+  return d;
+}
+const nl::Netlist& gates_beh() {
+  static const nl::Netlist n =
       flow::synthesize_to_gates(hls::build_beh_src_design(hls::beh_opt_config()));
-  static const nl::Netlist gates_rtl = flow::synthesize_to_gates(rtl_design);
+  return n;
+}
+const nl::Netlist& gates_rtl() {
+  static const nl::Netlist n = flow::synthesize_to_gates(rtl_design());
+  return n;
+}
+
+std::unique_ptr<hdlsim::Dut> make_dut(DutKind kind) {
+  // Gate DUTs run on the lane count selected with --threads; the sweep is
+  // deterministic, so the counters below are identical for every value.
+  hdlsim::GateSim::Options gate_opts;
+  gate_opts.threads = benchutil::requested_threads();
   std::unique_ptr<hdlsim::Dut> dut;
   switch (kind) {
-    case DutKind::kRtl: dut = std::make_unique<hdlsim::RtlDut>(rtl_design); break;
-    case DutKind::kGateBeh: dut = std::make_unique<hdlsim::GateDut>(gates_beh); break;
-    case DutKind::kGateRtl: dut = std::make_unique<hdlsim::GateDut>(gates_rtl); break;
+    case DutKind::kRtl: dut = std::make_unique<hdlsim::RtlDut>(rtl_design()); break;
+    case DutKind::kGateBeh: dut = std::make_unique<hdlsim::GateDut>(gates_beh(), gate_opts); break;
+    case DutKind::kGateRtl: dut = std::make_unique<hdlsim::GateDut>(gates_rtl(), gate_opts); break;
   }
   if (kind != DutKind::kRtl) {
     dut->set_input("scan_in", 0);
@@ -61,6 +78,19 @@ void report_counters(benchmark::State& state, const hdlsim::SimCounters& c) {
   state.counters["ss_allocs"] = static_cast<double>(c.steady_state_allocs);
 }
 
+// Lane count plus the per-worker sweep shards (multi-lane engines only) —
+// the JSON then shows how the deterministic partition distributed the
+// work, next to the totals it must sum back to.
+void report_workers(benchmark::State& state, const std::vector<hdlsim::WorkerShardStats>& ws) {
+  state.counters["threads"] = static_cast<double>(ws.empty() ? 1 : ws.size());
+  if (ws.size() <= 1) return;
+  for (std::size_t w = 0; w < ws.size(); ++w) {
+    const std::string p = "w" + std::to_string(w);
+    state.counters[p + "_evals"] = static_cast<double>(ws[w].evaluations);
+    state.counters[p + "_pushes"] = static_cast<double>(ws[w].dirty_pushes);
+  }
+}
+
 // DUT construction (netlist copy + simulator build) is setup, not
 // simulation: keep it outside the timed region so cyc_per_s measures the
 // engines, comparable across DUTs of very different construction cost.
@@ -68,6 +98,7 @@ void native_bench(benchmark::State& state, DutKind kind) {
   const auto prog = hdlsim::build_src_testbench(events(), dsp::SrcMode::k44_1To48);
   std::uint64_t cycles = 0, tb_instructions = 0;
   hdlsim::SimCounters last{};
+  std::vector<hdlsim::WorkerShardStats> workers;
   for (auto _ : state) {
     state.PauseTiming();
     auto dut = make_dut(kind);
@@ -77,16 +108,19 @@ void native_bench(benchmark::State& state, DutKind kind) {
     cycles += r.cycles;
     tb_instructions += r.instructions_executed;
     last = r.dut_counters;
+    workers = dut->worker_stats();
   }
   state.counters["cyc_per_s"] =
       benchmark::Counter(static_cast<double>(cycles), benchmark::Counter::kIsRate);
   state.counters["tb_instr"] = static_cast<double>(tb_instructions);
   report_counters(state, last);
+  report_workers(state, workers);
 }
 
 void cosim_bench(benchmark::State& state, DutKind kind) {
   std::uint64_t cycles = 0, syncs = 0;
   hdlsim::SimCounters last{};
+  std::vector<hdlsim::WorkerShardStats> workers;
   for (auto _ : state) {
     state.PauseTiming();
     auto dut = make_dut(kind);
@@ -98,11 +132,13 @@ void cosim_bench(benchmark::State& state, DutKind kind) {
     cycles += r.cycles;
     syncs += r.syncs;
     last = r.dut_counters;
+    workers = r.dut_workers;
   }
   state.counters["cyc_per_s"] =
       benchmark::Counter(static_cast<double>(cycles), benchmark::Counter::kIsRate);
   state.counters["syncs"] = static_cast<double>(syncs);
   report_counters(state, last);
+  report_workers(state, workers);
 }
 
 void Fig9_RTL_VhdlTestbench(benchmark::State& s) { native_bench(s, DutKind::kRtl); }
@@ -122,6 +158,55 @@ FIG9_BENCH(Fig9_GateBEH_VhdlTestbench);
 FIG9_BENCH(Fig9_GateBEH_SystemCTestbench);
 FIG9_BENCH(Fig9_GateRTL_VhdlTestbench);
 FIG9_BENCH(Fig9_GateRTL_SystemCTestbench);
+
+// ---------------------------------------------------------------------------
+// Sharded batch throughput: N independent schedule simulations fanned over
+// the batch runner's worker pool.  This is the profitable parallel axis
+// for sweep-style workloads (each DUT cycle is ~µs-scale, far below any
+// dispatch granularity, but whole simulations shard perfectly), so the
+// scaling claim is measured here.  Wall-clock (UseRealTime), not CPU time:
+// aggregate cycles per second across all lanes is the figure of merit, and
+// it only improves with --threads on a multi-core host.
+// ---------------------------------------------------------------------------
+
+const std::vector<std::vector<dsp::SrcEvent>>& batch_schedules() {
+  static const auto schedules = [] {
+    std::vector<std::vector<dsp::SrcEvent>> s;
+    for (std::uint64_t j = 0; j < 8; ++j) {
+      const auto inputs = dsp::make_noise_stimulus(kSamples, 7 + j);
+      s.push_back(dsp::make_schedule(inputs, P::kPeriod44k1Ps, kSamples, P::kPeriod48kPs));
+    }
+    return s;
+  }();
+  return schedules;
+}
+
+void batch_bench(benchmark::State& state, const nl::Netlist& gates) {
+  const unsigned threads = benchutil::requested_threads();
+  std::uint64_t cycles = 0, evals = 0;
+  for (auto _ : state) {
+    const auto results = hdlsim::run_src_netlist_batch(gates, dsp::SrcMode::k44_1To48,
+                                                       batch_schedules(), {}, threads);
+    for (const auto& r : results) {
+      benchmark::DoNotOptimize(r.outputs.data());
+      cycles += r.cycles;
+      evals += r.counters.evaluations;
+    }
+  }
+  state.counters["cyc_per_s"] =
+      benchmark::Counter(static_cast<double>(cycles), benchmark::Counter::kIsRate);
+  state.counters["evals_per_s"] =
+      benchmark::Counter(static_cast<double>(evals), benchmark::Counter::kIsRate);
+  state.counters["threads"] = static_cast<double>(threads == 0 ? 0 : threads);
+  state.counters["jobs"] = static_cast<double>(batch_schedules().size());
+}
+
+void Fig9_GateBEH_BatchSweep(benchmark::State& s) { batch_bench(s, gates_beh()); }
+void Fig9_GateRTL_BatchSweep(benchmark::State& s) { batch_bench(s, gates_rtl()); }
+#define FIG9_BATCH_BENCH(fn) \
+  BENCHMARK(fn)->Unit(benchmark::kMillisecond)->UseRealTime()->MinTime(1.5)
+FIG9_BATCH_BENCH(Fig9_GateBEH_BatchSweep);
+FIG9_BATCH_BENCH(Fig9_GateRTL_BatchSweep);
 
 }  // namespace
 

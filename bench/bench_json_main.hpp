@@ -4,14 +4,29 @@
 // --benchmark_out=FILE --benchmark_out_format=json.  The per-mechanism
 // observability counters each bench attaches via state.counters land in
 // that JSON next to the timing numbers.
+//
+// Also understands `--threads N` (or `--threads=N`): the worker-lane
+// count the simulator benches pass to the parallel gate engine and the
+// sharded batch runner (0 = one lane per hardware thread, default 1).
 #pragma once
 
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
 #include <string>
 #include <vector>
 
 namespace scflow::benchutil {
+
+namespace detail {
+inline unsigned& threads_slot() {
+  static unsigned t = 1;
+  return t;
+}
+}  // namespace detail
+
+/// Lane count selected with --threads (1 when the flag is absent).
+inline unsigned requested_threads() { return detail::threads_slot(); }
 
 inline int run_benchmark_main(int argc, char** argv) {
   std::vector<std::string> args(argv, argv + argc);
@@ -23,6 +38,11 @@ inline int run_benchmark_main(int argc, char** argv) {
     } else if (args[i].rfind("--json=", 0) == 0) {
       expanded.push_back("--benchmark_out=" + args[i].substr(7));
       expanded.push_back("--benchmark_out_format=json");
+    } else if (args[i] == "--threads" && i + 1 < args.size()) {
+      detail::threads_slot() = static_cast<unsigned>(std::strtoul(args[++i].c_str(), nullptr, 10));
+    } else if (args[i].rfind("--threads=", 0) == 0) {
+      detail::threads_slot() =
+          static_cast<unsigned>(std::strtoul(args[i].c_str() + 10, nullptr, 10));
     } else {
       expanded.push_back(args[i]);
     }

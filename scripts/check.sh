@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Full pre-merge check: the tier-1 build + test cycle, then the same test
-# suite under AddressSanitizer + UBSan (-DSCFLOW_SANITIZE=ON) so the
-# sanitizer wiring is actually exercised on every change.
+# suite under AddressSanitizer + UBSan (-DSCFLOW_SANITIZE=ON), then the
+# threaded simulator paths under ThreadSanitizer (-DSCFLOW_SANITIZE=thread)
+# so both sanitizer wirings are actually exercised on every change.
 #
 # Usage: scripts/check.sh [--skip-sanitize]
 set -euo pipefail
@@ -11,21 +12,44 @@ JOBS=$(nproc 2>/dev/null || echo 4)
 SKIP_SANITIZE=0
 [[ "${1:-}" == "--skip-sanitize" ]] && SKIP_SANITIZE=1
 
+RAN_PASSES=()
+
 echo "== tier-1: configure + build + ctest (build/) =="
 cmake -B build -S . >/dev/null
 cmake --build build -j"$JOBS"
 ctest --test-dir build --output-on-failure -j"$JOBS"
+RAN_PASSES+=("tier-1")
 
 if [[ "$SKIP_SANITIZE" == 1 ]]; then
-  echo "== sanitize pass skipped (--skip-sanitize) =="
-  exit 0
+  echo "== sanitize passes skipped (--skip-sanitize) =="
+else
+  echo "== sanitize: ASan+UBSan configure + build + ctest (build-asan/) =="
+  cmake -B build-asan -S . -DSCFLOW_SANITIZE=ON >/dev/null
+  cmake --build build-asan -j"$JOBS"
+  # halt_on_error keeps UBSan findings fatal so ctest actually fails on them.
+  UBSAN_OPTIONS=halt_on_error=1 ASAN_OPTIONS=detect_leaks=1 \
+    ctest --test-dir build-asan --output-on-failure -j"$JOBS"
+  RAN_PASSES+=("ASan+UBSan")
+
+  echo "== sanitize: TSan build + threaded simulator tests (build-tsan/) =="
+  # Only the targets that exercise the worker pool / parallel sweep are
+  # built and run (directly, not via ctest: gtest_discover_tests would
+  # re-register the whole suite for a partial build).  The cosim tests are
+  # excluded — the minisc kernel's ucontext fibers are outside TSan's
+  # supported threading model.
+  cmake -B build-tsan -S . -DSCFLOW_SANITIZE=thread >/dev/null
+  cmake --build build-tsan -j"$JOBS" --target \
+    test_gate_parallel test_gate_level test_gate_alloc test_fuzz_equivalence
+  for t in test_gate_parallel test_gate_level test_gate_alloc; do
+    echo "-- TSan: $t"
+    TSAN_OPTIONS=halt_on_error=1 "build-tsan/tests/$t"
+  done
+  # The fuzz oracle suite is heavyweight under TSan; one shard (125 random
+  # netlists, random lane counts) keeps the race coverage without the cost.
+  echo "-- TSan: test_fuzz_equivalence (shard 0)"
+  TSAN_OPTIONS=halt_on_error=1 build-tsan/tests/test_fuzz_equivalence \
+    --gtest_filter='Shards/GateFuzzTableVsReference.*/0'
+  RAN_PASSES+=("TSan")
 fi
 
-echo "== sanitize: ASan+UBSan configure + build + ctest (build-asan/) =="
-cmake -B build-asan -S . -DSCFLOW_SANITIZE=ON >/dev/null
-cmake --build build-asan -j"$JOBS"
-# halt_on_error keeps UBSan findings fatal so ctest actually fails on them.
-UBSAN_OPTIONS=halt_on_error=1 ASAN_OPTIONS=detect_leaks=1 \
-  ctest --test-dir build-asan --output-on-failure -j"$JOBS"
-
-echo "== all checks passed =="
+echo "== all checks passed: ${RAN_PASSES[*]} =="

@@ -1,0 +1,68 @@
+#include "core/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace scflow::core {
+
+ThreadPool::ThreadPool(unsigned workers) {
+  threads_.reserve(workers);
+  for (unsigned w = 0; w < workers; ++w)
+    threads_.emplace_back([this, w] { worker_loop(w + 1); });  // lane 0 = caller
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  start_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::worker_loop(unsigned lane) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    Task task;
+    void* ctx;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      start_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+      task = task_;
+      ctx = ctx_;
+    }
+    task(ctx, lane);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (--running_ == 0) done_cv_.notify_one();
+    }
+  }
+}
+
+void ThreadPool::run(Task task, void* ctx) {
+  if (threads_.empty()) {
+    task(ctx, 0);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    task_ = task;
+    ctx_ = ctx;
+    running_ = static_cast<unsigned>(threads_.size());
+    ++generation_;
+  }
+  start_cv_.notify_all();
+  task(ctx, 0);
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_cv_.wait(lock, [&] { return running_ == 0; });
+}
+
+unsigned ThreadPool::workers_for(unsigned requested_lanes) {
+  unsigned lanes = requested_lanes;
+  if (lanes == 0) lanes = std::max(1u, std::thread::hardware_concurrency());
+  lanes = std::min(lanes, 64u);
+  return lanes - 1;
+}
+
+}  // namespace scflow::core

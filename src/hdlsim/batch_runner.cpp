@@ -1,0 +1,99 @@
+#include "hdlsim/batch_runner.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <string>
+
+#include "core/thread_pool.hpp"
+#include "obs/session.hpp"
+
+namespace scflow::hdlsim {
+
+namespace {
+
+std::uint64_t steady_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+BatchRunner::BatchRunner(unsigned threads) {
+  lanes_ = core::ThreadPool::workers_for(threads) + 1;
+  if (lanes_ > 1) pool_ = std::make_unique<core::ThreadPool>(lanes_ - 1);
+}
+
+BatchRunner::~BatchRunner() = default;
+
+unsigned BatchRunner::lanes() const { return lanes_; }
+
+void BatchRunner::run(std::size_t n,
+                      const std::function<void(std::size_t job, unsigned lane)>& fn) {
+  stats_.assign(n, {});
+  run_t0_steady_ns_ = steady_ns();
+  std::atomic<std::size_t> next{0};
+  const auto lane_loop = [&](unsigned lane) {
+    // Dynamic claiming: a lane stuck on a long job stops taking tickets
+    // while the others drain the rest.  Each job touches only its own
+    // stats_ slot, so the claiming order never shows in the results.
+    for (;;) {
+      const std::size_t job = next.fetch_add(1, std::memory_order_relaxed);
+      if (job >= n) return;
+      BatchJobStat& st = stats_[job];
+      st.lane = lane;
+      st.start_ns = steady_ns();
+      fn(job, lane);
+      st.end_ns = steady_ns();
+    }
+  };
+  if (pool_ == nullptr) {
+    lane_loop(0);
+    return;
+  }
+  struct Ctx {
+    const decltype(lane_loop)* loop;
+  } ctx{&lane_loop};
+  pool_->run(
+      [](void* c, unsigned lane) { (*static_cast<Ctx*>(c)->loop)(lane); }, &ctx);
+}
+
+void BatchRunner::record_into(obs::Session& session, std::string_view prefix) const {
+  const std::string p(prefix);
+  // Map steady-clock stamps onto the trace epoch via one common sample.
+  const std::uint64_t trace_now = session.trace.now_ns();
+  const std::uint64_t steady_now = steady_ns();
+  const auto to_trace = [&](std::uint64_t t) {
+    const std::uint64_t back = steady_now - t;  // both stamps are steady-clock
+    return trace_now >= back ? trace_now - back : 0;
+  };
+  std::vector<std::uint64_t> per_lane(lanes_, 0);
+  for (std::size_t j = 0; j < stats_.size(); ++j) {
+    const BatchJobStat& st = stats_[j];
+    ++per_lane[st.lane];
+    session.trace.complete_event(p + ".job" + std::to_string(j), "batch",
+                                 to_trace(st.start_ns), st.end_ns - st.start_ns,
+                                 static_cast<int>(st.lane));
+  }
+  session.registry.set_counter(p + ".jobs", stats_.size());
+  session.registry.set_counter(p + ".lanes", lanes_);
+  for (unsigned l = 0; l < lanes_; ++l)
+    session.registry.set_counter(p + ".lane" + std::to_string(l) + ".jobs", per_lane[l]);
+}
+
+std::vector<GateRunResult> run_src_netlist_batch(
+    const nl::Netlist& netlist, dsp::SrcMode mode,
+    const std::vector<std::vector<dsp::SrcEvent>>& schedules,
+    GateSim::Options options, unsigned threads, obs::Session* session) {
+  options.threads = 1;  // parallelism comes from the batch axis
+  std::vector<GateRunResult> results(schedules.size());
+  BatchRunner runner(threads);
+  runner.run(schedules.size(), [&](std::size_t job, unsigned /*lane*/) {
+    results[job] = run_src_netlist(netlist, mode, schedules[job], options);
+  });
+  if (session != nullptr) runner.record_into(*session, "gate_batch");
+  return results;
+}
+
+}  // namespace scflow::hdlsim

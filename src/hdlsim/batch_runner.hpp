@@ -1,0 +1,87 @@
+// Sharded batch runner: fans a set of independent DUT simulations across
+// a persistent worker pool.  Where the in-simulator level sweep splits a
+// single netlist's work (fine grain, see gate_sim.hpp), this splits whole
+// simulations (coarse grain) — the profitable axis for sweep-style
+// workloads like the Fig. 9 schedule matrix, since jobs share nothing and
+// never synchronise mid-run.
+//
+// Determinism: every job writes only its own preallocated result slot, so
+// the result vector is identical for any thread count and any claiming
+// order; only the wall-clock timeline (job_stats) depends on scheduling.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "dsp/src_params.hpp"
+#include "dsp/stimulus.hpp"
+#include "hdlsim/src_gate_sim.hpp"
+#include "netlist/netlist.hpp"
+
+namespace scflow::core {
+class ThreadPool;
+}
+namespace scflow::obs {
+struct Session;
+}
+
+namespace scflow::hdlsim {
+
+/// Wall-clock record of one batch job (steady-clock nanoseconds).
+struct BatchJobStat {
+  std::uint64_t start_ns = 0;
+  std::uint64_t end_ns = 0;
+  unsigned lane = 0;
+};
+
+class BatchRunner {
+ public:
+  /// Same thread semantics as GateSim::Options::threads: 1 = run jobs
+  /// inline on the caller, N > 1 = pool of N-1 workers plus the caller,
+  /// 0 = one lane per hardware thread.
+  explicit BatchRunner(unsigned threads);
+  BatchRunner(const BatchRunner&) = delete;
+  BatchRunner& operator=(const BatchRunner&) = delete;
+  ~BatchRunner();
+
+  [[nodiscard]] unsigned lanes() const;
+
+  /// Runs jobs 0..n-1, dynamically claimed by the lanes (atomic ticket
+  /// counter), and blocks until all complete.  @p fn must confine its
+  /// writes to per-job state; it is called concurrently from all lanes.
+  void run(std::size_t n, const std::function<void(std::size_t job, unsigned lane)>& fn);
+
+  /// Per-job timings of the most recent run(), indexed by job.
+  [[nodiscard]] const std::vector<BatchJobStat>& job_stats() const { return stats_; }
+
+  /// Records the last run() into @p session: one complete trace slice per
+  /// job (tid = lane, so the trace shows the per-lane occupancy), plus
+  /// "<prefix>.jobs", "<prefix>.lanes" and per-lane "<prefix>.lane<k>.jobs"
+  /// counters.  Runs on the calling thread after the join — TraceWriter is
+  /// not thread-safe.
+  void record_into(obs::Session& session, std::string_view prefix) const;
+
+ private:
+  std::vector<BatchJobStat> stats_;
+  std::unique_ptr<core::ThreadPool> pool_;  // only when lanes() > 1
+  unsigned lanes_ = 1;
+  // Offset mapping steady-clock stamps onto the session trace's epoch,
+  // captured at the start of the last run().
+  std::uint64_t run_t0_steady_ns_ = 0;
+};
+
+/// Runs one schedule per job over @p netlist (each job its own sequential
+/// GateSim — parallelism comes from the batch axis), results in schedule
+/// order.  @p options applies to every DUT except `threads`, which is
+/// forced to 1 inside jobs; @p threads picks the batch lane count.  When
+/// @p session is given, job slices and counters are recorded under
+/// "gate_batch".
+std::vector<GateRunResult> run_src_netlist_batch(
+    const nl::Netlist& netlist, dsp::SrcMode mode,
+    const std::vector<std::vector<dsp::SrcEvent>>& schedules,
+    GateSim::Options options, unsigned threads, obs::Session* session = nullptr);
+
+}  // namespace scflow::hdlsim

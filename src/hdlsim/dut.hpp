@@ -34,14 +34,17 @@ class Dut {
   /// Engine observability counters; engines that track fewer dimensions
   /// leave the remaining fields at zero.
   [[nodiscard]] virtual SimCounters counters() const { return {}; }
+  /// Per-worker sweep shards for engines with a parallel evaluation core;
+  /// single-threaded engines return an empty vector.
+  [[nodiscard]] virtual std::vector<WorkerShardStats> worker_stats() const { return {}; }
 };
 
 /// Gate netlist under the event-driven 4-value simulator.  Owns its
 /// netlist copy so callers can hand in temporaries.
 class GateDut final : public Dut {
  public:
-  explicit GateDut(nl::Netlist netlist)
-      : netlist_(std::move(netlist)), sim_(netlist_) {}
+  explicit GateDut(nl::Netlist netlist, GateSim::Options options = {})
+      : netlist_(std::move(netlist)), sim_(netlist_, options) {}
   void set_input(const std::string& name, std::uint64_t value) override {
     sim_.set_input(name, value);
   }
@@ -63,6 +66,7 @@ class GateDut final : public Dut {
   }
   std::uint64_t work_units() const override { return sim_.gate_evaluations(); }
   SimCounters counters() const override { return sim_.counters(); }
+  std::vector<WorkerShardStats> worker_stats() const override { return sim_.worker_stats(); }
   GateSim& sim() { return sim_; }
 
  private:

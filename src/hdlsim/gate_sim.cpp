@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <array>
+#include <atomic>
 #include <bit>
 #include <cstring>
 #include <stdexcept>
 
+#include "core/thread_pool.hpp"
 #include "dtypes/bit_int.hpp"
 
 namespace scflow::hdlsim {
@@ -38,7 +40,8 @@ Logic reference_cell_eval(CellType t, Logic a, Logic b, Logic c) {
 }
 
 /// One flat 16x64 block of truth tables, indexed type<<6 | packed input
-/// code (in0 | in1<<2 | in2<<4; absent inputs read as code 0).
+/// code (in0 | in1<<2 | in2<<4; absent inputs read as any code — the
+/// tables are constant across ignored-input codes).
 const std::uint8_t* cell_luts() {
   static const auto tables = [] {
     std::array<std::uint8_t, 16 * 64> tb{};
@@ -58,12 +61,22 @@ const std::uint8_t* cell_luts() {
 
 }  // namespace
 
+// Context of one parallel sweep round: the level's word range, cut into
+// one contiguous chunk per lane.
+struct GateSim::SweepJob {
+  GateSim* self;
+  std::uint32_t wb, we, chunk;
+};
+
 GateSim::GateSim(const nl::Netlist& netlist, Options options)
     : nl_(&netlist), options_(options) {
   netlist.validate();
   if (netlist.net_count() > 0xffff)
     throw std::logic_error(netlist.name() + ": too many nets for 16-bit unit encoding");
-  values_.assign(static_cast<std::size_t>(netlist.net_count()), Logic::X);
+  // One extra sentinel slot past the real nets: permanently X, never
+  // written, read by unused unit input slots.
+  values_.assign(static_cast<std::size_t>(netlist.net_count()) + 1, Logic::X);
+  const auto sentinel = static_cast<std::uint16_t>(netlist.net_count());
   for (const auto& p : netlist.inputs()) in_ports_[p.name] = &p;
   for (const auto& p : netlist.outputs()) out_ports_[p.name] = &p;
 
@@ -96,6 +109,7 @@ GateSim::GateSim(const nl::Netlist& netlist, Options options)
     Unit u;
     u.type = static_cast<std::uint8_t>(c.type);
     u.n_inputs = static_cast<std::uint8_t>(c.inputs.size());
+    u.in[0] = u.in[1] = u.in[2] = sentinel;
     for (std::size_t k = 0; k < c.inputs.size(); ++k)
       u.in[k] = static_cast<std::uint16_t>(c.inputs[k]);
     u.out = static_cast<std::uint16_t>(c.output);
@@ -131,6 +145,7 @@ GateSim::GateSim(const nl::Netlist& netlist, Options options)
 
       Unit u;
       u.type = kMacroUnit;
+      u.in[0] = u.in[1] = u.in[2] = sentinel;
       u.out = static_cast<std::uint16_t>(macro_ports_.size());
       for (NetId n : mp.data_nets)
         driver_unit[static_cast<std::size_t>(n)] = static_cast<std::int32_t>(units_.size());
@@ -166,8 +181,10 @@ GateSim::GateSim(const nl::Netlist& netlist, Options options)
   out_cache_.assign(out_ports.size(), {});
   const auto build_fanout = [&] {
     fanout_offsets_.assign(static_cast<std::size_t>(nl_->net_count()) + 1, 0);
-    for (const Unit& u : units_)
+    for (const Unit& u : units_) {
+      if (u.type == kPadUnit) continue;
       for_each_unit_input(u, [&](NetId n) { ++fanout_offsets_[static_cast<std::size_t>(n) + 1]; });
+    }
     for (const FlopRec& f : flops_)
       for_each_flop_input(f, [&](NetId n) { ++fanout_offsets_[static_cast<std::size_t>(n) + 1]; });
     for (const nl::PortBits& p : out_ports)
@@ -176,10 +193,12 @@ GateSim::GateSim(const nl::Netlist& netlist, Options options)
       fanout_offsets_[i] += fanout_offsets_[i - 1];
     fanout_targets_.assign(fanout_offsets_.back(), 0);
     std::vector<std::uint32_t> cur(fanout_offsets_.begin(), fanout_offsets_.end() - 1);
-    for (std::size_t ui = 0; ui < units_.size(); ++ui)
+    for (std::size_t ui = 0; ui < units_.size(); ++ui) {
+      if (units_[ui].type == kPadUnit) continue;
       for_each_unit_input(units_[ui], [&](NetId n) {
         fanout_targets_[cur[static_cast<std::size_t>(n)]++] = static_cast<std::uint32_t>(ui);
       });
+    }
     fanout_unit_end_ = cur;  // flop and output-port taps fill in after this
     for (std::size_t fi = 0; fi < flops_.size(); ++fi)
       for_each_flop_input(flops_[fi], [&](NetId n) {
@@ -195,8 +214,9 @@ GateSim::GateSim(const nl::Netlist& netlist, Options options)
 
   // Levelise with one Kahn pass over the unit graph (cells were already
   // cycle-checked by combinational_topo_order; this also covers cycles
-  // that thread through a macro read port).  Levels only steer the sort
-  // below; the runtime carries no level data.
+  // that thread through a macro read port).  Every unit's drivers sit at
+  // strictly lower levels — the property the (parallel) level sweep rests
+  // on: within a level, units read only already-settled nets.
   std::vector<std::int32_t> level(units_.size(), 0);
   {
     std::vector<std::uint32_t> indeg(units_.size(), 0);
@@ -243,36 +263,76 @@ GateSim::GateSim(const nl::Netlist& netlist, Options options)
     }
   }
 
-  // Reorder units by (level, creation order) so settle() sweeps contiguous
-  // memory, then rebuild the macro port map and the fanout CSR against the
-  // final indices.
+  // Reorder units by (level, creation order), padding each level to a
+  // 64-unit boundary so every level owns whole dirty-bitmap words — the
+  // invariant that lets the sweep hand a level's words to parallel lanes
+  // without masks or cross-level word sharing.  Then rebuild the macro
+  // port map and the fanout CSR against the final indices.
   {
     std::vector<std::uint32_t> perm(units_.size());
     for (std::size_t i = 0; i < perm.size(); ++i) perm[i] = static_cast<std::uint32_t>(i);
     std::stable_sort(perm.begin(), perm.end(), [&level](std::uint32_t a, std::uint32_t b) {
       return level[a] < level[b];
     });
+    Unit pad;
+    pad.in[0] = pad.in[1] = pad.in[2] = sentinel;
+    pad.out = sentinel;
+    pad.type = kPadUnit;
     std::vector<Unit> new_units;
-    new_units.reserve(units_.size());
-    for (std::uint32_t oi : perm) new_units.push_back(units_[oi]);
-    units_ = std::move(new_units);
+    new_units.reserve((units_.size() / 64 + 8) * 64);
     std::vector<std::uint32_t> old_to_new(units_.size());
-    for (std::size_t ni = 0; ni < perm.size(); ++ni)
-      old_to_new[perm[ni]] = static_cast<std::uint32_t>(ni);
+    const auto pad_to_word = [&] {
+      while (new_units.size() % 64 != 0) new_units.push_back(pad);
+    };
+    level_word_begin_.push_back(0);
+    std::int32_t cur_level = perm.empty() ? 0 : level[perm[0]];
+    for (const std::uint32_t oi : perm) {
+      if (level[oi] != cur_level) {
+        pad_to_word();
+        level_word_begin_.push_back(static_cast<std::uint32_t>(new_units.size() / 64));
+        cur_level = level[oi];
+      }
+      old_to_new[oi] = static_cast<std::uint32_t>(new_units.size());
+      new_units.push_back(units_[oi]);
+    }
+    pad_to_word();
+    level_word_begin_.push_back(static_cast<std::uint32_t>(new_units.size() / 64));
+    units_ = std::move(new_units);
     for (MacroState& ms : macros_)
       for (std::uint32_t& ui : ms.port_unit) ui = old_to_new[ui];
     build_fanout();
   }
 
   luts_ = cell_luts();
-  dirty_words_.assign((units_.size() + 63) / 64, 0);
+  dirty_words_.assign(units_.size() / 64, 0);
 
-  // Initial state: flop outputs to init (or X), everything dirty once.
+  // Sweep lanes: one per resolved thread; the pool holds the rest of the
+  // lanes beyond the calling thread.  Deferred-macro scratch is reserved
+  // up front so the steady state never allocates.
+  const unsigned lanes = core::ThreadPool::workers_for(options_.threads) + 1;
+  lanes_ = std::vector<Lane>(lanes);
+  for (Lane& l : lanes_) l.deferred_macros.reserve(macro_ports_.size());
+  if (lanes > 1) pool_ = std::make_unique<core::ThreadPool>(lanes - 1);
+
+  // Initial state: flop outputs to init (or X), every real unit and flop
+  // dirty once (padding units stay permanently unmarked).
   for (const FlopRec& f : flops_)
     values_[static_cast<std::size_t>(f.out)] =
         options_.x_initial_flops ? Logic::X : scflow::logic_from_bool(f.init != 0);
-  for (std::size_t t = 0; t < units_.size() + flops_.size(); ++t)
-    mark_target_dirty(static_cast<std::uint32_t>(t));
+  for (std::size_t t = 0; t < units_.size(); ++t)
+    if (units_[t].type != kPadUnit) mark_target_dirty(static_cast<std::uint32_t>(t));
+  for (std::size_t fi = 0; fi < flops_.size(); ++fi)
+    mark_target_dirty(static_cast<std::uint32_t>(units_.size() + fi));
+  note_queue_peak();
+}
+
+GateSim::~GateSim() = default;
+
+std::vector<WorkerShardStats> GateSim::worker_stats() const {
+  std::vector<WorkerShardStats> out;
+  out.reserve(lanes_.size());
+  for (const Lane& l : lanes_) out.push_back(l.total);
+  return out;
 }
 
 void GateSim::set_net(NetId net, Logic v) {
@@ -307,12 +367,14 @@ void GateSim::set_input(const std::string& name, std::uint64_t value) {
 void GateSim::set_input(PortRef port, std::uint64_t value) {
   for (std::size_t i = 0; i < port->nets.size(); ++i)
     set_net(port->nets[i], scflow::logic_from_bool(((value >> i) & 1u) != 0));
+  note_queue_peak();
 }
 
 void GateSim::set_input_x(const std::string& name) {
   const auto it = in_ports_.find(name);
   if (it == in_ports_.end()) throw std::invalid_argument("no input '" + name + "'");
   for (NetId n : it->second->nets) set_net(n, Logic::X);
+  note_queue_peak();
 }
 
 void GateSim::set_input_logic(const std::string& name, const scflow::LogicVector& bits) {
@@ -321,6 +383,7 @@ void GateSim::set_input_logic(const std::string& name, const scflow::LogicVector
   if (bits.width() > it->second->nets.size())
     throw std::invalid_argument("vector wider than input '" + name + "'");
   for (std::size_t i = 0; i < bits.width(); ++i) set_net(it->second->nets[i], bits.at(i));
+  note_queue_peak();
 }
 
 std::pair<bool, std::uint64_t> GateSim::read_bus(const std::vector<NetId>& nets) const {
@@ -332,29 +395,6 @@ std::pair<bool, std::uint64_t> GateSim::read_bus(const std::vector<NetId>& nets)
     if (b == Logic::L1) v |= (std::uint64_t{1} << i);
   }
   return {defined, v};
-}
-
-void GateSim::eval_unit(const Unit& u) {
-  if (u.type == kMacroUnit) {
-    eval_macro_port(u);
-    return;
-  }
-  Logic out;
-  if (options_.use_reference_eval) {
-    const Logic a = u.n_inputs > 0 ? net(u.in[0]) : Logic::L0;
-    const Logic b = u.n_inputs > 1 ? net(u.in[1]) : Logic::L0;
-    const Logic c = u.n_inputs > 2 ? net(u.in[2]) : Logic::L0;
-    out = reference_cell_eval(static_cast<CellType>(u.type), a, b, c);
-  } else {
-    // All three slots are read unconditionally: unused slots point at net 0
-    // and the truth tables are constant across ignored-input codes, so the
-    // arity never needs a branch.
-    const unsigned code = static_cast<unsigned>(net(u.in[0])) |
-                          (static_cast<unsigned>(net(u.in[1])) << 2) |
-                          (static_cast<unsigned>(net(u.in[2])) << 4);
-    out = static_cast<Logic>(luts_[(static_cast<unsigned>(u.type) << 6) | code]);
-  }
-  set_net(u.out, out);
 }
 
 void GateSim::eval_macro_port(const Unit& u) {
@@ -408,13 +448,8 @@ void GateSim::eval_macro_port(const Unit& u) {
             defined ? scflow::logic_from_bool(((word >> i) & 1u) != 0) : Logic::X);
 }
 
-void GateSim::settle() {
-  ++counters_.settle_calls;
-  bool worked = false;
-  // One forward sweep over the dirty bitmap.  Unit index order is level
-  // order, and evaluating a unit only dirties strictly higher levels, so
-  // new marks always land ahead of (or on the re-read word at) the cursor
-  // and a single pass settles everything.
+template <bool Atomic>
+void GateSim::sweep_words(std::uint32_t wb, std::uint32_t we, Lane& lane) {
   // Everything the inner loop touches is hoisted into locals: stores into
   // dirty_words_ are std::uint64_t writes, so member counters of the same
   // type would otherwise be reloaded around every mark.
@@ -426,42 +461,47 @@ void GateSim::settle() {
   std::uint64_t* const dw = dirty_words_.data();
   std::uint64_t* const fdw = flop_dirty_words_.data();
   OutCache* const oc = out_cache_.data();
+  const std::uint8_t* const luts = luts_;
   const auto n_units = static_cast<std::uint32_t>(units_.size());
   const auto n_flops = static_cast<std::uint32_t>(flops_.size());
   const bool ref_eval = options_.use_reference_eval;
-  std::uint64_t evals = 0, pushes = 0;
-  std::uint64_t qnow = queued_now_, peak = counters_.peak_queue_depth;
-  for (std::size_t wi = 0; wi < dirty_words_.size(); ++wi) {
-    std::uint64_t bits;
-    // Consume whole words: take a local copy, zero the stored word, and
-    // re-read after the batch.  Marks produced while evaluating land
-    // either in later words or back in this one (at bit positions the
-    // level sort keeps ahead of any unit that could have produced them),
-    // so the re-read loop picks them up and the sweep still terminates.
-    while ((bits = dw[wi]) != 0) {
-      dw[wi] = 0;
-      worked = true;
-      do {
-        const unsigned b = static_cast<unsigned>(std::countr_zero(bits));
-        bits &= bits - 1;
-        ++evals;
-        --qnow;
-        const Unit& u = units[(wi << 6) | b];
-        if (u.type == kMacroUnit || ref_eval) [[unlikely]] {
-          // eval_unit() marks through the member-state path; sync the
-          // local accumulators across the call.
-          queued_now_ = qnow;
-          counters_.dirty_pushes += pushes;
-          pushes = 0;
-          counters_.peak_queue_depth = peak;
-          eval_unit(u);
-          qnow = queued_now_;
-          peak = counters_.peak_queue_depth;
-          continue;
-        }
-        // Plain-cell fast path, flattened into the sweep: LUT eval, change
-        // detection, and the CSR fanout walk with no call boundaries.
-        // The three input ids and the output net share the unit's leading
+  std::uint64_t evals = lane.evals, pushes = lane.pushes;
+  for (std::uint32_t wi = wb; wi < we; ++wi) {
+    std::uint64_t bits = dw[wi];
+    if (bits == 0) continue;
+    // The caller owns [wb, we) exclusively for the duration of the level,
+    // and evaluating an in-level unit marks only *later* levels' words, so
+    // a plain read-and-clear consume is race-free even in the atomic
+    // instantiation — one pass per word, no re-read loop.
+    dw[wi] = 0;
+    do {
+      const unsigned b = static_cast<unsigned>(std::countr_zero(bits));
+      bits &= bits - 1;
+      const std::uint32_t ui = (wi << 6) | b;
+      const Unit& u = units[ui];
+      ++evals;
+      if (u.type >= kPadUnit) [[unlikely]] {
+        // Macro read ports defer to the calling thread at the level
+        // boundary (sequential RAM-violation bookkeeping); the consumed
+        // bit still counts as this lane's work unit.  Padding units are
+        // never marked; the branch only guards against corruption.
+        if (u.type == kMacroUnit) lane.deferred_macros.push_back(ui);
+        continue;
+      }
+      Logic out;
+      std::uint32_t outn;
+      if (ref_eval) [[unlikely]] {
+        const Logic a = u.n_inputs > 0 ? vals[u.in[0]] : Logic::L0;
+        const Logic bb = u.n_inputs > 1 ? vals[u.in[1]] : Logic::L0;
+        const Logic cc = u.n_inputs > 2 ? vals[u.in[2]] : Logic::L0;
+        out = reference_cell_eval(static_cast<CellType>(u.type), a, bb, cc);
+        outn = u.out;
+      } else {
+        // Plain-cell fast path: LUT eval with no call boundaries.  All
+        // three input slots are read unconditionally — unused slots point
+        // at the sentinel net and the truth tables are constant across
+        // ignored-input codes, so the arity never needs a branch.  The
+        // three input ids and the output net share the unit's leading
         // 8 bytes — one (possibly unaligned, cheap on x86) load replaces
         // four dependent 16-bit loads at the head of the eval chain.
         std::uint64_t nets8;
@@ -469,42 +509,119 @@ void GateSim::settle() {
         const unsigned code = static_cast<unsigned>(vals[nets8 & 0xffffu]) |
                               (static_cast<unsigned>(vals[(nets8 >> 16) & 0xffffu]) << 2) |
                               (static_cast<unsigned>(vals[(nets8 >> 32) & 0xffffu]) << 4);
-        const Logic out = static_cast<Logic>(luts_[(static_cast<unsigned>(u.type) << 6) | code]);
-        const auto outn = static_cast<std::uint32_t>(nets8 >> 48);
-        Logic& slot = vals[outn];
-        if (slot == out) continue;
-        slot = out;
-        // Unit targets (branchless marking), then the usually-empty flop
-        // tap tail of this net's CSR range.
-        std::uint32_t k = fo[outn];
-        const std::uint32_t fm = fu[outn];
-        const std::uint32_t fe = fo[outn + 1];
-        for (; k < fm; ++k) {
-          const std::uint32_t t = ft[k];
+        out = static_cast<Logic>(luts[(static_cast<unsigned>(u.type) << 6) | code]);
+        outn = static_cast<std::uint32_t>(nets8 >> 48);
+      }
+      // Change detection: the output net belongs to this unit alone, so
+      // the read-compare-write is private even mid-round.
+      Logic& slot = vals[outn];
+      if (slot == out) continue;
+      slot = out;
+      // Unit targets (branchless marking), then the usually-empty flop
+      // tap tail of this net's CSR range.  Atomic lanes publish marks
+      // with relaxed fetch_or — the pool join orders them before any
+      // reader — and claim the fresh 0->1 transition exactly once, which
+      // keeps the summed dirty_pushes identical to the sequential count.
+      std::uint32_t k = fo[outn];
+      const std::uint32_t fm = fu[outn];
+      const std::uint32_t fe = fo[outn + 1];
+      for (; k < fm; ++k) {
+        const std::uint32_t t = ft[k];
+        const std::uint64_t m = std::uint64_t{1} << (t & 63u);
+        if constexpr (Atomic) {
+          const std::uint64_t prev =
+              std::atomic_ref<std::uint64_t>(dw[t >> 6]).fetch_or(m, std::memory_order_relaxed);
+          pushes += (prev & m) == 0 ? 1u : 0u;
+        } else {
           std::uint64_t& w = dw[t >> 6];
-          const std::uint64_t m = std::uint64_t{1} << (t & 63u);
-          const std::uint64_t fresh = (w & m) == 0 ? 1u : 0u;
+          pushes += (w & m) == 0 ? 1u : 0u;
           w |= m;
-          pushes += fresh;
-          qnow += fresh;
         }
-        // qnow only grows inside the walk, so one max here is exact.
-        peak = qnow > peak ? qnow : peak;
-        for (; k < fe; ++k) {
-          const std::uint32_t x = ft[k] - n_units;
-          if (x < n_flops) {
-            fdw[x >> 6] |= std::uint64_t{1} << (x & 63u);
-          } else {
+      }
+      for (; k < fe; ++k) {
+        const std::uint32_t x = ft[k] - n_units;
+        if (x < n_flops) {
+          const std::uint64_t m = std::uint64_t{1} << (x & 63u);
+          if constexpr (Atomic)
+            std::atomic_ref<std::uint64_t>(fdw[x >> 6]).fetch_or(m, std::memory_order_relaxed);
+          else
+            fdw[x >> 6] |= m;
+        } else {
+          if constexpr (Atomic)
+            std::atomic_ref<bool>(oc[x - n_flops].dirty).store(true, std::memory_order_relaxed);
+          else
             oc[x - n_flops].dirty = true;
-          }
         }
-      } while (bits != 0);
-    }
+      }
+    } while (bits != 0);
   }
-  counters_.evaluations += evals;
-  counters_.dirty_pushes += pushes;
-  counters_.peak_queue_depth = peak;
-  queued_now_ = qnow;
+  lane.evals = evals;
+  lane.pushes = pushes;
+}
+
+void GateSim::settle() {
+  ++counters_.settle_calls;
+  bool worked = false;
+  const std::size_t n_levels = level_word_begin_.size() - 1;
+  const auto n_lanes = static_cast<std::uint32_t>(lanes_.size());
+  for (std::size_t L = 0; L < n_levels; ++L) {
+    const std::uint32_t wb = level_word_begin_[L];
+    const std::uint32_t we = level_word_begin_[L + 1];
+    if (pool_ == nullptr) {
+      // Sequential: sweep the level in place (clean words cost one load).
+      sweep_words<false>(wb, we, lanes_[0]);
+      if (lanes_[0].evals == 0) continue;
+      ++lanes_[0].total.level_sweeps;
+    } else {
+      // Pre-scan decides dispatch.  It reads only the dirty state, so the
+      // decision — and everything downstream of it — is a pure function
+      // of the simulation history, not of scheduling.
+      std::uint32_t nz = 0;
+      for (std::uint32_t wi = wb; wi < we; ++wi) nz += dirty_words_[wi] != 0 ? 1u : 0u;
+      if (nz == 0) continue;
+      if (nz >= 2 * n_lanes) {
+        SweepJob job{this, wb, we, (we - wb + n_lanes - 1) / n_lanes};
+        pool_->run(
+            [](void* ctx, unsigned lane) {
+              auto* j = static_cast<SweepJob*>(ctx);
+              const std::uint32_t b = j->wb + static_cast<std::uint32_t>(lane) * j->chunk;
+              if (b >= j->we) return;
+              const std::uint32_t e = std::min(j->we, b + j->chunk);
+              j->self->sweep_words<true>(b, e, j->self->lanes_[lane]);
+            },
+            &job);
+        for (Lane& l : lanes_) ++l.total.level_sweeps;
+      } else {
+        sweep_words<false>(wb, we, lanes_[0]);
+        ++lanes_[0].total.level_sweeps;
+      }
+    }
+    worked = true;
+    // Merge the lanes' level transients into the canonical counters.  Lane
+    // order is fixed, so the sums — and thus every reported counter — are
+    // identical no matter how the words were partitioned.
+    std::uint64_t consumed = 0;
+    for (Lane& l : lanes_) {
+      consumed += l.evals;
+      counters_.evaluations += l.evals;
+      counters_.dirty_pushes += l.pushes;
+      queued_now_ += l.pushes;
+      l.total.evaluations += l.evals;
+      l.total.dirty_pushes += l.pushes;
+      l.evals = 0;
+      l.pushes = 0;
+    }
+    queued_now_ -= consumed;
+    // Deferred macro read ports, in ascending unit order (each lane's
+    // chunk is an ascending contiguous word range, and lanes are visited
+    // in chunk order) — exactly the order the sequential sweep evaluates
+    // them in, so RAM-violation "first" bookkeeping matches bit for bit.
+    for (Lane& l : lanes_) {
+      for (const std::uint32_t ui : l.deferred_macros) eval_macro_port(units_[ui]);
+      l.deferred_macros.clear();
+    }
+    note_queue_peak();
+  }
   if (worked) ++counters_.settle_passes;
 }
 
@@ -565,7 +682,7 @@ void GateSim::step() {
   // Commit the sampled flops.  The bitmap was cleared before this loop, so
   // a flop fed by another flop (scan chains, shift registers) is re-marked
   // for the next edge by its own fanout walk.  Same flattened CSR walk as
-  // settle(): on a busy edge most flops toggle, so the per-flop set_net
+  // the sweep: on a busy edge most flops toggle, so the per-flop set_net
   // call chain is worth eliding.
   {
     Logic* const vals = values_.data();
@@ -606,8 +723,9 @@ void GateSim::step() {
       }
     }
     counters_.dirty_pushes += pushes;
+    lanes_[0].total.dirty_pushes += pushes;  // calling-thread marks: lane 0
     queued_now_ = qnow;
-    if (qnow > counters_.peak_queue_depth) counters_.peak_queue_depth = qnow;
+    note_queue_peak();
   }
   if (flop_active_.capacity() != active_cap) ++counters_.steady_state_allocs;
   ++cycles_;

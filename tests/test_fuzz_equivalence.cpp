@@ -221,6 +221,10 @@ TEST_P(GateFuzzTableVsReference, BitIdenticalOverRandomNetlists) {
     table_opts.x_initial_flops = (rng() & 1) != 0;
     hdlsim::GateSim::Options ref_opts = table_opts;
     ref_opts.use_reference_eval = true;
+    // The parallel level sweep must be invisible: give the table engine a
+    // random lane count (1/2/4) while the switch-based oracle stays
+    // sequential — outputs and counters must still match bit for bit.
+    table_opts.threads = 1u << (rng() % 3);
     hdlsim::GateSim table(n, table_opts);
     hdlsim::GateSim ref(n, ref_opts);
 
@@ -240,9 +244,13 @@ TEST_P(GateFuzzTableVsReference, BitIdenticalOverRandomNetlists) {
       table.step();
       ref.step();
     }
-    // The two engines must agree on the work metric too: the LUT path
-    // changes how cells are evaluated, not which evaluations happen.
+    // The two engines must agree on the work metrics too: neither the LUT
+    // path nor the thread count may change which evaluations happen, how
+    // many fresh dirty transitions occur, or the queue high-water mark.
     ASSERT_EQ(table.counters().evaluations, ref.counters().evaluations) << "seed " << seed;
+    ASSERT_EQ(table.counters().dirty_pushes, ref.counters().dirty_pushes) << "seed " << seed;
+    ASSERT_EQ(table.counters().peak_queue_depth, ref.counters().peak_queue_depth)
+        << "seed " << seed;
     ASSERT_EQ(table.counters().steady_state_allocs, 0u) << "seed " << seed;
   }
 }
