@@ -20,6 +20,15 @@ cmake --build build -j"$JOBS"
 ctest --test-dir build --output-on-failure -j"$JOBS"
 RAN_PASSES+=("tier-1")
 
+echo "== cec: formal equivalence gates over the full synthesis flow =="
+# Every refinement step (gate opt, scan insertion) of all five Fig. 10
+# designs is proven by the SAT-based CEC engine; a counterexample aborts
+# with a non-zero exit.  The engine's own unit suite (SAT solver, AIG,
+# miter construction, fuzz shards) runs via ctest above and again under
+# ASan+UBSan below.
+(cd build/examples && ./synthesis_flow --cec >/dev/null)
+RAN_PASSES+=("cec")
+
 if [[ "$SKIP_SANITIZE" == 1 ]]; then
   echo "== sanitize passes skipped (--skip-sanitize) =="
 else

@@ -4,6 +4,7 @@
 #include <optional>
 #include <sstream>
 
+#include "formal/cec.hpp"
 #include "hls/src_beh.hpp"
 #include "netlist/lower.hpp"
 #include "obs/registry.hpp"
@@ -15,48 +16,73 @@ namespace scflow::flow {
 namespace obs = scflow::obs;
 
 nl::Netlist synthesize_to_gates(const rtl::Design& design, nl::GateOptStats* gate_stats,
-                                obs::Registry* reg, std::string_view prefix) {
-  // One optional outer scope so the per-pass timers nest as
-  // "<prefix>/word_passes", "<prefix>/lower", ...
-  std::optional<obs::Registry::ScopedTimer> whole;
-  if (reg != nullptr) whole.emplace(reg->time_scope(std::string(prefix)));
-  const auto timed = [reg](const char* step) {
-    return reg == nullptr ? std::optional<obs::Registry::ScopedTimer>()
-                          : std::optional<obs::Registry::ScopedTimer>(
-                                reg->time_scope(step));
-  };
+                                obs::Registry* reg, std::string_view prefix,
+                                const SynthesisOptions& options) {
+  const std::string p(prefix);
+  // Snapshots of each refinement step's input, kept only when the formal
+  // gate is on (netlists copy cheaply: three vectors of PODs + port names).
+  std::optional<nl::Netlist> pre_opt, pre_scan;
 
-  rtl::PassOptions word_opts;  // constant fold + CSE + DCE for every design
-  rtl::Design optimised = [&] {
-    const auto t = timed("word_passes");
-    return rtl::run_passes(design, word_opts);
-  }();
-  nl::Netlist gates = [&] {
-    const auto t = timed("lower");
-    return nl::lower_to_gates(optimised, {});
-  }();
   nl::GateOptStats local_stats;
   nl::GateOptStats* stats = gate_stats != nullptr ? gate_stats : &local_stats;
-  gates = [&] {
-    const auto t = timed("gate_opt");
-    return nl::optimize_gates(gates, stats);
+  std::size_t scan_flops = 0;
+  nl::Netlist gates = [&] {
+    // One optional outer scope so the per-pass timers nest as
+    // "<prefix>/word_passes", "<prefix>/lower", ...  (The CEC gates run
+    // outside it so their timers land flat at "<prefix>.cec.*".)
+    std::optional<obs::Registry::ScopedTimer> whole;
+    if (reg != nullptr) whole.emplace(reg->time_scope(p));
+    const auto timed = [reg](const char* step) {
+      return reg == nullptr ? std::optional<obs::Registry::ScopedTimer>()
+                            : std::optional<obs::Registry::ScopedTimer>(
+                                  reg->time_scope(step));
+    };
+
+    rtl::PassOptions word_opts;  // constant fold + CSE + DCE for every design
+    rtl::Design optimised = [&] {
+      const auto t = timed("word_passes");
+      return rtl::run_passes(design, word_opts);
+    }();
+    nl::Netlist g = [&] {
+      const auto t = timed("lower");
+      return nl::lower_to_gates(optimised, {});
+    }();
+    if (options.verify_cec) pre_opt = g;
+    g = [&] {
+      const auto t = timed("gate_opt");
+      return nl::optimize_gates(g, stats);
+    }();
+    if (options.verify_cec) pre_scan = g;
+    scan_flops = [&] {
+      const auto t = timed("scan_insertion");
+      return nl::insert_scan_chain(g);
+    }();
+    g.validate();
+    return g;
   }();
-  const std::size_t scan_flops = [&] {
-    const auto t = timed("scan_insertion");
-    return nl::insert_scan_chain(gates);
-  }();
-  gates.validate();
 
   if (reg != nullptr) {
-    const std::string p(prefix);
     stats->record_into(*reg, p + ".opt");
     reg->set_counter(p + ".scan_flops", scan_flops);
     reg->set_counter(p + ".cells", gates.cells().size());
   }
+
+  if (options.verify_cec) {
+    // Formal gate on each refinement step: throws EquivalenceError (with
+    // the counterexample dumped as VCD) if a pass changed behaviour.
+    const std::string fail_vcd = p + ".cec_fail.vcd";
+    formal::CecOptions opt_check;
+    opt_check.metric_prefix = p + ".cec.opt";
+    formal::assert_equivalent(*pre_opt, *pre_scan, reg, opt_check, fail_vcd);
+    formal::CecOptions scan_check = formal::CecOptions::scan_modulo();
+    scan_check.metric_prefix = p + ".cec.scan";
+    formal::assert_equivalent(*pre_scan, gates, reg, scan_check, fail_vcd);
+  }
   return gates;
 }
 
-std::vector<AreaRow> figure10_area_rows(obs::Registry* reg) {
+std::vector<AreaRow> figure10_area_rows(obs::Registry* reg,
+                                        const SynthesisOptions& options) {
   struct Entry {
     std::string label;
     std::string slug;  // registry-friendly name
@@ -83,7 +109,7 @@ std::vector<AreaRow> figure10_area_rows(obs::Registry* reg) {
     AreaRow row;
     row.name = e.label;
     const std::string p = "fig10." + e.slug;
-    const nl::Netlist gates = synthesize_to_gates(e.design, nullptr, reg, p);
+    const nl::Netlist gates = synthesize_to_gates(e.design, nullptr, reg, p, options);
     row.area = nl::report_area(gates);
     row.flops = row.area.flop_count;
     if (reg != nullptr) {

@@ -18,16 +18,27 @@ class Registry;
 
 namespace scflow::flow {
 
+struct SynthesisOptions {
+  /// Formally verify every netlist refinement step: gate optimisation is
+  /// CEC'd against its input netlist, scan insertion against the pre-scan
+  /// netlist (modulo scan ports).  A failed check throws
+  /// formal::EquivalenceError with the counterexample dumped to
+  /// "<prefix>.cec_fail.vcd".
+  bool verify_cec = false;
+};
+
 /// Complete gate-level synthesis of one design (the "SystemC Compiler +
 /// Design Compiler" pipeline of the paper).  With @p reg, every pass is
 /// timed (scoped under "<prefix>") and its stats are recorded:
 /// "<prefix>.opt.cells_before/.cells_after/.rewrites/.iterations",
 /// "<prefix>.scan_flops", "<prefix>.cells" — the per-pass evidence behind
-/// the Fig. 10 deltas.
+/// the Fig. 10 deltas.  With options.verify_cec, equivalence-check stats
+/// land under "<prefix>.cec.opt.*" and "<prefix>.cec.scan.*".
 nl::Netlist synthesize_to_gates(const rtl::Design& design,
                                 nl::GateOptStats* gate_stats = nullptr,
                                 scflow::obs::Registry* reg = nullptr,
-                                std::string_view prefix = "synth");
+                                std::string_view prefix = "synth",
+                                const SynthesisOptions& options = {});
 
 struct AreaRow {
   std::string name;
@@ -43,7 +54,8 @@ struct AreaRow {
 /// reference's total area.  With @p reg, per-design synthesis pass stats,
 /// hls scheduling stats (for the behavioural designs) and area results are
 /// recorded under "fig10.<design>.*".
-std::vector<AreaRow> figure10_area_rows(scflow::obs::Registry* reg = nullptr);
+std::vector<AreaRow> figure10_area_rows(scflow::obs::Registry* reg = nullptr,
+                                        const SynthesisOptions& options = {});
 
 /// Formats the rows as the paper-style table.
 std::string format_area_table(const std::vector<AreaRow>& rows);

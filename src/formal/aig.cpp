@@ -1,0 +1,90 @@
+#include "formal/aig.hpp"
+
+namespace scflow::formal {
+
+namespace {
+// 64-bit mix (splitmix64 finaliser) — spreads the packed fanin pair over
+// the open-addressing table.
+std::uint64_t mix(std::uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ull;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  return x;
+}
+}  // namespace
+
+Aig::Aig() {
+  nodes_.push_back({});  // node 0: constant false
+  input_index_.push_back(-1);
+  rehash(1024);
+}
+
+void Aig::rehash(std::size_t new_size) {
+  std::vector<std::uint64_t> old_keys = std::move(hash_keys_);
+  std::vector<AigLit> old_vals = std::move(hash_vals_);
+  hash_keys_.assign(new_size, 0);
+  hash_vals_.assign(new_size, 0);
+  for (std::size_t i = 0; i < old_keys.size(); ++i) {
+    if (old_keys[i] == 0) continue;
+    std::size_t slot = mix(old_keys[i]) & (new_size - 1);
+    while (hash_keys_[slot] != 0) slot = (slot + 1) & (new_size - 1);
+    hash_keys_[slot] = old_keys[i];
+    hash_vals_[slot] = old_vals[i];
+  }
+}
+
+AigLit Aig::add_input() {
+  const auto node = static_cast<std::uint32_t>(nodes_.size());
+  nodes_.push_back({});
+  input_index_.push_back(static_cast<std::int32_t>(inputs_.size()));
+  inputs_.push_back(node);
+  return node << 1;
+}
+
+AigLit Aig::and2(AigLit a, AigLit b) {
+  // Constant and trivial folds.
+  if (a == kAigFalse || b == kAigFalse) return kAigFalse;
+  if (a == kAigTrue) return b;
+  if (b == kAigTrue) return a;
+  if (a == b) return a;
+  if (a == aig_not(b)) return kAigFalse;
+  if (a > b) std::swap(a, b);
+
+  const std::uint64_t key = hash_key(a, b);
+  std::size_t slot = mix(key) & (hash_keys_.size() - 1);
+  while (hash_keys_[slot] != 0) {
+    if (hash_keys_[slot] == key) return hash_vals_[slot];
+    slot = (slot + 1) & (hash_keys_.size() - 1);
+  }
+
+  const auto node = static_cast<std::uint32_t>(nodes_.size());
+  nodes_.push_back({a, b});
+  input_index_.push_back(-1);
+  const AigLit lit = node << 1;
+  hash_keys_[slot] = key;
+  hash_vals_[slot] = lit;
+  if (++hash_used_ * 2 > hash_keys_.size()) rehash(hash_keys_.size() * 2);
+  return lit;
+}
+
+void Aig::simulate(const std::vector<std::uint64_t>& input_words,
+                   std::vector<std::uint64_t>& node_words) const {
+  node_words.assign(nodes_.size(), 0);
+  for (std::uint32_t n = 1; n < nodes_.size(); ++n) {
+    const std::int32_t in = input_index_[n];
+    if (in >= 0) {
+      node_words[n] = input_words[static_cast<std::size_t>(in)];
+      continue;
+    }
+    const Node& nd = nodes_[n];
+    const std::uint64_t w0 =
+        node_words[aig_node(nd.f0)] ^ (aig_phase(nd.f0) ? ~0ull : 0ull);
+    const std::uint64_t w1 =
+        node_words[aig_node(nd.f1)] ^ (aig_phase(nd.f1) ? ~0ull : 0ull);
+    node_words[n] = w0 & w1;
+  }
+}
+
+}  // namespace scflow::formal

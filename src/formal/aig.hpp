@@ -1,0 +1,87 @@
+// And-inverter graph: the canonical two-input representation every formal
+// engine in src/formal shares.  Literals carry the complement in bit 0
+// (node 0 is the constant false, so kAigFalse = 0 and kAigTrue = 1), AND
+// nodes are structurally hashed with canonical fanin order, and the usual
+// constant/idempotence folds run on construction — so two structurally
+// identical cones bitblasted into the same Aig converge onto the same
+// literal before any SAT effort is spent.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace scflow::formal {
+
+using AigLit = std::uint32_t;
+constexpr AigLit kAigFalse = 0;
+constexpr AigLit kAigTrue = 1;
+
+[[nodiscard]] constexpr AigLit aig_not(AigLit l) { return l ^ 1u; }
+[[nodiscard]] constexpr std::uint32_t aig_node(AigLit l) { return l >> 1; }
+[[nodiscard]] constexpr bool aig_phase(AigLit l) { return (l & 1u) != 0; }
+
+class Aig {
+ public:
+  Aig();
+
+  /// Fresh primary input; returns its (positive) literal.
+  AigLit add_input();
+
+  /// Hashed, constant-folded AND of two literals.
+  AigLit and2(AigLit a, AigLit b);
+
+  // Derived gates (expressed through and2, so they share the hash).
+  AigLit or2(AigLit a, AigLit b) { return aig_not(and2(aig_not(a), aig_not(b))); }
+  AigLit xor2(AigLit a, AigLit b) {
+    return or2(and2(a, aig_not(b)), and2(aig_not(a), b));
+  }
+  AigLit xnor2(AigLit a, AigLit b) { return aig_not(xor2(a, b)); }
+  /// s ? t : e.
+  AigLit ite(AigLit s, AigLit t, AigLit e) {
+    return or2(and2(s, t), and2(aig_not(s), e));
+  }
+
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+  [[nodiscard]] std::size_t input_count() const { return inputs_.size(); }
+  [[nodiscard]] bool is_input(std::uint32_t node) const {
+    return input_index_[node] >= 0;
+  }
+  /// Input ordinal of an input node (creation order), -1 otherwise.
+  [[nodiscard]] std::int32_t input_index(std::uint32_t node) const {
+    return input_index_[node];
+  }
+  [[nodiscard]] bool is_and(std::uint32_t node) const {
+    return node != 0 && input_index_[node] < 0;
+  }
+  [[nodiscard]] AigLit fanin0(std::uint32_t node) const { return nodes_[node].f0; }
+  [[nodiscard]] AigLit fanin1(std::uint32_t node) const { return nodes_[node].f1; }
+
+  /// 64 parallel simulation patterns: @p input_words holds one word per
+  /// primary input (creation order); @p node_words is resized to
+  /// node_count() and filled with the per-node result words.
+  void simulate(const std::vector<std::uint64_t>& input_words,
+                std::vector<std::uint64_t>& node_words) const;
+
+ private:
+  struct Node {
+    AigLit f0 = 0;
+    AigLit f1 = 0;
+  };
+
+  std::vector<Node> nodes_;             // node 0 = constant false
+  std::vector<std::int32_t> input_index_;
+  std::vector<std::uint32_t> inputs_;   // input node ids, creation order
+  // Structural hash: canonical (f0, f1) with f0 <= f1 -> existing literal.
+  // Open-addressing over a power-of-two table keeps inserts allocation-free
+  // between rehashes.
+  std::vector<std::uint64_t> hash_keys_;
+  std::vector<AigLit> hash_vals_;
+  std::size_t hash_used_ = 0;
+
+  void rehash(std::size_t new_size);
+  [[nodiscard]] static std::uint64_t hash_key(AigLit a, AigLit b) {
+    return (static_cast<std::uint64_t>(a) << 32) | b;
+  }
+};
+
+}  // namespace scflow::formal

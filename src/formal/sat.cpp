@@ -1,0 +1,440 @@
+#include "formal/sat.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace scflow::formal::sat {
+
+namespace {
+// Luby restart sequence with base 2: 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 ...
+std::uint64_t luby2(std::uint64_t x) {
+  std::uint64_t size = 1;
+  std::uint64_t seq = 0;
+  while (size < x + 1) {
+    ++seq;
+    size = 2 * size + 1;
+  }
+  while (size - 1 != x) {
+    size = (size - 1) / 2;
+    --seq;
+    x %= size;
+  }
+  return 1ull << seq;
+}
+}  // namespace
+
+Var Solver::new_var() {
+  const Var v = static_cast<Var>(activity_.size());
+  activity_.push_back(0.0);
+  assign_.push_back(-1);
+  reason_.push_back(kNoReason);
+  level_.push_back(0);
+  polarity_.push_back(true);  // branch negative first, MiniSat-style
+  seen_.push_back(false);
+  heap_pos_.push_back(-1);
+  watches_.emplace_back();
+  watches_.emplace_back();
+  heap_insert(v);
+  return v;
+}
+
+void Solver::enqueue(Lit p, ClauseRef from) {
+  const auto v = static_cast<std::size_t>(lit_var(p));
+  assign_[v] = lit_sign(p) ? std::int8_t{0} : std::int8_t{1};
+  reason_[v] = from;
+  level_[v] = decision_level();
+  trail_.push_back(p);
+}
+
+bool Solver::add_clause(std::vector<Lit> c) {
+  if (!ok_) return false;
+  assert(decision_level() == 0);
+  std::sort(c.begin(), c.end());
+  std::size_t j = 0;
+  Lit prev = kLitUndef;
+  for (const Lit l : c) {
+    if (value(l) == 1 || l == lit_neg(prev)) return true;  // satisfied / taut
+    if (value(l) == 0 || l == prev) continue;              // root-false / dup
+    c[j++] = l;
+    prev = l;
+  }
+  c.resize(j);
+  if (c.empty()) {
+    ok_ = false;
+    return false;
+  }
+  if (c.size() == 1) {
+    enqueue(c[0], kNoReason);
+    if (propagate() != kNoReason) {
+      ok_ = false;
+      return false;
+    }
+    return true;
+  }
+  attach_clause(c, false);
+  return true;
+}
+
+Solver::ClauseRef Solver::attach_clause(const std::vector<Lit>& c, bool learned) {
+  assert(c.size() >= 2);
+  const auto cref = static_cast<ClauseRef>(clauses_.size());
+  Clause cl;
+  cl.begin = static_cast<std::uint32_t>(arena_.size());
+  cl.size = static_cast<std::uint32_t>(c.size());
+  cl.learned = learned;
+  arena_.insert(arena_.end(), c.begin(), c.end());
+  clauses_.push_back(cl);
+  watches_[static_cast<std::size_t>(c[0])].push_back({cref, c[1]});
+  watches_[static_cast<std::size_t>(c[1])].push_back({cref, c[0]});
+  if (learned) learnts_.push_back(cref);
+  return cref;
+}
+
+void Solver::detach_clause(ClauseRef cr) {
+  const Lit* ls = lits(cr);
+  for (int k = 0; k < 2; ++k) {
+    auto& ws = watches_[static_cast<std::size_t>(ls[k])];
+    for (std::size_t i = 0; i < ws.size(); ++i) {
+      if (ws[i].cref == cr) {
+        ws[i] = ws.back();
+        ws.pop_back();
+        break;
+      }
+    }
+  }
+}
+
+Solver::ClauseRef Solver::propagate() {
+  while (qhead_ < trail_.size()) {
+    const Lit p = trail_[qhead_++];
+    ++stats_.propagations;
+    const Lit false_lit = lit_neg(p);
+    auto& ws = watches_[static_cast<std::size_t>(false_lit)];
+    std::size_t i = 0;
+    std::size_t j = 0;
+    while (i < ws.size()) {
+      const Watcher w = ws[i++];
+      if (value(w.blocker) == 1) {  // clause already satisfied
+        ws[j++] = w;
+        continue;
+      }
+      const ClauseRef cref = w.cref;
+      const Clause& c = clauses_[cref];
+      Lit* ls = lits(cref);
+      if (ls[0] == false_lit) std::swap(ls[0], ls[1]);
+      const Lit first = ls[0];
+      if (first != w.blocker && value(first) == 1) {
+        ws[j++] = {cref, first};
+        continue;
+      }
+      bool moved = false;
+      for (std::uint32_t k = 2; k < c.size; ++k) {
+        if (value(ls[k]) != 0) {  // non-false literal -> new watch
+          std::swap(ls[1], ls[k]);
+          watches_[static_cast<std::size_t>(ls[1])].push_back({cref, first});
+          moved = true;
+          break;
+        }
+      }
+      if (moved) continue;
+      // Unit or conflicting.
+      ws[j++] = {cref, first};
+      if (value(first) == 0) {
+        while (i < ws.size()) ws[j++] = ws[i++];
+        ws.resize(j);
+        qhead_ = trail_.size();
+        return cref;
+      }
+      enqueue(first, cref);
+    }
+    ws.resize(j);
+  }
+  return kNoReason;
+}
+
+void Solver::bump_var(Var v) {
+  const auto idx = static_cast<std::size_t>(v);
+  activity_[idx] += var_inc_;
+  if (activity_[idx] > 1e100) {
+    for (double& a : activity_) a *= 1e-100;
+    var_inc_ *= 1e-100;
+  }
+  if (heap_pos_[idx] >= 0) heap_percolate_up(heap_pos_[idx]);
+}
+
+void Solver::decay_activities() {
+  var_inc_ *= 1.0 / 0.95;
+  cla_inc_ *= 1.0f / 0.999f;
+  if (cla_inc_ > 1e20f) {
+    for (const ClauseRef cr : learnts_) clauses_[cr].activity *= 1e-20f;
+    cla_inc_ *= 1e-20f;
+  }
+}
+
+void Solver::analyze(ClauseRef confl, std::vector<Lit>& learnt,
+                     std::int32_t& bt_level) {
+  learnt.clear();
+  learnt.push_back(kLitUndef);  // slot for the asserting (1UIP) literal
+  std::int32_t pathc = 0;
+  Lit p = kLitUndef;
+  std::size_t index = trail_.size();
+  do {
+    Clause& c = clauses_[confl];
+    if (c.learned) c.activity += cla_inc_;
+    const Lit* ls = lits(confl);
+    // For a reason clause ls[0] is the implied literal (== p), skip it.
+    for (std::uint32_t k = (p == kLitUndef) ? 0u : 1u; k < c.size; ++k) {
+      const auto v = static_cast<std::size_t>(lit_var(ls[k]));
+      if (seen_[v] || level_[v] == 0) continue;
+      seen_[v] = true;
+      bump_var(lit_var(ls[k]));
+      if (level_[v] >= decision_level()) {
+        ++pathc;
+      } else {
+        learnt.push_back(ls[k]);
+      }
+    }
+    while (!seen_[static_cast<std::size_t>(lit_var(trail_[--index]))]) {
+    }
+    p = trail_[index];
+    confl = reason_[static_cast<std::size_t>(lit_var(p))];
+    seen_[static_cast<std::size_t>(lit_var(p))] = false;
+    --pathc;
+  } while (pathc > 0);
+  learnt[0] = lit_neg(p);
+
+  if (learnt.size() == 1) {
+    bt_level = 0;
+  } else {
+    std::size_t max_i = 1;
+    for (std::size_t k = 2; k < learnt.size(); ++k) {
+      if (level_[static_cast<std::size_t>(lit_var(learnt[k]))] >
+          level_[static_cast<std::size_t>(lit_var(learnt[max_i]))]) {
+        max_i = k;
+      }
+    }
+    std::swap(learnt[1], learnt[max_i]);
+    bt_level = level_[static_cast<std::size_t>(lit_var(learnt[1]))];
+  }
+  for (const Lit l : learnt) seen_[static_cast<std::size_t>(lit_var(l))] = false;
+}
+
+void Solver::analyze_final(Lit failed_assumption) {
+  conflict_core_.clear();
+  conflict_core_.push_back(failed_assumption);
+  if (decision_level() > 0) {
+    seen_[static_cast<std::size_t>(lit_var(failed_assumption))] = true;
+    for (std::size_t i = trail_.size();
+         i-- > static_cast<std::size_t>(trail_lim_[0]);) {
+      const auto v = static_cast<std::size_t>(lit_var(trail_[i]));
+      if (!seen_[v]) continue;
+      if (reason_[v] == kNoReason) {
+        // A decision below the first free level is an assumption.
+        conflict_core_.push_back(trail_[i]);
+      } else {
+        const Clause& c = clauses_[reason_[v]];
+        const Lit* ls = arena_.data() + c.begin;
+        for (std::uint32_t k = 1; k < c.size; ++k) {
+          const auto u = static_cast<std::size_t>(lit_var(ls[k]));
+          if (level_[u] > 0) seen_[u] = true;
+        }
+      }
+      seen_[v] = false;
+    }
+  }
+  seen_[static_cast<std::size_t>(lit_var(failed_assumption))] = false;
+}
+
+void Solver::cancel_until(std::int32_t level) {
+  if (decision_level() <= level) return;
+  for (std::size_t i = trail_.size();
+       i-- > static_cast<std::size_t>(trail_lim_[static_cast<std::size_t>(level)]);) {
+    const auto v = static_cast<std::size_t>(lit_var(trail_[i]));
+    assign_[v] = -1;
+    polarity_[v] = lit_sign(trail_[i]);  // phase saving
+    reason_[v] = kNoReason;
+    if (heap_pos_[v] < 0) heap_insert(static_cast<Var>(v));
+  }
+  trail_.resize(static_cast<std::size_t>(trail_lim_[static_cast<std::size_t>(level)]));
+  trail_lim_.resize(static_cast<std::size_t>(level));
+  qhead_ = trail_.size();
+}
+
+void Solver::reduce_db() {
+  std::sort(learnts_.begin(), learnts_.end(), [&](ClauseRef a, ClauseRef b) {
+    return clauses_[a].activity < clauses_[b].activity;
+  });
+  const std::size_t target = learnts_.size() / 2;
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < learnts_.size(); ++i) {
+    const ClauseRef cr = learnts_[i];
+    Clause& c = clauses_[cr];
+    const Lit l0 = lits(cr)[0];
+    const bool locked =
+        reason_[static_cast<std::size_t>(lit_var(l0))] == cr && value(l0) == 1;
+    if (i < target && !locked && c.size > 2) {
+      detach_clause(cr);
+      c.dead = true;
+      ++stats_.deleted_clauses;
+    } else {
+      learnts_[kept++] = cr;
+    }
+  }
+  learnts_.resize(kept);
+}
+
+Lit Solver::pick_branch() {
+  while (!heap_.empty()) {
+    const Var v = heap_pop();
+    if (assign_[static_cast<std::size_t>(v)] < 0) {
+      return mk_lit(v, polarity_[static_cast<std::size_t>(v)]);
+    }
+  }
+  return kLitUndef;
+}
+
+Result Solver::solve(const std::vector<Lit>& assumptions,
+                     std::uint64_t conflict_budget) {
+  ++stats_.solve_calls;
+  conflict_core_.clear();
+  if (!ok_) return Result::kUnsat;
+
+  const std::uint64_t start_conflicts = stats_.conflicts;
+  std::uint64_t restart_idx = 0;
+  std::uint64_t restart_limit = 64;
+  std::uint64_t conflicts_since_restart = 0;
+  std::vector<Lit> learnt;
+
+  for (;;) {
+    const ClauseRef confl = propagate();
+    if (confl != kNoReason) {
+      ++stats_.conflicts;
+      ++conflicts_since_restart;
+      if (decision_level() == 0) {
+        ok_ = false;  // refuted independently of any assumptions
+        return Result::kUnsat;
+      }
+      std::int32_t bt_level = 0;
+      analyze(confl, learnt, bt_level);
+      cancel_until(bt_level);
+      ++stats_.learned_clauses;
+      stats_.learned_literals += learnt.size();
+      if (learnt.size() == 1) {
+        enqueue(learnt[0], kNoReason);
+      } else {
+        const ClauseRef cr = attach_clause(learnt, true);
+        clauses_[cr].activity = cla_inc_;
+        enqueue(learnt[0], cr);
+      }
+      decay_activities();
+      if (conflict_budget != 0 &&
+          stats_.conflicts - start_conflicts >= conflict_budget) {
+        cancel_until(0);
+        return Result::kUnknown;
+      }
+      if (learnts_.size() >= max_learnts_) {
+        reduce_db();
+        max_learnts_ += max_learnts_ / 2;
+      }
+    } else {
+      if (conflicts_since_restart >= restart_limit) {
+        ++stats_.restarts;
+        ++restart_idx;
+        restart_limit = 64 * luby2(restart_idx);
+        conflicts_since_restart = 0;
+        cancel_until(0);
+        continue;
+      }
+      Lit next = kLitUndef;
+      while (decision_level() < static_cast<std::int32_t>(assumptions.size())) {
+        const Lit p = assumptions[static_cast<std::size_t>(decision_level())];
+        if (value(p) == 1) {
+          // Already implied: open a dummy level to keep level==index.
+          trail_lim_.push_back(static_cast<std::int32_t>(trail_.size()));
+        } else if (value(p) == 0) {
+          analyze_final(p);
+          cancel_until(0);
+          return Result::kUnsat;
+        } else {
+          next = p;
+          break;
+        }
+      }
+      if (next == kLitUndef) {
+        next = pick_branch();
+        if (next == kLitUndef) {
+          model_.assign(assign_.size(), false);
+          for (std::size_t v = 0; v < assign_.size(); ++v) {
+            model_[v] = assign_[v] == 1;
+          }
+          cancel_until(0);
+          return Result::kSat;
+        }
+        ++stats_.decisions;
+      }
+      trail_lim_.push_back(static_cast<std::int32_t>(trail_.size()));
+      enqueue(next, kNoReason);
+    }
+  }
+}
+
+void Solver::heap_insert(Var v) {
+  heap_pos_[static_cast<std::size_t>(v)] = static_cast<std::int32_t>(heap_.size());
+  heap_.push_back(v);
+  heap_percolate_up(heap_pos_[static_cast<std::size_t>(v)]);
+}
+
+Var Solver::heap_pop() {
+  const Var top = heap_[0];
+  heap_pos_[static_cast<std::size_t>(top)] = -1;
+  heap_[0] = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) {
+    heap_pos_[static_cast<std::size_t>(heap_[0])] = 0;
+    heap_percolate_down(0);
+  }
+  return top;
+}
+
+void Solver::heap_percolate_up(std::int32_t i) {
+  const Var v = heap_[static_cast<std::size_t>(i)];
+  while (i > 0) {
+    const std::int32_t parent = (i - 1) / 2;
+    const Var pv = heap_[static_cast<std::size_t>(parent)];
+    if (activity_[static_cast<std::size_t>(pv)] >=
+        activity_[static_cast<std::size_t>(v)]) {
+      break;
+    }
+    heap_[static_cast<std::size_t>(i)] = pv;
+    heap_pos_[static_cast<std::size_t>(pv)] = i;
+    i = parent;
+  }
+  heap_[static_cast<std::size_t>(i)] = v;
+  heap_pos_[static_cast<std::size_t>(v)] = i;
+}
+
+void Solver::heap_percolate_down(std::int32_t i) {
+  const Var v = heap_[static_cast<std::size_t>(i)];
+  const auto n = static_cast<std::int32_t>(heap_.size());
+  for (;;) {
+    std::int32_t child = 2 * i + 1;
+    if (child >= n) break;
+    if (child + 1 < n &&
+        activity_[static_cast<std::size_t>(heap_[static_cast<std::size_t>(child + 1)])] >
+            activity_[static_cast<std::size_t>(heap_[static_cast<std::size_t>(child)])]) {
+      ++child;
+    }
+    const Var cv = heap_[static_cast<std::size_t>(child)];
+    if (activity_[static_cast<std::size_t>(cv)] <=
+        activity_[static_cast<std::size_t>(v)]) {
+      break;
+    }
+    heap_[static_cast<std::size_t>(i)] = cv;
+    heap_pos_[static_cast<std::size_t>(cv)] = i;
+    i = child;
+  }
+  heap_[static_cast<std::size_t>(i)] = v;
+  heap_pos_[static_cast<std::size_t>(v)] = i;
+}
+
+}  // namespace scflow::formal::sat

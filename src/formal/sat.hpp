@@ -1,0 +1,141 @@
+// A small CDCL SAT solver in the MiniSat lineage — two-watched-literal
+// propagation, first-UIP conflict-clause learning, VSIDS-lite variable
+// activities with phase saving, Luby restarts, learned-clause reduction,
+// and incremental solving under assumptions (with failed-assumption core
+// extraction).  No external dependencies; this is the decision procedure
+// behind the combinational equivalence checker in cec.hpp.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace scflow::formal::sat {
+
+using Var = std::int32_t;
+using Lit = std::int32_t;  // 2*var | sign (sign bit 0 = positive)
+constexpr Lit kLitUndef = -1;
+
+[[nodiscard]] constexpr Lit mk_lit(Var v, bool negated = false) {
+  return 2 * v + (negated ? 1 : 0);
+}
+[[nodiscard]] constexpr Var lit_var(Lit l) { return l >> 1; }
+[[nodiscard]] constexpr bool lit_sign(Lit l) { return (l & 1) != 0; }
+[[nodiscard]] constexpr Lit lit_neg(Lit l) { return l ^ 1; }
+
+enum class Result { kSat, kUnsat, kUnknown };
+
+struct SolverStats {
+  std::uint64_t solve_calls = 0;
+  std::uint64_t decisions = 0;
+  std::uint64_t propagations = 0;
+  std::uint64_t conflicts = 0;
+  std::uint64_t restarts = 0;
+  std::uint64_t learned_clauses = 0;
+  std::uint64_t learned_literals = 0;
+  std::uint64_t deleted_clauses = 0;
+};
+
+class Solver {
+ public:
+  Solver() = default;
+
+  Var new_var();
+  [[nodiscard]] std::int32_t num_vars() const {
+    return static_cast<std::int32_t>(activity_.size());
+  }
+
+  /// Adds a clause (root level only).  Returns false when the formula is
+  /// already unsatisfiable (empty clause / contradicting units).
+  bool add_clause(std::vector<Lit> lits);
+
+  /// Solves under the given assumptions.  @p conflict_budget bounds the
+  /// number of conflicts explored (0 = unbounded); exceeding it returns
+  /// kUnknown.  The solver remains usable (incrementally) after any result.
+  Result solve(const std::vector<Lit>& assumptions = {},
+               std::uint64_t conflict_budget = 0);
+
+  /// Model access after kSat.  Variables untouched by the last search
+  /// default to false.
+  [[nodiscard]] bool model_value(Var v) const {
+    return v < static_cast<Var>(model_.size()) && model_[static_cast<std::size_t>(v)];
+  }
+
+  /// After kUnsat under assumptions: the subset of assumption literals the
+  /// refutation actually used (the assumption-level unsat core).  Empty
+  /// when the formula is unsatisfiable regardless of assumptions.
+  [[nodiscard]] const std::vector<Lit>& failed_assumptions() const { return conflict_core_; }
+
+  [[nodiscard]] const SolverStats& stats() const { return stats_; }
+  [[nodiscard]] bool okay() const { return ok_; }
+
+ private:
+  using ClauseRef = std::uint32_t;
+  static constexpr ClauseRef kNoReason = 0xffffffffu;
+
+  struct Clause {
+    std::uint32_t begin = 0;  // offset into arena_
+    std::uint32_t size = 0;
+    float activity = 0.0f;
+    bool learned = false;
+    bool dead = false;
+  };
+  struct Watcher {
+    ClauseRef cref = 0;
+    Lit blocker = kLitUndef;
+  };
+
+  [[nodiscard]] std::int8_t value(Lit l) const {
+    const std::int8_t a = assign_[static_cast<std::size_t>(lit_var(l))];
+    return a < 0 ? a : static_cast<std::int8_t>(a ^ static_cast<std::int8_t>(lit_sign(l)));
+  }
+  [[nodiscard]] std::int32_t decision_level() const {
+    return static_cast<std::int32_t>(trail_lim_.size());
+  }
+  [[nodiscard]] Lit* lits(ClauseRef c) { return arena_.data() + clauses_[c].begin; }
+
+  void enqueue(Lit p, ClauseRef from);
+  ClauseRef propagate();
+  void analyze(ClauseRef confl, std::vector<Lit>& learnt, std::int32_t& bt_level);
+  void analyze_final(Lit failed_assumption);
+  void cancel_until(std::int32_t level);
+  ClauseRef attach_clause(const std::vector<Lit>& c, bool learned);
+  void detach_clause(ClauseRef c);
+  void reduce_db();
+  [[nodiscard]] Lit pick_branch();
+  void bump_var(Var v);
+  void decay_activities();
+
+  // Binary max-heap over variable activity.
+  void heap_insert(Var v);
+  void heap_percolate_up(std::int32_t i);
+  void heap_percolate_down(std::int32_t i);
+  Var heap_pop();
+
+  std::vector<Lit> arena_;
+  std::vector<Clause> clauses_;
+  std::vector<ClauseRef> learnts_;
+  std::vector<std::vector<Watcher>> watches_;  // indexed by literal
+
+  std::vector<std::int8_t> assign_;  // per var: -1 undef, 0 false, 1 true
+  std::vector<ClauseRef> reason_;
+  std::vector<std::int32_t> level_;
+  std::vector<Lit> trail_;
+  std::vector<std::int32_t> trail_lim_;
+  std::size_t qhead_ = 0;
+
+  std::vector<double> activity_;
+  double var_inc_ = 1.0;
+  float cla_inc_ = 1.0f;
+  std::vector<std::int32_t> heap_pos_;  // -1 when not in heap
+  std::vector<Var> heap_;
+  std::vector<bool> polarity_;  // saved phase (true = branch negative)
+
+  std::vector<bool> seen_;  // analyze scratch
+  std::vector<bool> model_;
+  std::vector<Lit> conflict_core_;
+  std::size_t max_learnts_ = 8192;
+  bool ok_ = true;
+  SolverStats stats_;
+};
+
+}  // namespace scflow::formal::sat

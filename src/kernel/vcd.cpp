@@ -2,11 +2,12 @@
 
 namespace minisc {
 
-VcdTrace::VcdTrace(Simulation& sim, const std::string& path) : sim_(&sim), out_(path) {}
+VcdFile::~VcdFile() {
+  if (!header_written_) write_header();
+  out_.flush();
+}
 
-VcdTrace::~VcdTrace() { out_.flush(); }
-
-std::string VcdTrace::next_id() {
+std::string VcdFile::next_id() {
   // VCD identifiers: printable ASCII strings; base-94 counter.
   std::string id;
   int n = id_counter_++;
@@ -17,42 +18,50 @@ std::string VcdTrace::next_id() {
   return id;
 }
 
-void VcdTrace::write_header() {
+std::size_t VcdFile::add_var(const std::string& name, int width) {
+  std::string flat = name;
+  for (char& c : flat) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == '$';
+    if (!ok) c = '_';
+  }
+  vars_.push_back({std::move(flat), next_id(), width});
+  return vars_.size() - 1;
+}
+
+void VcdFile::write_header() {
+  if (header_written_) return;
   header_written_ = true;
   out_ << "$timescale 1ps $end\n$scope module top $end\n";
   for (const Var& v : vars_) {
-    std::string flat = v.name;
-    for (char& c : flat)
-      if (c == '.') c = '_';
-    out_ << "$var wire " << v.width << " " << v.id << " " << flat << " $end\n";
+    out_ << "$var wire " << v.width << " " << v.id << " " << v.name << " $end\n";
   }
   out_ << "$upscope $end\n$enddefinitions $end\n";
   last_.assign(vars_.size(), ~0ull);
 }
 
-void VcdTrace::sample() {
+void VcdFile::change(std::size_t var, std::uint64_t value) {
   if (!header_written_) write_header();
-  bool time_emitted = false;
-  for (std::size_t i = 0; i < vars_.size(); ++i) {
-    const std::uint64_t v = vars_[i].value();
-    if (v == last_[i]) continue;
-    if (!time_emitted) {
-      const std::uint64_t t = sim_->now().picoseconds();
-      if (t != last_time_) {
-        out_ << "#" << t << "\n";
-        last_time_ = t;
-      }
-      time_emitted = true;
-    }
-    last_[i] = v;
-    if (vars_[i].width == 1) {
-      out_ << (v & 1u) << vars_[i].id << "\n";
-    } else {
-      out_ << "b";
-      for (int b = vars_[i].width - 1; b >= 0; --b) out_ << ((v >> b) & 1u);
-      out_ << " " << vars_[i].id << "\n";
-    }
+  if (last_[var] == value) return;
+  if (pending_time_ != last_time_) {
+    out_ << "#" << pending_time_ << "\n";
+    last_time_ = pending_time_;
   }
+  last_[var] = value;
+  const Var& v = vars_[var];
+  if (v.width == 1) {
+    out_ << (value & 1u) << v.id << "\n";
+  } else {
+    out_ << "b";
+    for (int b = v.width - 1; b >= 0; --b) out_ << ((value >> b) & 1u);
+    out_ << " " << v.id << "\n";
+  }
+}
+
+void VcdTrace::sample() {
+  file_.write_header();
+  file_.time(sim_->now().picoseconds());
+  for (const Var& v : vars_) file_.change(v.idx, v.value());
 }
 
 }  // namespace minisc

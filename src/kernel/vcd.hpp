@@ -1,6 +1,11 @@
 // Minimal VCD (value-change dump) tracing for signals — the kernel-side
 // equivalent of the waveform dumps the paper's flow relied on for the
 // per-step bit-accuracy revalidation.
+//
+// Two layers: VcdFile is a standalone writer (register vars, then drive
+// time()/change() explicitly) usable outside any simulation — the formal
+// CEC engine dumps counterexample vectors through it.  VcdTrace keeps the
+// original Simulation-coupled sampling API on top of it.
 #pragma once
 
 #include <cstdint>
@@ -14,10 +19,52 @@
 
 namespace minisc {
 
+class VcdFile {
+ public:
+  explicit VcdFile(const std::string& path) : out_(path) {}
+  ~VcdFile();
+
+  VcdFile(const VcdFile&) = delete;
+  VcdFile& operator=(const VcdFile&) = delete;
+
+  /// Registers a variable (before the header is emitted); returns its
+  /// index for change().  Names are sanitised to VCD-safe identifiers.
+  std::size_t add_var(const std::string& name, int width);
+
+  /// Sets the current time; emitted lazily before the next change.
+  void time(std::uint64_t t) { pending_time_ = t; }
+
+  /// Records a new value; deduplicated against the last emitted value.
+  void change(std::size_t var, std::uint64_t value);
+
+  /// Emits the header ($timescale/$var/$enddefinitions); idempotent, and
+  /// called automatically by the first change() (or the destructor).
+  void write_header();
+
+  [[nodiscard]] bool good() const { return out_.good(); }
+  void flush() { out_.flush(); }
+
+ private:
+  struct Var {
+    std::string name;
+    std::string id;
+    int width;
+  };
+
+  std::string next_id();
+
+  std::ofstream out_;
+  std::vector<Var> vars_;
+  std::vector<std::uint64_t> last_;
+  bool header_written_ = false;
+  int id_counter_ = 0;
+  std::uint64_t pending_time_ = 0;
+  std::uint64_t last_time_ = ~0ull;
+};
+
 class VcdTrace {
  public:
-  VcdTrace(Simulation& sim, const std::string& path);
-  ~VcdTrace();
+  VcdTrace(Simulation& sim, const std::string& path) : sim_(&sim), file_(path) {}
 
   VcdTrace(const VcdTrace&) = delete;
   VcdTrace& operator=(const VcdTrace&) = delete;
@@ -25,9 +72,8 @@ class VcdTrace {
   /// Registers a bool or integer-convertible signal for tracing.
   template <class T>
   void add(Signal<T>& sig, int width = default_width<T>()) {
-    const std::string id = next_id();
-    vars_.push_back({sig.full_name(), id, width,
-                     [&sig, width] { return value_bits(sig.read(), width); }});
+    const std::size_t idx = file_.add_var(sig.full_name(), width);
+    vars_.push_back({idx, [&sig, width] { return value_bits(sig.read(), width); }});
   }
 
   /// Samples all registered signals at the current simulation time.
@@ -36,9 +82,7 @@ class VcdTrace {
 
  private:
   struct Var {
-    std::string name;
-    std::string id;
-    int width;
+    std::size_t idx;
     std::function<std::uint64_t()> value;
   };
 
@@ -55,16 +99,9 @@ class VcdTrace {
     else return static_cast<std::uint64_t>(v);
   }
 
-  std::string next_id();
-  void write_header();
-
   Simulation* sim_;
-  std::ofstream out_;
+  VcdFile file_;
   std::vector<Var> vars_;
-  std::vector<std::uint64_t> last_;
-  bool header_written_ = false;
-  int id_counter_ = 0;
-  std::uint64_t last_time_ = ~0ull;
 };
 
 }  // namespace minisc

@@ -266,6 +266,7 @@ struct Lowerer {
         // rewrite its output to the reserved net.
         const NetId placed = out.add_cell(CellType::kDff, {dnet}, init);
         out.cells_mut().back().output = flop_q[r][i];
+        out.cells_mut().back().name = reg.name + "_q" + std::to_string(i);
         (void)placed;
       }
       (void)flop_cell_base;

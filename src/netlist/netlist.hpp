@@ -36,6 +36,9 @@ struct Cell {
   std::vector<NetId> inputs;
   NetId output = kNoNet;
   int init = 0;  // flops: initial/reset value
+  // Provenance label, e.g. "<register>_q<bit>" for flops; carried through
+  // opt/scan passes so formal CEC can pair flop boundaries across netlists.
+  std::string name;
 };
 
 struct PortBits {

@@ -161,6 +161,7 @@ struct Parser {
     std::vector<Assign> assigns;
     struct Instance {
       nl::CellType type;
+      std::string name;  // provenance label; empty for auto "u<N>" names
       std::map<std::string, BitRef> pins;
       int init = 0;
     };
@@ -203,7 +204,13 @@ struct Parser {
       // Gate instance: TYPE name (.pin(net), ...);
       Instance inst;
       inst.type = cell_type_of(kw);
-      (void)expect_ident();  // instance name
+      // Keep the instance name as cell provenance unless it is one of the
+      // writer's auto-generated positional "u<N>" names.
+      inst.name = expect_ident();
+      bool auto_name = inst.name.size() > 1 && inst.name[0] == 'u';
+      for (std::size_t i = 1; auto_name && i < inst.name.size(); ++i)
+        auto_name = inst.name[i] >= '0' && inst.name[i] <= '9';
+      if (auto_name) inst.name.clear();
       expect_punct("(");
       do {
         expect_punct(".");
@@ -255,6 +262,7 @@ struct Parser {
       // add_cell allocates a fresh output net; rewrite it to the wire.
       out.add_cell(inst.type, std::move(ins), inst.init);
       out.cells_mut().back().output = wire_net(yit->second.name);
+      out.cells_mut().back().name = inst.name;
     }
     (void)module_names;
     out.validate();

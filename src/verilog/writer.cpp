@@ -33,6 +33,23 @@ const char* cell_module(nl::CellType t) {
 
 const char* const kInputPinNames[] = {"a", "b", "c"};
 
+/// Instance name for a cell: its provenance name (sanitised to a Verilog
+/// identifier) when present, else a positional "u<index>".  Keeping the
+/// provenance name in the output lets a re-parse recover flop identity, so
+/// round-tripped netlists stay formally comparable (CEC pairs flop
+/// boundaries by name).
+std::string instance_name(const nl::Cell& c, std::size_t ci) {
+  if (c.name.empty()) return "u" + std::to_string(ci);
+  std::string id = c.name;
+  for (char& ch : id) {
+    const bool ok = (ch >= 'a' && ch <= 'z') || (ch >= 'A' && ch <= 'Z') ||
+                    (ch >= '0' && ch <= '9') || ch == '_' || ch == '$';
+    if (!ok) ch = '_';
+  }
+  if (id[0] >= '0' && id[0] <= '9') id.insert(id.begin(), '_');
+  return id;
+}
+
 }  // namespace
 
 std::string write_structural(const nl::Netlist& netlist) {
@@ -78,7 +95,8 @@ std::string write_structural(const nl::Netlist& netlist) {
   // Gate instances.
   for (std::size_t ci = 0; ci < netlist.cells().size(); ++ci) {
     const auto& c = netlist.cells()[ci];
-    os << "  " << cell_module(c.type) << " u" << ci << " (.y(" << net_name(c.output) << ")";
+    os << "  " << cell_module(c.type) << " " << instance_name(c, ci) << " (.y("
+       << net_name(c.output) << ")";
     for (std::size_t i = 0; i < c.inputs.size(); ++i)
       os << ", ." << kInputPinNames[i] << "(" << net_name(c.inputs[i]) << ")";
     if (nl::cell_is_sequential(c.type)) os << ", .init(" << c.init << ")";

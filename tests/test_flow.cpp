@@ -4,7 +4,9 @@
 
 #include "flow/refinement_flow.hpp"
 #include "flow/synthesis_flow.hpp"
+#include "hls/src_beh.hpp"
 #include "obs/json.hpp"
+#include "rtl/src_design.hpp"
 
 namespace scflow::flow {
 namespace {
@@ -136,6 +138,35 @@ TEST(SynthesisFlowTest, Figure10ShapeHolds) {
   EXPECT_GT(beh_o.sequential_pct, rtl_o.sequential_pct);
   EXPECT_GT(rtl_u.sequential_pct, rtl_o.sequential_pct);
   (void)ref;
+}
+
+// The formal gates of the ISSUE's acceptance criteria: gate optimisation
+// and scan insertion on the optimised SystemC implementations are proven
+// equivalence-preserving by CEC, with stats landing under
+// "fig10.<design>.cec.*".
+TEST(SynthesisFlowTest, FormalCecGatesProveRtlOptRefinements) {
+  obs::Registry reg;
+  SynthesisOptions opts;
+  opts.verify_cec = true;
+  const rtl::Design d = rtl::build_src_design(rtl::rtl_opt_config());
+  const nl::Netlist gates = synthesize_to_gates(d, nullptr, &reg, "fig10.rtl_opt", opts);
+  EXPECT_GT(gates.cells().size(), 0u);
+  EXPECT_EQ(reg.gauge("fig10.rtl_opt.cec.opt.equivalent"), 1.0);
+  EXPECT_EQ(reg.gauge("fig10.rtl_opt.cec.scan.equivalent"), 1.0);
+  EXPECT_GT(reg.counter("fig10.rtl_opt.cec.opt.compare_bits"), 0u);
+  EXPECT_GT(reg.counter("fig10.rtl_opt.cec.scan.compare_bits"), 0u);
+  ASSERT_NE(reg.timer("fig10.rtl_opt.cec.opt"), nullptr);
+  ASSERT_NE(reg.timer("fig10.rtl_opt.cec.scan"), nullptr);
+}
+
+TEST(SynthesisFlowTest, FormalCecGatesProveBehOptRefinements) {
+  obs::Registry reg;
+  SynthesisOptions opts;
+  opts.verify_cec = true;
+  const rtl::Design d = hls::build_beh_src_design(hls::beh_opt_config(), nullptr);
+  (void)synthesize_to_gates(d, nullptr, &reg, "fig10.beh_opt", opts);
+  EXPECT_EQ(reg.gauge("fig10.beh_opt.cec.opt.equivalent"), 1.0);
+  EXPECT_EQ(reg.gauge("fig10.beh_opt.cec.scan.equivalent"), 1.0);
 }
 
 TEST(SynthesisFlowTest, TableFormats) {

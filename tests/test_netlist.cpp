@@ -6,6 +6,7 @@
 #include <random>
 
 #include "dtypes/bit_int.hpp"
+#include "formal/cec.hpp"
 #include "netlist/lower.hpp"
 #include "netlist/netlist.hpp"
 #include "netlist/opt.hpp"
@@ -157,6 +158,10 @@ TEST(GateOpt, FoldsConstantsAndDedupes) {
   EXPECT_LT(opt.cells().size(), n.cells().size());
   EXPECT_GT(stats.rewrites, 0u);
 
+  // The pass is *proven* behaviour-preserving by CEC; the simulation below
+  // stays as a smoke check of the optimised netlist under GateSim.
+  EXPECT_TRUE(formal::check_equivalence(n, opt).equivalent());
+
   hdlsim::GateSim sim(opt);
   sim.set_input("x", 0x5a);
   sim.settle();
@@ -173,6 +178,9 @@ TEST(GateOpt, PreservesSequentialBehaviour) {
   b.output("acc", acc.q);
   const rtl::Design d = b.finalise();
   GateHarness plain(d, false), opt(d, true);
+  // Full equivalence proof over the flop boundary (every next-state and
+  // output cone); the lockstep simulation below stays as a smoke tier.
+  EXPECT_TRUE(formal::check_equivalence(plain.netlist, opt.netlist).equivalent());
   std::mt19937_64 rng(11);
   for (int i = 0; i < 100; ++i) {
     const std::uint64_t v = rng() & 0xff;
@@ -195,7 +203,12 @@ TEST(ScanChain, ReplacesFlopsAndShiftsData) {
   b.assign_always(r2, r1.q);
   b.output("q", r2.q);
   Netlist n = lower_to_gates(b.finalise(), {});
+  const Netlist pre_scan = n;
   insert_scan_chain(n);
+  // Scan insertion proven equivalent modulo the scan ports.
+  EXPECT_TRUE(formal::check_equivalence(pre_scan, n, nullptr,
+                                        formal::CecOptions::scan_modulo())
+                  .equivalent());
 
   std::size_t sdffs = 0, dffs = 0;
   for (const auto& c : n.cells()) {
