@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
-# Full pre-merge check: the tier-1 build + test cycle, then the same test
-# suite under AddressSanitizer + UBSan (-DSCFLOW_SANITIZE=ON), then the
-# threaded simulator paths under ThreadSanitizer (-DSCFLOW_SANITIZE=thread)
-# so both sanitizer wirings are actually exercised on every change.
+# Full pre-merge check: the tier-1 build + test cycle, the formal CEC and
+# stuck-at fault-coverage gates over the synthesis flow, then the same
+# test suite under AddressSanitizer + UBSan (-DSCFLOW_SANITIZE=ON), then
+# the threaded simulator paths — including the concurrent fault-campaign
+# runner — under ThreadSanitizer (-DSCFLOW_SANITIZE=thread) so both
+# sanitizer wirings are actually exercised on every change.
 #
 # Usage: scripts/check.sh [--skip-sanitize]
 set -euo pipefail
@@ -29,6 +31,15 @@ echo "== cec: formal equivalence gates over the full synthesis flow =="
 (cd build/examples && ./synthesis_flow --cec >/dev/null)
 RAN_PASSES+=("cec")
 
+echo "== fault: stuck-at campaigns, scan vs pre-scan coverage gate =="
+# All five Fig. 10 designs run the shared-fault-list campaign pair; the
+# gate fails unless scan coverage strictly exceeds the scan-stripped
+# twin's on every design.  The fault engine's unit suite (collapse rules,
+# overlay clamping, thread-count determinism, budget degradation, SEU
+# divergence) runs via ctest above and again under ASan+UBSan below.
+build/examples/fault_campaign --check >/dev/null
+RAN_PASSES+=("fault")
+
 if [[ "$SKIP_SANITIZE" == 1 ]]; then
   echo "== sanitize passes skipped (--skip-sanitize) =="
 else
@@ -48,8 +59,8 @@ else
   # supported threading model.
   cmake -B build-tsan -S . -DSCFLOW_SANITIZE=thread >/dev/null
   cmake --build build-tsan -j"$JOBS" --target \
-    test_gate_parallel test_gate_level test_gate_alloc test_fuzz_equivalence
-  for t in test_gate_parallel test_gate_level test_gate_alloc; do
+    test_gate_parallel test_gate_level test_gate_alloc test_fault test_fuzz_equivalence
+  for t in test_gate_parallel test_gate_level test_gate_alloc test_fault; do
     echo "-- TSan: $t"
     TSAN_OPTIONS=halt_on_error=1 "build-tsan/tests/$t"
   done

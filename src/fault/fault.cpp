@@ -1,0 +1,110 @@
+#include "fault/fault.hpp"
+
+namespace scflow::fault {
+
+const char* fault_class_name(FaultClass c) {
+  switch (c) {
+    case FaultClass::kUndetected: return "undetected";
+    case FaultClass::kDetected: return "detected";
+    case FaultClass::kUndetectedBudget: return "undetected_budget";
+    case FaultClass::kOscillating: return "oscillating";
+  }
+  return "?";
+}
+
+std::vector<Fault> enumerate_stuck_faults(const nl::Netlist& n, FaultListStats* stats) {
+  const auto nets = static_cast<std::size_t>(n.net_count());
+  // Fault sites: every driven net — cell outputs (flops included) and
+  // primary-input port nets (macro read-data buses enter the netlist as
+  // input ports, so they are covered too).
+  std::vector<bool> site(nets, false);
+  // Driver kind, for the trivially-untestable tie polarity.
+  std::vector<std::int8_t> tie(nets, -1);  // 0/1 = tie value, -1 = not a tie
+  for (const nl::Cell& c : n.cells()) {
+    site[static_cast<std::size_t>(c.output)] = true;
+    if (c.type == nl::CellType::kTie0) tie[static_cast<std::size_t>(c.output)] = 0;
+    if (c.type == nl::CellType::kTie1) tie[static_cast<std::size_t>(c.output)] = 1;
+  }
+  for (const nl::PortBits& p : n.inputs())
+    for (nl::NetId net : p.nets)
+      if (net != nl::kNoNet) site[static_cast<std::size_t>(net)] = true;
+
+  // Reader census for the collapse pass: a net observable at an output
+  // port, or read by more than one consumer, is an FFR boundary (a fanout
+  // stem) and keeps both its faults.  Nets with exactly one combinational
+  // reader collapse by the classic equivalence rules.
+  std::vector<std::uint32_t> fanout(nets, 0);
+  std::vector<std::int32_t> sole_reader(nets, -1);
+  const auto note_reader = [&](nl::NetId net, std::int32_t cell) {
+    auto& f = fanout[static_cast<std::size_t>(net)];
+    ++f;
+    sole_reader[static_cast<std::size_t>(net)] = f == 1 ? cell : -1;
+  };
+  for (std::size_t ci = 0; ci < n.cells().size(); ++ci)
+    for (nl::NetId in : n.cells()[ci].inputs) note_reader(in, static_cast<std::int32_t>(ci));
+  for (const nl::PortBits& p : n.outputs())
+    for (nl::NetId net : p.nets)
+      if (net != nl::kNoNet) note_reader(net, -1);  // directly observable
+
+  FaultListStats st;
+  std::vector<Fault> out;
+  out.reserve(2 * nets);
+  for (std::size_t net = 0; net < nets; ++net) {
+    if (!site[net]) continue;
+    ++st.sites;
+    for (const bool stuck_one : {false, true}) {
+      // A tie net stuck at its own constant is the fault-free circuit.
+      if (tie[net] == (stuck_one ? 1 : 0)) continue;
+      ++st.raw;
+      const std::int32_t rc = sole_reader[net];
+      if (fanout[net] == 1 && rc >= 0) {
+        // FFR-internal edge: drop the fault when it is equivalent to one
+        // at the reader's output (controlling-value rules; inverting cells
+        // collapse both polarities).
+        const nl::CellType t = n.cells()[static_cast<std::size_t>(rc)].type;
+        const bool drop =
+            t == nl::CellType::kBuf || t == nl::CellType::kInv ||
+            (!stuck_one && (t == nl::CellType::kAnd2 || t == nl::CellType::kNand2)) ||
+            (stuck_one && (t == nl::CellType::kOr2 || t == nl::CellType::kNor2));
+        if (drop) {
+          ++st.collapsed;
+          continue;
+        }
+      }
+      out.push_back({static_cast<nl::NetId>(net), stuck_one});
+    }
+  }
+  if (stats != nullptr) *stats = st;
+  return out;
+}
+
+std::string describe_fault(const nl::Netlist& n, const Fault& f) {
+  std::string where;
+  for (std::size_t ci = 0; ci < n.cells().size(); ++ci)
+    if (n.cells()[ci].output == f.net) {
+      where = describe_cell(n, ci);
+      break;
+    }
+  if (where.empty()) {
+    for (const nl::PortBits& p : n.inputs())
+      for (std::size_t i = 0; i < p.nets.size(); ++i)
+        if (p.nets[i] == f.net)
+          where = "input '" + p.name + "[" + std::to_string(i) + "]'";
+  }
+  if (where.empty()) where = "undriven";
+  return "net " + std::to_string(f.net) + " (" + where + ") stuck-at-" +
+         (f.stuck_one ? "1" : "0");
+}
+
+std::vector<Fault> sample_faults(const std::vector<Fault>& faults, std::size_t max_faults) {
+  if (max_faults == 0 || faults.size() <= max_faults) return faults;
+  std::vector<Fault> out;
+  out.reserve(max_faults);
+  // Even stride over the (net-ordered) list, so the sample spans the whole
+  // design instead of its first region.
+  for (std::size_t i = 0; i < max_faults; ++i)
+    out.push_back(faults[i * faults.size() / max_faults]);
+  return out;
+}
+
+}  // namespace scflow::fault

@@ -1,0 +1,66 @@
+// Single-stuck-at fault model over gate netlists — the testability side of
+// the paper's scan-inserted gate-level endpoints (Fig. 10).  Fault sites
+// are driven nets (cell outputs, primary inputs, macro read-data buses);
+// the raw 2-faults-per-net list is collapsed by classic fault-equivalence
+// rules inside fanout-free regions (a single-fanout net's controlling
+// fault is indistinguishable from the dominated fault at its reader's
+// output, so only the FFR-root representative is kept).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace scflow::fault {
+
+/// Outcome taxonomy of one simulated fault.
+enum class FaultClass : std::uint8_t {
+  kUndetected,        ///< simulated the full stimulus, never observed
+  kDetected,          ///< a hard 0/1 response difference at an observe point
+  kUndetectedBudget,  ///< cycle/wall budget expired before detection
+  kOscillating,       ///< persistent unknown (X) divergence at observe
+                      ///< points — the 4-valued signature of an unstable
+                      ///< or never-initialised faulty machine
+};
+
+[[nodiscard]] const char* fault_class_name(FaultClass c);
+
+struct Fault {
+  nl::NetId net = nl::kNoNet;
+  bool stuck_one = false;  ///< false: stuck-at-0, true: stuck-at-1
+
+  friend bool operator==(const Fault& a, const Fault& b) {
+    return a.net == b.net && a.stuck_one == b.stuck_one;
+  }
+};
+
+/// Bookkeeping of the enumeration: `sites` nets considered, `raw` faults
+/// before collapsing (2 per site minus trivially untestable tie faults),
+/// `collapsed` dropped as FFR-equivalent, leaving raw - collapsed faults.
+struct FaultListStats {
+  std::size_t sites = 0;
+  std::size_t raw = 0;
+  std::size_t collapsed = 0;
+};
+
+/// Enumerates the collapsed single-stuck-at fault list of @p n in
+/// deterministic (net, polarity) order.
+[[nodiscard]] std::vector<Fault> enumerate_stuck_faults(const nl::Netlist& n,
+                                                        FaultListStats* stats = nullptr);
+
+/// Human-readable fault site, e.g. "net 42 (AND2 #12) stuck-at-1" or
+/// "net 3 (input 'in_left[3]') stuck-at-0".
+[[nodiscard]] std::string describe_fault(const nl::Netlist& n, const Fault& f);
+
+/// Deterministic evenly-strided subset of @p faults with at most
+/// @p max_faults entries (the full list when max_faults is 0 or already
+/// large enough).  Campaigns use this to bound work; the result-side
+/// bookkeeping always reports both the full and the sampled count so the
+/// cap is never silent.
+[[nodiscard]] std::vector<Fault> sample_faults(const std::vector<Fault>& faults,
+                                               std::size_t max_faults);
+
+}  // namespace scflow::fault

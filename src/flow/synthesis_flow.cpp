@@ -17,11 +17,14 @@ namespace obs = scflow::obs;
 
 nl::Netlist synthesize_to_gates(const rtl::Design& design, nl::GateOptStats* gate_stats,
                                 obs::Registry* reg, std::string_view prefix,
-                                const SynthesisOptions& options) {
+                                const SynthesisOptions& options,
+                                nl::Netlist* pre_scan_out) {
   const std::string p(prefix);
   // Snapshots of each refinement step's input, kept only when the formal
-  // gate is on (netlists copy cheaply: three vectors of PODs + port names).
+  // gate is on or the caller wants the scan-stripped twin (netlists copy
+  // cheaply: three vectors of PODs + port names).
   std::optional<nl::Netlist> pre_opt, pre_scan;
+  const bool keep_pre_scan = options.verify_cec || pre_scan_out != nullptr;
 
   nl::GateOptStats local_stats;
   nl::GateOptStats* stats = gate_stats != nullptr ? gate_stats : &local_stats;
@@ -52,7 +55,7 @@ nl::Netlist synthesize_to_gates(const rtl::Design& design, nl::GateOptStats* gat
       const auto t = timed("gate_opt");
       return nl::optimize_gates(g, stats);
     }();
-    if (options.verify_cec) pre_scan = g;
+    if (keep_pre_scan) pre_scan = g;
     scan_flops = [&] {
       const auto t = timed("scan_insertion");
       return nl::insert_scan_chain(g);
@@ -78,11 +81,13 @@ nl::Netlist synthesize_to_gates(const rtl::Design& design, nl::GateOptStats* gat
     scan_check.metric_prefix = p + ".cec.scan";
     formal::assert_equivalent(*pre_scan, gates, reg, scan_check, fail_vcd);
   }
+  if (pre_scan_out != nullptr) *pre_scan_out = std::move(*pre_scan);
   return gates;
 }
 
 std::vector<AreaRow> figure10_area_rows(obs::Registry* reg,
-                                        const SynthesisOptions& options) {
+                                        const SynthesisOptions& options,
+                                        const FaultOptions& fault_options) {
   struct Entry {
     std::string label;
     std::string slug;  // registry-friendly name
@@ -109,7 +114,10 @@ std::vector<AreaRow> figure10_area_rows(obs::Registry* reg,
     AreaRow row;
     row.name = e.label;
     const std::string p = "fig10." + e.slug;
-    const nl::Netlist gates = synthesize_to_gates(e.design, nullptr, reg, p, options);
+    nl::Netlist pre_scan("");
+    const nl::Netlist gates =
+        synthesize_to_gates(e.design, nullptr, reg, p, options,
+                            fault_options.run ? &pre_scan : nullptr);
     row.area = nl::report_area(gates);
     row.flops = row.area.flop_count;
     if (reg != nullptr) {
@@ -117,6 +125,34 @@ std::vector<AreaRow> figure10_area_rows(obs::Registry* reg,
       reg->set_gauge(p + ".seq_um2", row.area.sequential);
       reg->set_counter(p + ".flops", row.flops);
       if (e.schedule) e.schedule->record_into(*reg, p + ".hls");
+    }
+    if (fault_options.run) {
+      // One fault universe per design, enumerated on the pre-scan netlist
+      // (scan insertion preserves net ids, so the same list is valid on
+      // both variants) — the scan/no-scan coverage delta is then an
+      // apples-to-apples testability measurement.
+      fault::FaultListStats stats;
+      std::vector<fault::Fault> list = fault::enumerate_stuck_faults(pre_scan, &stats);
+      const std::size_t population = list.size();
+      list = fault::sample_faults(list, fault_options.campaign.max_faults);
+
+      fault::CampaignOptions co = fault_options.campaign;
+      co.use_scan = true;
+      fault::CampaignResult with_scan = fault::run_campaign(gates, list, co);
+      co.use_scan = false;
+      fault::CampaignResult no_scan = fault::run_campaign(pre_scan, list, co);
+      for (fault::CampaignResult* r : {&with_scan, &no_scan}) {
+        r->list = stats;
+        r->population = population;
+      }
+      row.scan_coverage_pct = with_scan.coverage_pct();
+      row.noscan_coverage_pct = no_scan.coverage_pct();
+      row.fault_population = population;
+      row.faults_simulated = list.size();
+      if (reg != nullptr) {
+        with_scan.record_into(*reg, "fault." + e.slug + ".scan");
+        no_scan.record_into(*reg, "fault." + e.slug + ".noscan");
+      }
     }
     rows.push_back(std::move(row));
   }
@@ -147,6 +183,27 @@ std::string format_area_table(const std::vector<AreaRow>& rows) {
        << r.area.combinational << std::setw(12) << r.area.sequential << std::setw(8)
        << r.flops << std::setw(10) << r.combinational_pct << std::setw(9)
        << r.sequential_pct << std::setw(10) << r.total_pct << "\n";
+  }
+  return os.str();
+}
+
+std::string format_fault_table(const std::vector<AreaRow>& rows) {
+  bool any = false;
+  for (const AreaRow& r : rows) any = any || r.scan_coverage_pct >= 0.0;
+  if (!any) return "";
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(1);
+  os << "Stuck-at coverage: scan-inserted endpoint vs pre-scan twin\n";
+  os << "(shared collapsed fault list per design; sampled when capped)\n\n";
+  os << std::left << std::setw(12) << "design" << std::right << std::setw(12)
+     << "population" << std::setw(11) << "simulated" << std::setw(10) << "scan %"
+     << std::setw(11) << "noscan %" << std::setw(10) << "delta" << "\n";
+  for (const AreaRow& r : rows) {
+    if (r.scan_coverage_pct < 0.0) continue;
+    os << std::left << std::setw(12) << r.name << std::right << std::setw(12)
+       << r.fault_population << std::setw(11) << r.faults_simulated << std::setw(10)
+       << r.scan_coverage_pct << std::setw(11) << r.noscan_coverage_pct
+       << std::setw(10) << r.scan_coverage_pct - r.noscan_coverage_pct << "\n";
   }
   return os.str();
 }

@@ -8,6 +8,7 @@
 #include <string_view>
 #include <vector>
 
+#include "fault/campaign.hpp"
 #include "netlist/netlist.hpp"
 #include "netlist/opt.hpp"
 #include "rtl/ir.hpp"
@@ -33,12 +34,29 @@ struct SynthesisOptions {
 /// "<prefix>.opt.cells_before/.cells_after/.rewrites/.iterations",
 /// "<prefix>.scan_flops", "<prefix>.cells" — the per-pass evidence behind
 /// the Fig. 10 deltas.  With options.verify_cec, equivalence-check stats
-/// land under "<prefix>.cec.opt.*" and "<prefix>.cec.scan.*".
+/// land under "<prefix>.cec.opt.*" and "<prefix>.cec.scan.*".  With
+/// @p pre_scan_out, the optimised netlist *before* scan insertion is also
+/// returned — the scan-stripped twin the testability comparison runs
+/// against (scan insertion preserves net ids, so one fault list covers
+/// both variants).
 nl::Netlist synthesize_to_gates(const rtl::Design& design,
                                 nl::GateOptStats* gate_stats = nullptr,
                                 scflow::obs::Registry* reg = nullptr,
                                 std::string_view prefix = "synth",
-                                const SynthesisOptions& options = {});
+                                const SynthesisOptions& options = {},
+                                nl::Netlist* pre_scan_out = nullptr);
+
+/// Per-design stuck-at campaigns riding along with the Fig. 10 synthesis:
+/// one shared (collapsed, sampled) fault list per design, simulated once
+/// against the scan-inserted endpoint with scan patterns driven and once
+/// against the pre-scan twin — the coverage delta is what scan insertion
+/// buys in testability.  Metrics land under "fault.<design>.scan.*" and
+/// "fault.<design>.noscan.*".
+struct FaultOptions {
+  bool run = false;  ///< run the campaigns (they cost simulation time)
+  fault::CampaignOptions campaign;
+  FaultOptions() { campaign.max_faults = 120; }
+};
 
 struct AreaRow {
   std::string name;
@@ -47,17 +65,29 @@ struct AreaRow {
   double sequential_pct = 0.0;
   double total_pct = 0.0;
   std::size_t flops = 0;
+
+  // Filled only when FaultOptions::run was set (-1 = campaign not run).
+  double scan_coverage_pct = -1.0;    ///< stuck-at coverage, scan driven
+  double noscan_coverage_pct = -1.0;  ///< same fault list, pre-scan netlist
+  std::size_t fault_population = 0;   ///< collapsed list size before sampling
+  std::size_t faults_simulated = 0;
 };
 
 /// All Fig. 10 designs: the VHDL reference, behavioural unopt/opt (through
 /// the hls flow) and RTL unopt/opt — synthesised and normalised to the
 /// reference's total area.  With @p reg, per-design synthesis pass stats,
 /// hls scheduling stats (for the behavioural designs) and area results are
-/// recorded under "fig10.<design>.*".
+/// recorded under "fig10.<design>.*".  With fault_options.run, each design
+/// additionally gets the scan-vs-noscan stuck-at campaign pair.
 std::vector<AreaRow> figure10_area_rows(scflow::obs::Registry* reg = nullptr,
-                                        const SynthesisOptions& options = {});
+                                        const SynthesisOptions& options = {},
+                                        const FaultOptions& fault_options = {});
 
 /// Formats the rows as the paper-style table.
 std::string format_area_table(const std::vector<AreaRow>& rows);
+
+/// Formats the testability columns (scan vs no-scan stuck-at coverage);
+/// empty string when no row carries campaign results.
+std::string format_fault_table(const std::vector<AreaRow>& rows);
 
 }  // namespace scflow::flow

@@ -29,10 +29,21 @@ BatchRunner::~BatchRunner() = default;
 
 unsigned BatchRunner::lanes() const { return lanes_; }
 
+bool BatchRunner::JobContext::expired() const {
+  return deadline_ns != 0 && steady_ns() > deadline_ns;
+}
+
 void BatchRunner::run(std::size_t n,
                       const std::function<void(std::size_t job, unsigned lane)>& fn) {
+  run(n, [&fn](std::size_t job, unsigned lane, const JobContext&) { fn(job, lane); });
+}
+
+void BatchRunner::run(
+    std::size_t n,
+    const std::function<void(std::size_t job, unsigned lane, const JobContext& ctx)>& fn) {
   stats_.assign(n, {});
   run_t0_steady_ns_ = steady_ns();
+  const std::uint64_t budget = job_budget_ns_;
   std::atomic<std::size_t> next{0};
   const auto lane_loop = [&](unsigned lane) {
     // Dynamic claiming: a lane stuck on a long job stops taking tickets
@@ -44,8 +55,10 @@ void BatchRunner::run(std::size_t n,
       BatchJobStat& st = stats_[job];
       st.lane = lane;
       st.start_ns = steady_ns();
-      fn(job, lane);
+      const JobContext ctx{budget == 0 ? 0 : st.start_ns + budget};
+      fn(job, lane, ctx);
       st.end_ns = steady_ns();
+      st.timed_out = budget != 0 && st.end_ns - st.start_ns > budget;
     }
   };
   if (pool_ == nullptr) {
@@ -85,13 +98,17 @@ void BatchRunner::record_into(obs::Session& session, std::string_view prefix) co
 std::vector<GateRunResult> run_src_netlist_batch(
     const nl::Netlist& netlist, dsp::SrcMode mode,
     const std::vector<std::vector<dsp::SrcEvent>>& schedules,
-    GateSim::Options options, unsigned threads, obs::Session* session) {
+    GateSim::Options options, unsigned threads, obs::Session* session,
+    std::uint64_t job_timeout_ns) {
   options.threads = 1;  // parallelism comes from the batch axis
   std::vector<GateRunResult> results(schedules.size());
   BatchRunner runner(threads);
-  runner.run(schedules.size(), [&](std::size_t job, unsigned /*lane*/) {
-    results[job] = run_src_netlist(netlist, mode, schedules[job], options);
-  });
+  runner.set_job_budget_ns(job_timeout_ns);
+  runner.run(schedules.size(),
+             [&](std::size_t job, unsigned /*lane*/, const BatchRunner::JobContext& ctx) {
+               results[job] =
+                   run_src_netlist(netlist, mode, schedules[job], options, ctx.deadline_ns);
+             });
   if (session != nullptr) runner.record_into(*session, "gate_batch");
   return results;
 }

@@ -35,6 +35,11 @@ struct BatchJobStat {
   std::uint64_t start_ns = 0;
   std::uint64_t end_ns = 0;
   unsigned lane = 0;
+  /// The job's wall time exceeded the runner's per-job budget.  The job was
+  /// never preempted (the pool survives); it either wound itself down via
+  /// JobContext::expired() or ran to completion late — either way its
+  /// result should be treated as incomplete.
+  bool timed_out = false;
 };
 
 class BatchRunner {
@@ -49,10 +54,28 @@ class BatchRunner {
 
   [[nodiscard]] unsigned lanes() const;
 
+  /// Per-job wall-clock deadline handed to cooperative jobs.  deadline_ns
+  /// is a steady-clock stamp (0 = no budget); long-running jobs poll
+  /// expired() at convenient boundaries (e.g. every few simulation cycles)
+  /// and bail out early.  Jobs are never killed — a job that ignores the
+  /// deadline just finishes late and is flagged timed_out afterwards.
+  struct JobContext {
+    std::uint64_t deadline_ns = 0;
+    [[nodiscard]] bool expired() const;
+  };
+
+  /// Sets the per-job wall budget for subsequent run() calls (0 = none).
+  void set_job_budget_ns(std::uint64_t ns) { job_budget_ns_ = ns; }
+  [[nodiscard]] std::uint64_t job_budget_ns() const { return job_budget_ns_; }
+
   /// Runs jobs 0..n-1, dynamically claimed by the lanes (atomic ticket
   /// counter), and blocks until all complete.  @p fn must confine its
   /// writes to per-job state; it is called concurrently from all lanes.
   void run(std::size_t n, const std::function<void(std::size_t job, unsigned lane)>& fn);
+  /// Same, with the per-job deadline exposed so the job can wind down
+  /// before the budget expires.
+  void run(std::size_t n,
+           const std::function<void(std::size_t job, unsigned lane, const JobContext& ctx)>& fn);
 
   /// Per-job timings of the most recent run(), indexed by job.
   [[nodiscard]] const std::vector<BatchJobStat>& job_stats() const { return stats_; }
@@ -68,6 +91,7 @@ class BatchRunner {
   std::vector<BatchJobStat> stats_;
   std::unique_ptr<core::ThreadPool> pool_;  // only when lanes() > 1
   unsigned lanes_ = 1;
+  std::uint64_t job_budget_ns_ = 0;  // 0 = unlimited
   // Offset mapping steady-clock stamps onto the session trace's epoch,
   // captured at the start of the last run().
   std::uint64_t run_t0_steady_ns_ = 0;
@@ -78,10 +102,14 @@ class BatchRunner {
 /// order.  @p options applies to every DUT except `threads`, which is
 /// forced to 1 inside jobs; @p threads picks the batch lane count.  When
 /// @p session is given, job slices and counters are recorded under
-/// "gate_batch".
+/// "gate_batch".  With @p job_timeout_ns, each job's simulation winds
+/// down once its wall budget expires (GateRunResult::timed_out and the
+/// matching BatchJobStat::timed_out are set; the other jobs and the pool
+/// are unaffected).
 std::vector<GateRunResult> run_src_netlist_batch(
     const nl::Netlist& netlist, dsp::SrcMode mode,
     const std::vector<std::vector<dsp::SrcEvent>>& schedules,
-    GateSim::Options options, unsigned threads, obs::Session* session = nullptr);
+    GateSim::Options options, unsigned threads, obs::Session* session = nullptr,
+    std::uint64_t job_timeout_ns = 0);
 
 }  // namespace scflow::hdlsim

@@ -336,10 +336,47 @@ std::vector<WorkerShardStats> GateSim::worker_stats() const {
 }
 
 void GateSim::set_net(NetId net, Logic v) {
+  if (static_cast<std::uint32_t>(net) == stuck_net_) v = stuck_value_;
   auto& slot = values_[static_cast<std::size_t>(net)];
   if (slot == v) return;
   slot = v;
   mark_dirty_fanout(net);
+}
+
+void GateSim::inject_stuck(NetId net, Logic v) {
+  if (net < 0 || net >= nl_->net_count())
+    throw std::invalid_argument(nl_->name() + ": stuck-at net out of range");
+  if (!scflow::logic_is_01(v))
+    throw std::invalid_argument(nl_->name() + ": stuck-at value must be 0/1");
+  stuck_net_ = static_cast<std::uint32_t>(net);
+  stuck_value_ = v;
+  set_net(net, v);  // clamps; marks fanout when the value actually changes
+  note_queue_peak();
+}
+
+bool GateSim::flip_flop(std::size_t i) {
+  const FlopRec& f = flops_[i];
+  const Logic cur = values_[static_cast<std::size_t>(f.out)];
+  if (!scflow::logic_is_01(cur)) return false;
+  set_net(f.out, scflow::logic_not(cur));
+  // Keep the committed-state buffer coherent with the (possibly clamped)
+  // flipped value, and force a D re-sample at the next edge so the flop
+  // recovers through its input cone like real hardware would.
+  next_flop_[i] = values_[static_cast<std::size_t>(f.out)];
+  mark_target_dirty(static_cast<std::uint32_t>(units_.size() + i));
+  note_queue_peak();
+  return true;
+}
+
+GateSim::PortSample GateSim::output_sample(PortRef port) const {
+  PortSample s;
+  for (std::size_t i = 0; i < port->nets.size(); ++i) {
+    const Logic b = net(port->nets[i]);
+    if (!scflow::logic_is_01(b)) continue;
+    s.known |= std::uint64_t{1} << i;
+    if (b == Logic::L1) s.value |= std::uint64_t{1} << i;
+  }
+  return s;
 }
 
 void GateSim::mark_dirty_fanout(NetId net) {
@@ -465,6 +502,7 @@ void GateSim::sweep_words(std::uint32_t wb, std::uint32_t we, Lane& lane) {
   const auto n_units = static_cast<std::uint32_t>(units_.size());
   const auto n_flops = static_cast<std::uint32_t>(flops_.size());
   const bool ref_eval = options_.use_reference_eval;
+  const std::uint32_t stuck = stuck_net_;  // kNoStuckNet when fault-free
   std::uint64_t evals = lane.evals, pushes = lane.pushes;
   for (std::uint32_t wi = wb; wi < we; ++wi) {
     std::uint64_t bits = dw[wi];
@@ -512,6 +550,11 @@ void GateSim::sweep_words(std::uint32_t wb, std::uint32_t we, Lane& lane) {
         out = static_cast<Logic>(luts[(static_cast<unsigned>(u.type) << 6) | code]);
         outn = static_cast<std::uint32_t>(nets8 >> 48);
       }
+      // Stuck-at overlay: the faulty net's driver still evaluates, but its
+      // write is clamped, so the fault propagates through change detection
+      // exactly like a driven value.
+      if (outn == stuck) [[unlikely]]
+        out = stuck_value_;
       // Change detection: the output net belongs to this unit alone, so
       // the read-compare-write is private even mid-round.
       Logic& slot = vals[outn];
@@ -694,10 +737,11 @@ void GateSim::step() {
     OutCache* const oc = out_cache_.data();
     const auto n_units = static_cast<std::uint32_t>(units_.size());
     const auto n_flops = static_cast<std::uint32_t>(flops_.size());
+    const std::uint32_t stuck = stuck_net_;
     std::uint64_t pushes = 0, qnow = queued_now_;
     for (const std::uint32_t fi : flop_active_) {
       const auto out = static_cast<std::uint32_t>(flops_[fi].out);
-      const Logic v = next_flop_[fi];
+      const Logic v = out == stuck ? stuck_value_ : next_flop_[fi];
       Logic& slot = vals[out];
       if (slot == v) continue;
       slot = v;

@@ -94,6 +94,38 @@ class GateSim {
   [[nodiscard]] std::uint64_t output(const std::string& name);
   [[nodiscard]] std::uint64_t output(PortRef port);
 
+  /// Packed, never-throwing output read for response comparison: bit i of
+  /// `known` is set when bit i of the port is 0/1 (then bit i of `value`
+  /// holds it); X/Z bits are unknown.  Used by the fault-simulation
+  /// campaigns, which must tolerate X at observe points.
+  struct PortSample {
+    std::uint64_t value = 0;
+    std::uint64_t known = 0;
+  };
+  [[nodiscard]] PortSample output_sample(PortRef port) const;
+
+  // --- fault injection (src/fault) ---
+  /// Overlays a single stuck-at fault: from now on every write to @p net
+  /// (cell evaluation, flop commit, external input, macro data) is clamped
+  /// to @p v, so the faulty value propagates exactly like a driven value —
+  /// no netlist copy, no structural change.  The current value is forced
+  /// and its fanout re-queued immediately.  One fault may be active per
+  /// simulator; injecting again replaces it (the prior net keeps its last
+  /// clamped value until its driver re-evaluates).
+  void inject_stuck(nl::NetId net, scflow::Logic v);
+  [[nodiscard]] nl::NetId stuck_net() const {
+    return stuck_net_ == kNoStuckNet ? nl::kNoNet : static_cast<nl::NetId>(stuck_net_);
+  }
+
+  /// Sequential cells flattened in netlist cell order (scan-chain order).
+  [[nodiscard]] std::size_t flop_count() const { return flops_.size(); }
+  [[nodiscard]] nl::NetId flop_output(std::size_t i) const { return flops_[i].out; }
+  /// Transient SEU: flips flop @p i's committed state bit (0<->1), marks
+  /// its fanout dirty and forces a re-sample at the next edge (so the flop
+  /// recovers through its D input like real hardware).  Returns false —
+  /// and injects nothing — when the current state is X/Z.
+  bool flip_flop(std::size_t i);
+
   [[nodiscard]] const RamViolation& ram_violations() const { return ram_violation_; }
   [[nodiscard]] std::uint64_t cycles() const { return cycles_; }
   /// Gate evaluations performed so far — the "interpreted simulator work"
@@ -265,6 +297,13 @@ class GateSim {
 
   std::vector<Lane> lanes_;  // size = resolved thread count (>= 1)
   std::unique_ptr<core::ThreadPool> pool_;  // only when threads() > 1
+
+  // Active stuck-at overlay: writers compare their output net against this
+  // id (kNoStuckNet never matches a 16-bit-encodable net, so the fault-free
+  // hot path costs one predictable register compare per evaluation).
+  static constexpr std::uint32_t kNoStuckNet = 0xffffffffu;
+  std::uint32_t stuck_net_ = kNoStuckNet;
+  scflow::Logic stuck_value_ = scflow::Logic::X;
 
   RamViolation ram_violation_;
   std::uint64_t cycles_ = 0;

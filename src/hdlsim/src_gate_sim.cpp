@@ -1,5 +1,6 @@
 #include "hdlsim/src_gate_sim.hpp"
 
+#include <chrono>
 #include <map>
 
 #include "dsp/time_quantizer.hpp"
@@ -9,9 +10,18 @@ namespace scflow::hdlsim {
 
 using P = dsp::SrcParams;
 
+namespace {
+std::uint64_t steady_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+}  // namespace
+
 GateRunResult run_src_netlist(const nl::Netlist& netlist, dsp::SrcMode mode,
                               const std::vector<dsp::SrcEvent>& events,
-                              GateSim::Options options) {
+                              GateSim::Options options, std::uint64_t deadline_ns) {
   GateSim sim(netlist, options);
   sim.set_input("mode", static_cast<std::uint64_t>(mode));
   sim.set_input("in_strobe", 0);
@@ -48,7 +58,16 @@ GateRunResult run_src_netlist(const nl::Netlist& netlist, dsp::SrcMode mode,
   }
   auto next_event = by_cycle.begin();
   const std::uint64_t end_cycle = last_cycle + 300;
+  std::uint64_t stopped_at = end_cycle;
   for (std::uint64_t cycle = 1; cycle <= end_cycle; ++cycle) {
+    // Cooperative deadline: cheap enough to leave in the loop (one branch
+    // per cycle, a clock read every 64), and what lets a batch job wind
+    // down instead of stalling its lane on a pathological schedule.
+    if (deadline_ns != 0 && (cycle & 63u) == 0 && steady_now_ns() > deadline_ns) {
+      result.timed_out = true;
+      stopped_at = cycle;
+      break;
+    }
     if (next_event != by_cycle.end() && next_event->first == cycle) {
       for (const dsp::SrcEvent* e : next_event->second) {
         if (e->is_input) {
@@ -72,7 +91,7 @@ GateRunResult run_src_netlist(const nl::Netlist& netlist, dsp::SrcMode mode,
            static_cast<std::int16_t>(scflow::sign_extend(sim.output(p_out_right), 16))});
     }
   }
-  result.cycles = end_cycle;
+  result.cycles = stopped_at;
   result.ram_violations = sim.ram_violations();
   result.counters = sim.counters();
   return result;

@@ -17,6 +17,9 @@ struct GateRunResult {
   std::uint64_t cycles = 0;
   GateSim::RamViolation ram_violations;
   SimCounters counters;
+  /// The run stopped early because its wall-clock deadline expired; the
+  /// outputs cover only the cycles actually simulated.
+  bool timed_out = false;
   /// Derived from the one SimCounters copy — not a separately maintained
   /// field, so it cannot drift from counters.evaluations.
   [[nodiscard]] std::uint64_t gate_evaluations() const { return counters.evaluations; }
@@ -24,8 +27,11 @@ struct GateRunResult {
 
 /// Runs the netlist over the schedule (events applied at their quantised
 /// cycles, inputs before requests); collects out_valid-toggled results.
+/// @p deadline_ns (steady-clock stamp, 0 = none) is polled every 64 cycles;
+/// on expiry the run stops and flags GateRunResult::timed_out.
 GateRunResult run_src_netlist(const nl::Netlist& netlist, dsp::SrcMode mode,
                               const std::vector<dsp::SrcEvent>& events,
-                              GateSim::Options options = GateSim::Options());
+                              GateSim::Options options = GateSim::Options(),
+                              std::uint64_t deadline_ns = 0);
 
 }  // namespace scflow::hdlsim

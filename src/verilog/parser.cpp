@@ -1,9 +1,9 @@
 #include "verilog/parser.hpp"
 
 #include <cctype>
+#include <climits>
 #include <map>
 #include <optional>
-#include <stdexcept>
 #include <vector>
 
 namespace scflow::vlog {
@@ -27,9 +27,13 @@ class Lexer {
     advance();
     return t;
   }
-  [[noreturn]] void fail(const std::string& msg) const {
-    throw std::runtime_error("verilog parse error at line " +
-                             std::to_string(current_.line) + ": " + msg);
+  [[noreturn]] void fail(const std::string& msg,
+                         ParseError::Kind kind = ParseError::Kind::kSyntax) const {
+    // A syntax mismatch at end-of-input is a truncated file, which callers
+    // may want to treat as retryable (partial write) rather than corrupt.
+    if (kind == ParseError::Kind::kSyntax && current_.kind == Token::Kind::kEnd)
+      kind = ParseError::Kind::kTruncated;
+    throw ParseError(kind, current_.line, msg);
   }
 
  private:
@@ -104,7 +108,17 @@ struct Parser {
   }
   int expect_number() {
     if (lex.peek().kind != Token::Kind::kNumber) lex.fail("expected number");
-    return std::stoi(lex.take().text);
+    const std::string text = lex.take().text;
+    // The lexer's number token also swallows based literals ("4'b0") and
+    // ident tails ("0abc"); only plain bounded decimals are valid here.
+    int value = 0;
+    for (const char c : text) {
+      if (c < '0' || c > '9') lex.fail("malformed number '" + text + "'");
+      if (value > (INT_MAX - (c - '0')) / 10)
+        lex.fail("number '" + text + "' out of range");
+      value = value * 10 + (c - '0');
+    }
+    return value;
   }
 
   /// "name" or "name[index]" -> flattened bit reference.
@@ -145,11 +159,12 @@ struct Parser {
       for (int t = 0; t <= static_cast<int>(nl::CellType::kSdff); ++t)
         if (s == nl::cell_name(static_cast<nl::CellType>(t)))
           return static_cast<nl::CellType>(t);
-      lex.fail("unknown cell type '" + s + "'");
+      lex.fail("unknown cell type '" + s + "'", ParseError::Kind::kUnknownCell);
     };
     auto wire_net = [&wires, &out, this](const std::string& n) {
       const auto it = wires.find(n);
-      if (it == wires.end()) lex.fail("unknown wire '" + n + "'");
+      if (it == wires.end())
+        lex.fail("unknown wire '" + n + "'", ParseError::Kind::kBadReference);
       return it->second;
     };
 
@@ -175,18 +190,26 @@ struct Parser {
         PortDecl d;
         d.is_input = kw == "input";
         if (accept_punct("[")) {
-          d.width = expect_number() + 1;
+          const int msb = expect_number();
+          if (msb >= 64) lex.fail("port width " + std::to_string(msb + 1) +
+                                  " exceeds the 64-bit port limit");
+          d.width = msb + 1;
           expect_punct(":");
           expect_number();
           expect_punct("]");
         }
-        ports[expect_ident()] = d;
+        const std::string pn = expect_ident();
+        if (ports.count(pn) != 0)
+          lex.fail("duplicate port '" + pn + "'", ParseError::Kind::kDuplicateDecl);
+        ports[pn] = d;
         expect_punct(";");
         continue;
       }
       if (kw == "wire") {
         do {
           const std::string n = expect_ident();
+          if (wires.count(n) != 0)
+            lex.fail("duplicate wire '" + n + "'", ParseError::Kind::kDuplicateDecl);
           wires[n] = out.new_net();
         } while (accept_punct(","));
         expect_punct(";");
@@ -232,7 +255,8 @@ struct Parser {
     //   assign nK = in_port[i];   assign out_port[i] = nK;
     for (const auto& pname : port_order) {
       const auto it = ports.find(pname);
-      if (it == ports.end()) lex.fail("port '" + pname + "' not declared");
+      if (it == ports.end())
+        lex.fail("port '" + pname + "' not declared", ParseError::Kind::kBadReference);
       port_nets[pname].assign(static_cast<std::size_t>(it->second.width), nl::kNoNet);
     }
     for (const auto& a : assigns) {
@@ -241,7 +265,12 @@ struct Parser {
       const BitRef& wire = lhs_is_port ? a.rhs : a.lhs;
       if (ports.count(port.name) == 0) lex.fail("assign between two wires unsupported");
       const std::size_t bit = static_cast<std::size_t>(port.index.value_or(0));
-      port_nets[port.name][bit] = wire_net(wire.name);
+      auto& nets = port_nets[port.name];
+      if (bit >= nets.size())
+        lex.fail("bit index " + std::to_string(bit) + " out of range for port '" +
+                     port.name + "' of width " + std::to_string(nets.size()),
+                 ParseError::Kind::kBadReference);
+      nets[bit] = wire_net(wire.name);
     }
     for (const auto& pname : port_order) {
       if (ports[pname].is_input) out.add_input(pname, port_nets[pname]);
@@ -265,12 +294,31 @@ struct Parser {
       out.cells_mut().back().name = inst.name;
     }
     (void)module_names;
-    out.validate();
+    // Semantic validation failures (undriven nets, combinational cycles the
+    // hookups happened to form) surface under the same structured contract
+    // as lexical ones: parse_structural throws ParseError, nothing else.
+    try {
+      out.validate();
+    } catch (const std::exception& e) {
+      lex.fail(std::string("invalid netlist: ") + e.what(),
+               ParseError::Kind::kBadReference);
+    }
     return out;
   }
 };
 
 }  // namespace
+
+const char* parse_error_kind_name(ParseError::Kind k) {
+  switch (k) {
+    case ParseError::Kind::kSyntax: return "syntax";
+    case ParseError::Kind::kTruncated: return "truncated";
+    case ParseError::Kind::kUnknownCell: return "unknown_cell";
+    case ParseError::Kind::kDuplicateDecl: return "duplicate_decl";
+    case ParseError::Kind::kBadReference: return "bad_reference";
+  }
+  return "?";
+}
 
 nl::Netlist parse_structural(const std::string& text) { return Parser(text).run(); }
 

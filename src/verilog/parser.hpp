@@ -3,15 +3,46 @@
 // declarations, wire lists, bit-hookup assigns, gate instances).
 #pragma once
 
+#include <stdexcept>
 #include <string>
 
 #include "netlist/netlist.hpp"
 
 namespace scflow::vlog {
 
-/// Parses one structural module.  Throws std::runtime_error with a line
-/// number on malformed input.  Macro metadata (Netlist::macros) is not
-/// representable in plain structural Verilog and is left empty.
+/// Structured parse failure: carries the defect category and the 1-based
+/// source line in addition to the formatted what() message, so callers can
+/// route truncated-input retries differently from genuinely bad netlists.
+class ParseError : public std::runtime_error {
+ public:
+  enum class Kind {
+    kSyntax,         ///< token-level mismatch (missing punctuation, ...)
+    kTruncated,      ///< input ended mid-module (unexpected end of file)
+    kUnknownCell,    ///< instance of a cell type outside the gate library
+    kDuplicateDecl,  ///< wire or port name declared twice
+    kBadReference,   ///< undeclared wire / out-of-range port bit index
+  };
+
+  ParseError(Kind kind, int line, const std::string& msg)
+      : std::runtime_error("verilog parse error at line " + std::to_string(line) +
+                           ": " + msg),
+        kind_(kind),
+        line_(line) {}
+
+  [[nodiscard]] Kind kind() const { return kind_; }
+  [[nodiscard]] int line() const { return line_; }
+
+ private:
+  Kind kind_;
+  int line_;
+};
+
+[[nodiscard]] const char* parse_error_kind_name(ParseError::Kind k);
+
+/// Parses one structural module.  Throws ParseError (a std::runtime_error
+/// with category + line number) on malformed input.  Macro metadata
+/// (Netlist::macros) is not representable in plain structural Verilog and
+/// is left empty.
 [[nodiscard]] nl::Netlist parse_structural(const std::string& text);
 
 }  // namespace scflow::vlog

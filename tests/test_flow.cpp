@@ -174,6 +174,45 @@ TEST(SynthesisFlowTest, TableFormats) {
   const std::string t = format_area_table(rows);
   EXPECT_NE(t.find("VHDL-Ref"), std::string::npos);
   EXPECT_NE(t.find("total %"), std::string::npos);
+  // No campaigns ran: the fault table renders empty.
+  EXPECT_TRUE(format_fault_table(rows).empty());
+}
+
+TEST(SynthesisFlowTest, PreScanTwinSharesFaultUniverseWithScanEndpoint) {
+  nl::Netlist pre("");
+  const nl::Netlist gates = synthesize_to_gates(
+      rtl::build_src_design(rtl::rtl_opt_config()), nullptr, nullptr, "synth", {}, &pre);
+  // The twin is the same netlist minus the scan conversion: identical cell
+  // count, plain flops, no scan ports.
+  EXPECT_EQ(pre.cells().size(), gates.cells().size());
+  EXPECT_EQ(pre.find_input("scan_in"), nullptr);
+  EXPECT_NE(gates.find_input("scan_in"), nullptr);
+  for (const nl::Cell& c : pre.cells()) EXPECT_NE(c.type, nl::CellType::kSdff);
+
+  // One fault list, valid on both variants: a small sampled campaign pair
+  // runs end-to-end and the scan side must not be worse.
+  FaultOptions fopt;
+  fault::FaultListStats st;
+  std::vector<fault::Fault> list = fault::enumerate_stuck_faults(pre, &st);
+  EXPECT_EQ(st.raw - st.collapsed, list.size());
+  list = fault::sample_faults(list, 12);
+  fault::CampaignOptions copt;
+  const auto with_scan = fault::run_campaign(gates, list, copt);
+  const auto no_scan = fault::run_campaign(pre, list, copt);
+  EXPECT_TRUE(with_scan.scan_used);
+  EXPECT_FALSE(no_scan.scan_used);
+  EXPECT_GE(with_scan.coverage_pct(), no_scan.coverage_pct());
+
+  // And the row-level formatter shows the delta columns.
+  AreaRow row;
+  row.name = "RTL opt.";
+  row.scan_coverage_pct = with_scan.coverage_pct();
+  row.noscan_coverage_pct = no_scan.coverage_pct();
+  row.fault_population = list.size();
+  row.faults_simulated = list.size();
+  const std::string t = format_fault_table({row});
+  EXPECT_NE(t.find("scan %"), std::string::npos);
+  EXPECT_NE(t.find("RTL opt."), std::string::npos);
 }
 
 }  // namespace

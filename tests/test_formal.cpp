@@ -317,6 +317,13 @@ TEST(CecTest, AssertEquivalentThrowsWithDivergentNetAndVcd) {
                        std::istreambuf_iterator<char>());
   EXPECT_NE(contents.find("$enddefinitions"), std::string::npos);
   EXPECT_NE(contents.find("$var"), std::string::npos);
+  // The dump must name the divergent output (both sides, VCD-sanitised)
+  // and carry the counterexample input vectors — a waveform that cannot be
+  // traced back to the offending net is useless for triage.
+  EXPECT_NE(contents.find("a_prod"), std::string::npos) << contents;
+  EXPECT_NE(contents.find("b_prod"), std::string::npos) << contents;
+  EXPECT_NE(contents.find(" x "), std::string::npos) << contents;
+  EXPECT_NE(contents.find(" y "), std::string::npos) << contents;
   std::remove(vcd_path.c_str());
 }
 

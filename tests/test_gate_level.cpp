@@ -201,5 +201,28 @@ TEST(SimCounters, RamWritesForceReadPortRereads) {
   EXPECT_EQ(got.counters.settle_calls, got.cycles + 1);
 }
 
+TEST(GateSimErrors, CyclicNetlistThrowsNamingTheOffendingCell) {
+  // Two inverters in a combinational loop (no flop in the cycle).  The
+  // simulator must refuse at construction with a message that names the
+  // design and one cell on the cycle — not hang in settle().
+  nl::Netlist n("looped");
+  const nl::NetId a = n.new_net();
+  n.add_input("a", {a});
+  const std::size_t first = n.cells().size();
+  const nl::NetId x = n.add_cell(nl::CellType::kInv, {a});
+  const nl::NetId y = n.add_cell(nl::CellType::kInv, {x});
+  n.cells_mut()[first].inputs[0] = y;  // close the loop
+  n.add_output("o", {x});
+  try {
+    GateSim sim(n);
+    FAIL() << "expected logic_error for the combinational cycle";
+  } catch (const std::logic_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("looped"), std::string::npos) << what;
+    EXPECT_NE(what.find("combinational cycle"), std::string::npos) << what;
+    EXPECT_NE(what.find("INV"), std::string::npos) << what;
+  }
+}
+
 }  // namespace
 }  // namespace scflow::hdlsim

@@ -293,6 +293,58 @@ TEST(WorkerShardStats, RecordIntoEmitsPerLaneCounters) {
   EXPECT_EQ(session.registry.counter("gate.worker1.level_sweeps"), 3u);
 }
 
+TEST(BatchRunner, JobContextDeadlineExpiresAndMarksTimedOut) {
+  BatchRunner runner(1);
+  runner.set_job_budget_ns(1);  // expires essentially immediately
+  bool saw_expired = false;
+  runner.run(1, [&](std::size_t, unsigned, const BatchRunner::JobContext& ctx) {
+    volatile std::uint64_t burn = 0;
+    for (int i = 0; i < 200000; ++i) burn = burn + static_cast<std::uint64_t>(i);
+    saw_expired = ctx.expired();
+  });
+  EXPECT_TRUE(saw_expired);
+  ASSERT_EQ(runner.job_stats().size(), 1u);
+  EXPECT_TRUE(runner.job_stats()[0].timed_out);
+}
+
+TEST(BatchRunner, ZeroBudgetNeverExpires) {
+  BatchRunner runner(1);
+  ASSERT_EQ(runner.job_budget_ns(), 0u);
+  bool saw_expired = true;
+  runner.run(1, [&](std::size_t, unsigned, const BatchRunner::JobContext& ctx) {
+    saw_expired = ctx.expired();
+    EXPECT_EQ(ctx.deadline_ns, 0u);
+  });
+  EXPECT_FALSE(saw_expired);
+  EXPECT_FALSE(runner.job_stats()[0].timed_out);
+}
+
+TEST(BatchRunner, TimedOutJobIsSkippedNotKilled) {
+  // A job with an absurdly long schedule must degrade gracefully: the
+  // cooperative deadline stops it early (timed_out set, partial cycle
+  // count), the batch still completes, and no other job is disturbed.
+  const nl::Netlist gates = synthesise_src();
+  std::vector<std::vector<dsp::SrcEvent>> schedules;
+  schedules.push_back(schedule(SrcMode::k48To48, 30000, 7));  // tens of seconds
+  schedules.push_back(schedule(SrcMode::k48To48, 3, 8));
+  GateSim::Options opts;
+  // Wide margins on both sides so the split survives sanitizer slowdown
+  // and single-core lane contention: the long job needs tens of seconds,
+  // the short one a few ms.
+  constexpr std::uint64_t kBudgetNs = 500'000'000;  // 500 ms
+  const auto batch =
+      run_src_netlist_batch(gates, SrcMode::k48To48, schedules, opts, 2, nullptr, kBudgetNs);
+  ASSERT_EQ(batch.size(), 2u);
+  EXPECT_TRUE(batch[0].timed_out);
+  EXPECT_GT(batch[0].cycles, 0u);
+  // The short job ran to completion and matches an unbudgeted reference.
+  EXPECT_FALSE(batch[1].timed_out);
+  const auto ref = run_src_netlist(gates, SrcMode::k48To48, schedules[1], opts);
+  ASSERT_EQ(batch[1].outputs.size(), ref.outputs.size());
+  for (std::size_t i = 0; i < ref.outputs.size(); ++i)
+    ASSERT_EQ(batch[1].outputs[i], ref.outputs[i]) << "output " << i;
+}
+
 TEST(BatchRunner, DynamicClaimingCoversEveryJobOnce) {
   BatchRunner runner(3);
   EXPECT_EQ(runner.lanes(), 3u);
