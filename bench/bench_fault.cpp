@@ -10,16 +10,21 @@
 // timelines.  `--threads N` sets the campaign lane count (coverage numbers
 // are bit-identical for any N — that determinism is itself under test in
 // the tier-1 suite).  `--faults N` bounds the sampled faults per design.
+// `--backend compiled` runs each good-machine reference on the
+// bit-parallel CompiledSim (faulty machines always interpret); the
+// classifications are bit-identical either way.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 
 #include "flow/synthesis_flow.hpp"
+#include "hdlsim/compile.hpp"
 #include "obs/registry.hpp"
 
 int main(int argc, char** argv) {
   std::string json_path;
+  std::string backend = "interpreted";
   unsigned threads = 1;
   std::size_t max_faults = 120;
   for (int i = 1; i < argc; ++i) {
@@ -35,10 +40,22 @@ int main(int argc, char** argv) {
       max_faults = std::strtoul(argv[++i], nullptr, 10);
     } else if (std::strncmp(argv[i], "--faults=", 9) == 0) {
       max_faults = std::strtoul(argv[i] + 9, nullptr, 10);
+    } else if (std::strcmp(argv[i], "--backend") == 0 && i + 1 < argc) {
+      backend = argv[++i];
+    } else if (std::strncmp(argv[i], "--backend=", 10) == 0) {
+      backend = argv[i] + 10;
     } else {
-      std::fprintf(stderr, "usage: %s [--json FILE] [--threads N] [--faults N]\n", argv[0]);
+      std::fprintf(stderr,
+                   "usage: %s [--json FILE] [--threads N] [--faults N] "
+                   "[--backend interpreted|compiled]\n",
+                   argv[0]);
       return 2;
     }
+  }
+  if (backend != "interpreted" && backend != "compiled") {
+    std::fprintf(stderr, "error: unknown --backend '%s' (interpreted|compiled)\n",
+                 backend.c_str());
+    return 2;
   }
 
   scflow::obs::Registry registry;
@@ -46,6 +63,9 @@ int main(int argc, char** argv) {
   fopt.run = true;
   fopt.campaign.max_faults = max_faults;
   fopt.campaign.threads = threads;
+  fopt.campaign.reference_backend = backend == "compiled"
+                                        ? scflow::hdlsim::Backend::kCompiled
+                                        : scflow::hdlsim::Backend::kInterpreted;
   const auto rows = scflow::flow::figure10_area_rows(&registry, {}, fopt);
   std::printf("%s", scflow::flow::format_fault_table(rows).c_str());
 

@@ -5,8 +5,15 @@
 // testbench.  The paper's finding: co-simulation is *slightly faster*,
 // because the testbench runs compiled and the synchronisation overhead is
 // smaller than the interpretation overhead it replaces.
+// `--backend compiled` swaps the gate DUTs onto the bit-parallel compiled
+// bytecode engine (hdlsim::CompiledSim).  It broadcasts the testbench
+// stimulus across 64 pattern lanes, so the comparable figure of merit is
+// pattern-cycle throughput: patt_cyc_per_s = cycles x patterns per second
+// (patterns = 64 compiled, 1 interpreted / RTL).
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstdlib>
 #include <string>
 
 #include "bench_json_main.hpp"
@@ -50,16 +57,37 @@ const nl::Netlist& gates_rtl() {
   return n;
 }
 
+hdlsim::Backend backend() {
+  const std::string& b = benchutil::requested_backend();
+  if (b == "compiled") return hdlsim::Backend::kCompiled;
+  if (b != "interpreted") {
+    std::fprintf(stderr, "error: unknown --backend '%s' (interpreted|compiled)\n", b.c_str());
+    std::exit(2);
+  }
+  return hdlsim::Backend::kInterpreted;
+}
+
+// Stimulus lanes a gate DUT simulates per cycle: the compiled engine
+// broadcasts over its 64 pattern lanes, the interpreter (and the RTL
+// model) carries one.
+double patterns_per_cycle(DutKind kind) {
+  return kind != DutKind::kRtl && backend() == hdlsim::Backend::kCompiled
+             ? static_cast<double>(hdlsim::CompiledSim::kLanes)
+             : 1.0;
+}
+
 std::unique_ptr<hdlsim::Dut> make_dut(DutKind kind) {
   // Gate DUTs run on the lane count selected with --threads; the sweep is
   // deterministic, so the counters below are identical for every value.
+  // --backend compiled selects the bytecode engine via the factory (the
+  // RTL DUT has no gate engine and ignores the flag).
   hdlsim::GateSim::Options gate_opts;
   gate_opts.threads = benchutil::requested_threads();
   std::unique_ptr<hdlsim::Dut> dut;
   switch (kind) {
     case DutKind::kRtl: dut = std::make_unique<hdlsim::RtlDut>(rtl_design()); break;
-    case DutKind::kGateBeh: dut = std::make_unique<hdlsim::GateDut>(gates_beh(), gate_opts); break;
-    case DutKind::kGateRtl: dut = std::make_unique<hdlsim::GateDut>(gates_rtl(), gate_opts); break;
+    case DutKind::kGateBeh: dut = hdlsim::make_gate_dut(gates_beh(), gate_opts, backend()); break;
+    case DutKind::kGateRtl: dut = hdlsim::make_gate_dut(gates_rtl(), gate_opts, backend()); break;
   }
   if (kind != DutKind::kRtl) {
     dut->set_input("scan_in", 0);
@@ -112,6 +140,9 @@ void native_bench(benchmark::State& state, DutKind kind) {
   }
   state.counters["cyc_per_s"] =
       benchmark::Counter(static_cast<double>(cycles), benchmark::Counter::kIsRate);
+  state.counters["patterns"] = patterns_per_cycle(kind);
+  state.counters["patt_cyc_per_s"] = benchmark::Counter(
+      static_cast<double>(cycles) * patterns_per_cycle(kind), benchmark::Counter::kIsRate);
   state.counters["tb_instr"] = static_cast<double>(tb_instructions);
   report_counters(state, last);
   report_workers(state, workers);
@@ -136,6 +167,9 @@ void cosim_bench(benchmark::State& state, DutKind kind) {
   }
   state.counters["cyc_per_s"] =
       benchmark::Counter(static_cast<double>(cycles), benchmark::Counter::kIsRate);
+  state.counters["patterns"] = patterns_per_cycle(kind);
+  state.counters["patt_cyc_per_s"] = benchmark::Counter(
+      static_cast<double>(cycles) * patterns_per_cycle(kind), benchmark::Counter::kIsRate);
   state.counters["syncs"] = static_cast<double>(syncs);
   report_counters(state, last);
   report_workers(state, workers);
@@ -183,10 +217,12 @@ const std::vector<std::vector<dsp::SrcEvent>>& batch_schedules() {
 
 void batch_bench(benchmark::State& state, const nl::Netlist& gates) {
   const unsigned threads = benchutil::requested_threads();
+  const double patterns = patterns_per_cycle(DutKind::kGateRtl);
   std::uint64_t cycles = 0, evals = 0;
   for (auto _ : state) {
-    const auto results = hdlsim::run_src_netlist_batch(gates, dsp::SrcMode::k44_1To48,
-                                                       batch_schedules(), {}, threads);
+    const auto results =
+        hdlsim::run_src_netlist_batch(gates, dsp::SrcMode::k44_1To48, batch_schedules(), {},
+                                      threads, nullptr, 0, backend());
     for (const auto& r : results) {
       benchmark::DoNotOptimize(r.outputs.data());
       cycles += r.cycles;
@@ -195,6 +231,9 @@ void batch_bench(benchmark::State& state, const nl::Netlist& gates) {
   }
   state.counters["cyc_per_s"] =
       benchmark::Counter(static_cast<double>(cycles), benchmark::Counter::kIsRate);
+  state.counters["patterns"] = patterns;
+  state.counters["patt_cyc_per_s"] =
+      benchmark::Counter(static_cast<double>(cycles) * patterns, benchmark::Counter::kIsRate);
   state.counters["evals_per_s"] =
       benchmark::Counter(static_cast<double>(evals), benchmark::Counter::kIsRate);
   state.counters["threads"] = static_cast<double>(threads == 0 ? 0 : threads);

@@ -8,6 +8,12 @@
 // Also understands `--threads N` (or `--threads=N`): the worker-lane
 // count the simulator benches pass to the parallel gate engine and the
 // sharded batch runner (0 = one lane per hardware thread, default 1).
+//
+// `--backend NAME` selects the gate-simulation engine for benches that
+// support both ("interpreted" = event-driven GateSim, "compiled" =
+// bit-parallel CompiledSim bytecode); `--repeat N` expands to
+// --benchmark_repetitions=N so scripted runs can take a min-of-N against
+// scheduler noise (the trajectory script's extraction does exactly that).
 #pragma once
 
 #include <benchmark/benchmark.h>
@@ -23,10 +29,17 @@ inline unsigned& threads_slot() {
   static unsigned t = 1;
   return t;
 }
+inline std::string& backend_slot() {
+  static std::string b = "interpreted";
+  return b;
+}
 }  // namespace detail
 
 /// Lane count selected with --threads (1 when the flag is absent).
 inline unsigned requested_threads() { return detail::threads_slot(); }
+
+/// Engine name selected with --backend ("interpreted" when absent).
+inline const std::string& requested_backend() { return detail::backend_slot(); }
 
 inline int run_benchmark_main(int argc, char** argv) {
   std::vector<std::string> args(argv, argv + argc);
@@ -43,6 +56,14 @@ inline int run_benchmark_main(int argc, char** argv) {
     } else if (args[i].rfind("--threads=", 0) == 0) {
       detail::threads_slot() =
           static_cast<unsigned>(std::strtoul(args[i].c_str() + 10, nullptr, 10));
+    } else if (args[i] == "--backend" && i + 1 < args.size()) {
+      detail::backend_slot() = args[++i];
+    } else if (args[i].rfind("--backend=", 0) == 0) {
+      detail::backend_slot() = args[i].substr(10);
+    } else if (args[i] == "--repeat" && i + 1 < args.size()) {
+      expanded.push_back("--benchmark_repetitions=" + args[++i]);
+    } else if (args[i].rfind("--repeat=", 0) == 0) {
+      expanded.push_back("--benchmark_repetitions=" + args[i].substr(9));
     } else {
       expanded.push_back(args[i]);
     }

@@ -1,0 +1,148 @@
+#!/usr/bin/env python3
+"""Benchmark-trajectory ratchet: emit and compare BENCH_<date>.json files.
+
+Two subcommands:
+
+  emit --rev REV --out FILE [--pin BENCH/METRIC ...] NAME=GBENCH.json ...
+      Folds one or more google-benchmark --json reports into the scflow
+      trajectory schema.  Repetition runs (--repeat N) are collapsed to
+      their best value per metric — max for rate counters and items/s,
+      min for cpu_time — so host noise only ever makes numbers worse,
+      never better.  Schema:
+        { "schema": "scflow-bench-1", "rev": ..., "date": ...,
+          "pinned": ["bench/metric", ...],
+          "benches": { bench: { metric: value } } }
+
+  compare BASELINE CURRENT [--tolerance PCT]
+      Fails (exit 1) when any metric pinned in BASELINE regresses by more
+      than PCT percent (default 20) in CURRENT.  All pinned metrics are
+      higher-is-better rates; a pinned metric missing from CURRENT is
+      itself a failure.  Unpinned metrics are reported but never gate.
+"""
+
+import argparse
+import datetime
+import json
+import sys
+
+# Counters recorded per benchmark (google-benchmark emits many more;
+# these are the ones with trajectory value).
+METRICS = ("patt_cyc_per_s", "cyc_per_s", "items_per_second")
+
+
+def strip_name(raw):
+    """Fig9_GateRTL_VhdlTestbench/min_time:1.500/process_time -> Fig9_..."""
+    return raw.split("/")[0]
+
+
+def fold_report(path):
+    with open(path) as f:
+        report = json.load(f)
+    metrics = {}
+    for b in report.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue
+        name = strip_name(b["name"])
+        for m in METRICS:
+            if m in b:
+                key = f"{name}.{m}"
+                metrics[key] = max(metrics.get(key, 0.0), float(b[m]))
+        key = f"{name}.cpu_time_ms"
+        t = float(b["cpu_time"])
+        if b.get("time_unit") == "ns":
+            t /= 1e6
+        metrics[key] = min(metrics.get(key, float("inf")), t)
+    return metrics
+
+
+def cmd_emit(args):
+    benches = {}
+    for spec in args.reports:
+        name, _, path = spec.partition("=")
+        if not path:
+            sys.exit(f"emit: bad report spec '{spec}' (want NAME=FILE.json)")
+        benches[name] = fold_report(path)
+    for pin in args.pin:
+        bench, _, metric = pin.partition("/")
+        if metric not in benches.get(bench, {}):
+            sys.exit(f"emit: pinned metric '{pin}' not present in this run")
+    out = {
+        "schema": "scflow-bench-1",
+        "rev": args.rev,
+        "date": datetime.date.today().isoformat(),
+        "pinned": list(args.pin),
+        "benches": benches,
+    }
+    with open(args.out, "w") as f:
+        json.dump(out, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(f"wrote {args.out} ({sum(len(v) for v in benches.values())} metrics,"
+          f" {len(args.pin)} pinned)")
+    return 0
+
+
+def load_trajectory(path):
+    with open(path) as f:
+        data = json.load(f)
+    if data.get("schema") != "scflow-bench-1":
+        sys.exit(f"{path}: not a scflow-bench-1 trajectory file")
+    return data
+
+
+def cmd_compare(args):
+    base = load_trajectory(args.baseline)
+    cur = load_trajectory(args.current)
+    tol = args.tolerance / 100.0
+    failures = []
+    for pin in base.get("pinned", []):
+        bench, _, metric = pin.partition("/")
+        old = base["benches"].get(bench, {}).get(metric)
+        new = cur["benches"].get(bench, {}).get(metric)
+        if old is None:
+            continue  # pinned but absent from its own file: ignore
+        if new is None:
+            failures.append(f"{pin}: missing from {args.current}")
+            continue
+        delta = (new - old) / old if old else 0.0
+        status = "ok"
+        if delta < -tol:
+            status = "REGRESSION"
+            failures.append(f"{pin}: {old:.6g} -> {new:.6g} ({delta:+.1%})")
+        print(f"  {pin}: {old:.6g} -> {new:.6g} ({delta:+.1%}) {status}")
+    if failures:
+        print(f"bench regression vs {base['rev'][:12]} "
+              f"(tolerance {args.tolerance:.0f}%):", file=sys.stderr)
+        for f_ in failures:
+            print(f"  {f_}", file=sys.stderr)
+        return 1
+    print(f"bench trajectory ok vs {base['rev'][:12]} "
+          f"({len(base.get('pinned', []))} pinned metrics, "
+          f"tolerance {args.tolerance:.0f}%)")
+    return 0
+
+
+def main():
+    p = argparse.ArgumentParser(description=__doc__)
+    sub = p.add_subparsers(dest="cmd", required=True)
+
+    e = sub.add_parser("emit", help="fold gbench --json reports into a trajectory file")
+    e.add_argument("--rev", required=True)
+    e.add_argument("--out", required=True)
+    e.add_argument("--pin", action="append", default=[],
+                   metavar="BENCH/METRIC", help="headline metric to ratchet")
+    e.add_argument("reports", nargs="+", metavar="NAME=FILE.json")
+    e.set_defaults(fn=cmd_emit)
+
+    c = sub.add_parser("compare", help="gate CURRENT against BASELINE's pinned metrics")
+    c.add_argument("baseline")
+    c.add_argument("current")
+    c.add_argument("--tolerance", type=float, default=20.0,
+                   help="allowed regression in percent (default 20)")
+    c.set_defaults(fn=cmd_compare)
+
+    args = p.parse_args()
+    sys.exit(args.fn(args))
+
+
+if __name__ == "__main__":
+    main()

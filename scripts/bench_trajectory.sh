@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# Benchmark-trajectory snapshot: runs the headline gate-cosim benchmark on
+# both hdlsim backends and folds the google-benchmark JSON reports into a
+# committed BENCH_<date>.json (schema scflow-bench-1, see
+# scripts/bench_compare.py).  The pinned metrics are the pattern
+# throughputs (patterns x cycles / s) of the two synthesized Fig. 10
+# gate netlists under the VHDL-style testbench — the numbers the
+# compiled-backend acceptance rests on — for both backends, so a later
+# change that quietly slows either engine >20% fails scripts/check.sh.
+#
+# Usage: scripts/bench_trajectory.sh [OUT.json]
+#   REPEAT=N   repetitions per benchmark; the ratchet keeps the best run,
+#              so more repeats only stabilise the number (default 3)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS=$(nproc 2>/dev/null || echo 4)
+REPEAT="${REPEAT:-3}"
+OUT="${1:-BENCH_$(date +%F).json}"
+FILTER='Fig9_Gate(BEH|RTL)_VhdlTestbench'
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT
+
+cmake -B build -S . >/dev/null
+cmake --build build -j"$JOBS" --target bench_fig9_cosim >/dev/null
+
+for backend in interpreted compiled; do
+  echo "== bench_fig9_cosim --backend $backend (repeat $REPEAT) =="
+  ./build/bench/bench_fig9_cosim --backend "$backend" \
+    --benchmark_filter="$FILTER" --repeat "$REPEAT" \
+    --benchmark_out="$TMP/$backend.gbench.json" \
+    --benchmark_out_format=json >/dev/null
+done
+
+python3 scripts/bench_compare.py emit \
+  --rev "$(git rev-parse HEAD)" \
+  --out "$OUT" \
+  --pin 'fig9_cosim[interpreted]/Fig9_GateBEH_VhdlTestbench.patt_cyc_per_s' \
+  --pin 'fig9_cosim[interpreted]/Fig9_GateRTL_VhdlTestbench.patt_cyc_per_s' \
+  --pin 'fig9_cosim[compiled]/Fig9_GateBEH_VhdlTestbench.patt_cyc_per_s' \
+  --pin 'fig9_cosim[compiled]/Fig9_GateRTL_VhdlTestbench.patt_cyc_per_s' \
+  "fig9_cosim[interpreted]=$TMP/interpreted.gbench.json" \
+  "fig9_cosim[compiled]=$TMP/compiled.gbench.json"
+
+python3 - "$OUT" <<'EOF'
+import json, sys
+data = json.load(open(sys.argv[1]))
+b = data["benches"]
+for design in ("GateBEH", "GateRTL"):
+    key = f"Fig9_{design}_VhdlTestbench.patt_cyc_per_s"
+    comp, interp = b["fig9_cosim[compiled]"][key], b["fig9_cosim[interpreted]"][key]
+    print(f"  {design}: compiled {comp:.3g}/s vs interpreted {interp:.3g}/s "
+          f"-> {comp / interp:.1f}x")
+EOF

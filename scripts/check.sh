@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
 # Full pre-merge check: the tier-1 build + test cycle, the formal CEC and
-# stuck-at fault-coverage gates over the synthesis flow, then the same
+# stuck-at fault-coverage gates over the synthesis flow, the benchmark
+# trajectory ratchet (pinned throughput metrics vs the latest committed
+# BENCH_*.json, >20% regression fails), then the same
 # test suite under AddressSanitizer + UBSan (-DSCFLOW_SANITIZE=ON), then
 # the threaded simulator paths — including the concurrent fault-campaign
 # runner — under ThreadSanitizer (-DSCFLOW_SANITIZE=thread) so both
@@ -40,6 +42,21 @@ echo "== fault: stuck-at campaigns, scan vs pre-scan coverage gate =="
 build/examples/fault_campaign --check >/dev/null
 RAN_PASSES+=("fault")
 
+echo "== bench: trajectory ratchet vs latest committed BENCH_*.json =="
+# Re-measures the pinned headline metrics (gate-cosim pattern throughput
+# on both hdlsim backends) and fails on a >20% regression against the
+# newest committed trajectory file.  scripts/bench_trajectory.sh is also
+# how a new BENCH_<date>.json gets minted when the numbers move for a
+# good reason.
+BASELINE=$(git ls-files 'BENCH_*.json' | sort | tail -1)
+if [[ -z "$BASELINE" ]]; then
+  echo "no committed BENCH_*.json baseline; run scripts/bench_trajectory.sh to mint one"
+  exit 1
+fi
+scripts/bench_trajectory.sh "$(pwd)/build/bench_current.json"
+python3 scripts/bench_compare.py compare "$BASELINE" build/bench_current.json
+RAN_PASSES+=("bench")
+
 if [[ "$SKIP_SANITIZE" == 1 ]]; then
   echo "== sanitize passes skipped (--skip-sanitize) =="
 else
@@ -59,11 +76,17 @@ else
   # supported threading model.
   cmake -B build-tsan -S . -DSCFLOW_SANITIZE=thread >/dev/null
   cmake --build build-tsan -j"$JOBS" --target \
-    test_gate_parallel test_gate_level test_gate_alloc test_fault test_fuzz_equivalence
+    test_gate_parallel test_gate_level test_gate_alloc test_fault \
+    test_fuzz_equivalence test_compiled_sim
   for t in test_gate_parallel test_gate_level test_gate_alloc test_fault; do
     echo "-- TSan: $t"
     TSAN_OPTIONS=halt_on_error=1 "build-tsan/tests/$t"
   done
+  # The compiled backend's threaded path: BatchRunner lanes sharing one
+  # immutable CompiledProgram across worker threads.
+  echo "-- TSan: test_compiled_sim (batch runner)"
+  TSAN_OPTIONS=halt_on_error=1 build-tsan/tests/test_compiled_sim \
+    --gtest_filter='CompiledBatch.*'
   # The fuzz oracle suite is heavyweight under TSan; one shard (125 random
   # netlists, random lane counts) keeps the race coverage without the cost.
   echo "-- TSan: test_fuzz_equivalence (shard 0)"

@@ -5,6 +5,7 @@
 #include <random>
 
 #include "hdlsim/batch_runner.hpp"
+#include "hdlsim/compiled_sim.hpp"
 #include "hdlsim/gate_sim.hpp"
 #include "obs/registry.hpp"
 #include "obs/session.hpp"
@@ -88,12 +89,36 @@ Observer make_observer(const nl::Netlist& n) {
   return o;
 }
 
-void apply_cycle(GateSim& sim, const Observer& o, const std::vector<std::uint64_t>& in) {
+template <typename Sim>
+void apply_cycle(Sim& sim, const Observer& o, const std::vector<std::uint64_t>& in) {
   for (std::size_t i = 0; i < o.in_refs.size(); ++i) sim.set_input(o.in_refs[i], in[i]);
   sim.step();
 }
 
+/// Runs the good machine over the whole program and collects one
+/// PortSample per (cycle, output port) — generic over the engine since
+/// GateSim and CompiledSim share the handle/sample surface.
+template <typename Sim>
+std::vector<GateSim::PortSample> reference_run(Sim& sim, const Observer& o,
+                                               const Program& prog) {
+  std::vector<GateSim::PortSample> reference(prog.cycles.size() * o.out_refs.size());
+  const std::size_t n_ports = o.out_refs.size();
+  for (std::size_t c = 0; c < prog.cycles.size(); ++c) {
+    apply_cycle(sim, o, prog.cycles[c]);
+    for (std::size_t p = 0; p < n_ports; ++p)
+      reference[c * n_ports + p] = sim.output_sample(o.out_refs[p]);
+  }
+  return reference;
+}
+
 }  // namespace
+
+std::vector<std::vector<std::uint64_t>> build_campaign_stimulus(
+    const nl::Netlist& n, const CampaignOptions& options, bool* scan_used) {
+  Program prog = build_program(n, options);
+  if (scan_used != nullptr) *scan_used = prog.scan_used;
+  return std::move(prog.cycles);
+}
 
 void CampaignResult::record_into(obs::Registry& reg, std::string_view prefix) const {
   const std::string p(prefix);
@@ -154,14 +179,20 @@ CampaignResult run_campaign(const nl::Netlist& n, const std::vector<Fault>& faul
   sim_opt.x_initial_flops = options.x_initial_flops;
 
   // Reference responses of the good machine, observed after every cycle.
-  std::vector<GateSim::PortSample> reference(prog.cycles.size() * n_ports);
-  {
+  // The compiled backend runs the same program broadcast across its 64
+  // pattern lanes (four-state so X propagation matches the interpreter);
+  // either way the faulty machines below compare against identical masks.
+  std::vector<GateSim::PortSample> reference;
+  if (options.reference_backend == hdlsim::Backend::kCompiled) {
+    hdlsim::CompiledSim::Options copt;
+    copt.four_state = true;
+    copt.x_initial_flops = options.x_initial_flops;
+    hdlsim::CompiledSim good(n, copt);
+    reference = reference_run(good, obs_points, prog);
+    if (session != nullptr) good.record_into(session->registry, "compiled." + n.name());
+  } else {
     GateSim good(n, sim_opt);
-    for (std::size_t c = 0; c < prog.cycles.size(); ++c) {
-      apply_cycle(good, obs_points, prog.cycles[c]);
-      for (std::size_t p = 0; p < n_ports; ++p)
-        reference[c * n_ports + p] = good.output_sample(obs_points.out_refs[p]);
-    }
+    reference = reference_run(good, obs_points, prog);
   }
 
   // One faulty machine per fault, fanned over the batch lanes.  Each job

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "fault/fault.hpp"
+#include "hdlsim/compile.hpp"
 #include "netlist/netlist.hpp"
 
 namespace scflow::obs {
@@ -69,7 +70,21 @@ struct CampaignOptions {
   /// Metric prefix for record_into / session recording; empty = use
   /// "fault.<netlist name>".
   std::string metric_prefix;
+  /// Engine for the good-machine reference run.  kCompiled runs the
+  /// bit-parallel four-state CompiledSim (bit-exact with the interpreter
+  /// on broadcast stimulus — see test_compiled_sim) and records its
+  /// "compiled.<design>.ops/.words/.cycles" counters into the session.
+  /// Faulty machines always run the interpreter (fault injection is an
+  /// event-level hook).
+  hdlsim::Backend reference_backend = hdlsim::Backend::kInterpreted;
 };
+
+/// The campaign stimulus program, materialised the same way run_campaign
+/// builds it: one value per input port (indexed like Netlist::inputs())
+/// per cycle, scan shifts first when used.  Exposed so differential tests
+/// can drive an arbitrary engine with the exact campaign stimulus.
+std::vector<std::vector<std::uint64_t>> build_campaign_stimulus(
+    const nl::Netlist& n, const CampaignOptions& options, bool* scan_used = nullptr);
 
 struct FaultResult {
   Fault fault;

@@ -1,19 +1,13 @@
 #include "formal/aig.hpp"
 
+#include "core/wordpack.hpp"
+
 namespace scflow::formal {
 
-namespace {
-// 64-bit mix (splitmix64 finaliser) — spreads the packed fanin pair over
-// the open-addressing table.
-std::uint64_t mix(std::uint64_t x) {
-  x ^= x >> 30;
-  x *= 0xbf58476d1ce4e5b9ull;
-  x ^= x >> 27;
-  x *= 0x94d049bb133111ebull;
-  x ^= x >> 31;
-  return x;
-}
-}  // namespace
+// The open-addressing hash spreads packed fanin pairs with the shared
+// core::mix64 finaliser (one mixing primitive across every bit-parallel
+// engine — see core/wordpack.hpp).
+using core::mix64;
 
 Aig::Aig() {
   nodes_.push_back({});  // node 0: constant false
@@ -28,7 +22,7 @@ void Aig::rehash(std::size_t new_size) {
   hash_vals_.assign(new_size, 0);
   for (std::size_t i = 0; i < old_keys.size(); ++i) {
     if (old_keys[i] == 0) continue;
-    std::size_t slot = mix(old_keys[i]) & (new_size - 1);
+    std::size_t slot = mix64(old_keys[i]) & (new_size - 1);
     while (hash_keys_[slot] != 0) slot = (slot + 1) & (new_size - 1);
     hash_keys_[slot] = old_keys[i];
     hash_vals_[slot] = old_vals[i];
@@ -53,7 +47,7 @@ AigLit Aig::and2(AigLit a, AigLit b) {
   if (a > b) std::swap(a, b);
 
   const std::uint64_t key = hash_key(a, b);
-  std::size_t slot = mix(key) & (hash_keys_.size() - 1);
+  std::size_t slot = mix64(key) & (hash_keys_.size() - 1);
   while (hash_keys_[slot] != 0) {
     if (hash_keys_[slot] == key) return hash_vals_[slot];
     slot = (slot + 1) & (hash_keys_.size() - 1);

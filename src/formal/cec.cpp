@@ -5,9 +5,11 @@
 #include <optional>
 #include <unordered_map>
 
+#include "core/wordpack.hpp"
 #include "formal/aig.hpp"
 #include "formal/bitblast.hpp"
 #include "formal/sat.hpp"
+#include "hdlsim/compiled_sim.hpp"
 #include "hdlsim/gate_sim.hpp"
 #include "kernel/vcd.hpp"
 #include "obs/registry.hpp"
@@ -15,17 +17,6 @@
 namespace scflow::formal {
 
 namespace {
-
-struct Rng {
-  std::uint64_t s;
-  std::uint64_t next() {
-    s += 0x9e3779b97f4a7c15ull;
-    std::uint64_t z = s;
-    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
-    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
-    return z ^ (z >> 31);
-  }
-};
 
 struct CompareBit {
   const std::string* name;
@@ -230,6 +221,8 @@ void record_metrics(obs::Registry* reg, const CecOptions& opt, const CecStats& s
   if (reg == nullptr) return;
   const std::string& p = opt.metric_prefix;
   reg->set_counter(p + ".aig_nodes", st.aig_nodes);
+  reg->set_counter(p + ".presim_rounds", st.presim_rounds);
+  reg->set_counter(p + ".presim_ops", st.presim_ops);
   reg->set_counter(p + ".compare_points", st.compare_points);
   reg->set_counter(p + ".compare_bits", st.compare_bits);
   reg->set_counter(p + ".bits_structural", st.bits_structural);
@@ -331,8 +324,101 @@ CecResult run_cec(const nl::Netlist* a_nl, const rtl::Design* a_rtl,
     return res;
   };
 
+  // --- compiled-simulation pre-pass: bit-parallel refutation -------------
+  // Netlist-vs-netlist only: run both flop-stripped comb_views through the
+  // two-state compiled engine on identical name-keyed pattern words
+  // (core::pattern_word — each side derives its stimulus independently, so
+  // same-named ports agree without shared state; the VarMap has already
+  // enforced that shared names carry matching widths).  A differing output
+  // word refutes equivalence before any AIG node words are allocated, and
+  // the counterexample comes from an engine independent of the bitblaster.
+  if (opt.compiled_presim && a_nl != nullptr && opt.sim_rounds > 0) {
+    const nl::Netlist view_a = comb_view(*a_nl);
+    const nl::Netlist view_b = comb_view(b);
+    hdlsim::CompiledSim sim_a(view_a);
+    hdlsim::CompiledSim sim_b(view_b);
+    const auto tied = [&](const std::string& name) {
+      for (const auto& t : opt.tie_zero_inputs)
+        if (t == name) return true;
+      return false;
+    };
+    // Output ports compared: exactly the both-sided, non-ignored points.
+    std::vector<const std::string*> shared_outs;
+    for (const auto& [name, sides] : points) {
+      if (sides.first == nullptr || sides.second == nullptr) continue;
+      bool ignored = false;
+      for (const auto& ig : opt.ignore_outputs) ignored |= ig == name;
+      if (!ignored) shared_outs.push_back(&name);
+    }
+    const auto drive = [&](hdlsim::CompiledSim& sim, const nl::Netlist& view, int round) {
+      for (const nl::PortBits& p : view.inputs()) {
+        const auto port = sim.input_port(p.name);
+        const std::uint64_t h = core::hash_str(p.name);
+        const bool tie = tied(p.name);
+        for (std::size_t i = 0; i < p.nets.size(); ++i)
+          sim.set_input_word(port, i,
+                             tie ? 0
+                                 : core::pattern_word(opt.seed, h,
+                                                      static_cast<unsigned>(round),
+                                                      static_cast<unsigned>(i)));
+      }
+    };
+    for (int r = 0; r < opt.sim_rounds; ++r) {
+      drive(sim_a, view_a, r);
+      drive(sim_b, view_b, r);
+      sim_a.settle();
+      sim_b.settle();
+      eng.stats.presim_rounds = static_cast<std::size_t>(r) + 1;
+      for (const std::string* name : shared_outs) {
+        const auto pa = sim_a.output_port(*name);
+        const auto pb = sim_b.output_port(*name);
+        for (std::size_t i = 0; i < pa->nets.size(); ++i) {
+          const std::uint64_t wa = sim_a.output_word(pa, i);
+          const std::uint64_t wb = sim_b.output_word(pb, i);
+          if (wa == wb) continue;
+          const unsigned lane = static_cast<unsigned>(std::countr_zero(wa ^ wb));
+          CecCounterexample cex;
+          // Inputs: the union of both views' ports, values as driven.
+          std::unordered_map<std::string, bool> seen;
+          const auto collect = [&](const nl::Netlist& view) {
+            for (const nl::PortBits& p : view.inputs()) {
+              if (!seen.emplace(p.name, true).second) continue;
+              CecInputAssignment in;
+              in.name = p.name;
+              in.width = static_cast<int>(p.nets.size());
+              const std::uint64_t h = core::hash_str(p.name);
+              for (std::size_t bit = 0; bit < p.nets.size() && bit < 64; ++bit) {
+                const std::uint64_t w =
+                    tied(p.name) ? 0
+                                 : core::pattern_word(opt.seed, h,
+                                                      static_cast<unsigned>(r),
+                                                      static_cast<unsigned>(bit));
+                in.value |= std::uint64_t{core::word_lane(w, lane)} << bit;
+              }
+              cex.inputs.push_back(std::move(in));
+            }
+          };
+          collect(view_a);
+          collect(view_b);
+          cex.divergent_output = *name;
+          cex.divergent_bit = static_cast<int>(i);
+          for (std::size_t bit = 0; bit < pa->nets.size() && bit < 64; ++bit) {
+            cex.value_a |=
+                std::uint64_t{core::word_lane(sim_a.output_word(pa, bit), lane)} << bit;
+            cex.value_b |=
+                std::uint64_t{core::word_lane(sim_b.output_word(pb, bit), lane)} << bit;
+          }
+          res.cex = std::move(cex);
+          eng.stats.presim_ops = sim_a.ops_executed() + sim_b.ops_executed();
+          return finish(CecStatus::kNotEquivalent);
+        }
+      }
+    }
+    eng.stats.presim_ops = sim_a.ops_executed() + sim_b.ops_executed();
+  }
+
   // --- random simulation: cheap refutation + sweep signatures ---
-  Rng rng{opt.seed};
+  core::SplitMix64 rng{opt.seed};
   const int rounds = opt.sim_rounds > 0 ? opt.sim_rounds : 1;
   std::vector<std::uint64_t> input_words(eng.aig.input_count());
   std::vector<std::uint64_t> node_words;

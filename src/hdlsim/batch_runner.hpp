@@ -105,11 +105,13 @@ class BatchRunner {
 /// "gate_batch".  With @p job_timeout_ns, each job's simulation winds
 /// down once its wall budget expires (GateRunResult::timed_out and the
 /// matching BatchJobStat::timed_out are set; the other jobs and the pool
-/// are unaffected).
+/// are unaffected).  @p backend selects the per-job engine (see
+/// run_src_netlist); results are bit-identical across thread counts for
+/// either backend since each job is sequential and slot-isolated.
 std::vector<GateRunResult> run_src_netlist_batch(
     const nl::Netlist& netlist, dsp::SrcMode mode,
     const std::vector<std::vector<dsp::SrcEvent>>& schedules,
     GateSim::Options options, unsigned threads, obs::Session* session = nullptr,
-    std::uint64_t job_timeout_ns = 0);
+    std::uint64_t job_timeout_ns = 0, Backend backend = Backend::kInterpreted);
 
 }  // namespace scflow::hdlsim

@@ -1,0 +1,480 @@
+#include "hdlsim/compiled_sim.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/wordpack.hpp"
+#include "dtypes/bit_int.hpp"
+#include "obs/registry.hpp"
+
+namespace scflow::hdlsim {
+
+namespace {
+using CT = nl::CellType;
+constexpr std::uint8_t op_kind(CT t) { return static_cast<std::uint8_t>(t); }
+}  // namespace
+
+CompiledSim::CompiledSim(const nl::Netlist& netlist, Options options)
+    : nl_(&netlist), options_(options), prog_(compile_netlist(netlist)) {
+  if (options_.x_initial_flops) options_.four_state = true;
+
+  vals_.assign(prog_.slot_count, 0);
+  if (options_.four_state) known_.assign(prog_.slot_count, 0);
+  auto* k = options_.four_state ? known_.data() : nullptr;
+  for (const std::uint32_t s : prog_.tie0_slots) {
+    vals_[s] = 0;
+    if (k != nullptr) k[s] = ~0ull;
+  }
+  for (const std::uint32_t s : prog_.tie1_slots) {
+    vals_[s] = ~0ull;
+    if (k != nullptr) k[s] = ~0ull;
+  }
+  for (std::uint32_t fi = 0; fi < prog_.flop_count; ++fi) {
+    if (options_.x_initial_flops) continue;  // unknown: value 0, known 0
+    vals_[fi] = core::word_broadcast(prog_.flop_init[fi] != 0);
+    if (k != nullptr) k[fi] = ~0ull;
+  }
+
+  std::size_t widest_data = 0;
+  macro_rt_.resize(prog_.macros.size());
+  for (std::size_t mi = 0; mi < prog_.macros.size(); ++mi) {
+    const CompiledMacro& cm = prog_.macros[mi];
+    if (cm.kind == nl::MacroInfo::Kind::kRam)
+      macro_rt_[mi].ram.assign(std::size_t{kLanes} << cm.addr_bits, 0);
+  }
+  port_rt_.resize(prog_.macro_ports.size());
+  for (std::size_t pi = 0; pi < prog_.macro_ports.size(); ++pi) {
+    const CompiledMacroPort& mp = prog_.macro_ports[pi];
+    ++macro_rt_[mp.macro].read_ports;
+    const std::size_t stash_words = mp.addr_slots.size() + mp.en_slots.size();
+    port_rt_[pi].stash.assign(stash_words * (options_.four_state ? 2 : 1), 0);
+    widest_data = std::max(widest_data, mp.data_slots.size());
+  }
+  scratch_v_.assign(widest_data, 0);
+  scratch_k_.assign(widest_data, 0);
+
+  for (const nl::PortBits& p : netlist.inputs()) in_ports_[p.name] = &p;
+  for (const nl::PortBits& p : netlist.outputs()) out_ports_[p.name] = &p;
+}
+
+CompiledSim::PortRef CompiledSim::input_port(const std::string& name) const {
+  const auto it = in_ports_.find(name);
+  if (it == in_ports_.end()) throw std::invalid_argument("no input '" + name + "'");
+  return it->second;
+}
+
+CompiledSim::PortRef CompiledSim::output_port(const std::string& name) const {
+  const auto it = out_ports_.find(name);
+  if (it == out_ports_.end()) throw std::invalid_argument("no output '" + name + "'");
+  return it->second;
+}
+
+std::size_t CompiledSim::in_index(PortRef port) const {
+  const auto idx = static_cast<std::size_t>(port - nl_->inputs().data());
+  if (idx >= nl_->inputs().size())
+    throw std::invalid_argument("foreign input port handle");
+  return idx;
+}
+
+std::size_t CompiledSim::out_index(PortRef port) const {
+  const auto idx = static_cast<std::size_t>(port - nl_->outputs().data());
+  if (idx >= nl_->outputs().size())
+    throw std::invalid_argument("foreign output port handle");
+  return idx;
+}
+
+void CompiledSim::drive_bit(std::uint32_t slot, std::uint64_t value, std::uint64_t known) {
+  vals_[slot] = value & known;
+  if (options_.four_state) known_[slot] = known;
+  else if (known != ~0ull)
+    throw std::invalid_argument(prog_.name + ": X/Z stimulus needs the four-state backend");
+}
+
+void CompiledSim::set_input(const std::string& name, std::uint64_t value) {
+  set_input(input_port(name), value);
+}
+
+void CompiledSim::set_input(PortRef port, std::uint64_t value) {
+  const auto& slots = prog_.input_slots[in_index(port)];
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    const bool b = i < 64 && ((value >> i) & 1u) != 0;
+    drive_bit(slots[i], core::word_broadcast(b), ~0ull);
+  }
+}
+
+void CompiledSim::set_input_x(const std::string& name) {
+  const auto& slots = prog_.input_slots[in_index(input_port(name))];
+  for (const std::uint32_t s : slots) drive_bit(s, 0, 0);
+}
+
+void CompiledSim::set_input_logic(const std::string& name, const scflow::LogicVector& bits) {
+  PortRef port = input_port(name);
+  const auto& slots = prog_.input_slots[in_index(port)];
+  if (bits.width() > slots.size())
+    throw std::invalid_argument("vector wider than input '" + name + "'");
+  for (std::size_t i = 0; i < bits.width(); ++i) {
+    const scflow::Logic b = bits.at(i);
+    if (scflow::logic_is_01(b))
+      drive_bit(slots[i], core::word_broadcast(b == scflow::Logic::L1), ~0ull);
+    else
+      drive_bit(slots[i], 0, 0);
+  }
+}
+
+void CompiledSim::set_input_word(PortRef port, std::size_t bit, std::uint64_t patterns) {
+  drive_bit(prog_.input_slots[in_index(port)].at(bit), patterns, ~0ull);
+}
+
+void CompiledSim::set_input_word(PortRef port, std::size_t bit, std::uint64_t value,
+                                 std::uint64_t known) {
+  if (!options_.four_state && known != ~0ull)
+    throw std::invalid_argument(prog_.name + ": X/Z stimulus needs the four-state backend");
+  drive_bit(prog_.input_slots[in_index(port)].at(bit), value, known);
+}
+
+// --- execution -------------------------------------------------------------
+
+template <bool FourState>
+bool CompiledSim::eval_macro_port(std::uint32_t pi) {
+  const CompiledMacroPort& mp = prog_.macro_ports[pi];
+  const CompiledMacro& cm = prog_.macros[mp.macro];
+  MacroRt& mrt = macro_rt_[mp.macro];
+  PortRt& prt = port_rt_[pi];
+
+  // Change detection: re-evaluate only when the settled address/enable
+  // words moved since the last evaluation or the RAM was written —
+  // mirroring GateSim's dirty marking, which is what lets externally
+  // driven data-port values persist identically on both engines.
+  const std::size_t n_in = mp.addr_slots.size() + mp.en_slots.size();
+  bool changed = !prt.valid || mrt.wrote;
+  std::size_t w = 0;
+  const auto scan = [&](const std::vector<std::uint32_t>& slots) {
+    for (const std::uint32_t s : slots) {
+      if (prt.stash[w] != vals_[s]) {
+        changed = true;
+        prt.stash[w] = vals_[s];
+      }
+      if constexpr (FourState) {
+        if (prt.stash[n_in + w] != known_[s]) {
+          changed = true;
+          prt.stash[n_in + w] = known_[s];
+        }
+      }
+      ++w;
+    }
+  };
+  scan(mp.addr_slots);
+  scan(mp.en_slots);
+  prt.valid = true;
+  if (!changed) return false;
+
+  const std::size_t data_bits = mp.data_slots.size();
+  std::fill_n(scratch_v_.begin(), data_bits, 0);
+  if constexpr (FourState) std::fill_n(scratch_k_.begin(), data_bits, 0);
+  const std::size_t entries = std::size_t{1} << cm.addr_bits;
+  for (unsigned lane = 0; lane < kLanes; ++lane) {
+    std::uint64_t addr = 0;
+    bool addr_ok = true;
+    for (std::size_t b = 0; b < mp.addr_slots.size(); ++b) {
+      const std::uint32_t s = mp.addr_slots[b];
+      if constexpr (FourState)
+        addr_ok &= core::word_lane(known_[s], lane);
+      addr |= std::uint64_t{core::word_lane(vals_[s], lane)} << b;
+    }
+    if (!addr_ok) continue;  // whole data bus unknown for this lane
+    std::uint64_t word;
+    if (cm.kind == nl::MacroInfo::Kind::kRom) {
+      word = addr < cm.rom_contents.size()
+                 ? static_cast<std::uint64_t>(cm.rom_contents[addr]) &
+                       scflow::bit_mask(cm.data_bits)
+                 : 0;
+    } else {
+      word = mrt.ram[std::size_t{lane} * entries + addr];
+    }
+    for (std::size_t b = 0; b < data_bits; ++b) {
+      if (((word >> b) & 1u) != 0) scratch_v_[b] |= std::uint64_t{1} << lane;
+      if constexpr (FourState) scratch_k_[b] |= std::uint64_t{1} << lane;
+    }
+  }
+  if constexpr (!FourState) {
+    for (std::size_t b = 0; b < data_bits; ++b) vals_[mp.data_slots[b]] = scratch_v_[b];
+  } else {
+    for (std::size_t b = 0; b < data_bits; ++b) {
+      vals_[mp.data_slots[b]] = scratch_v_[b];
+      known_[mp.data_slots[b]] = scratch_k_[b];
+    }
+  }
+  return true;
+}
+
+template <bool FourState>
+void CompiledSim::exec() {
+  std::uint64_t* const v = vals_.data();
+  std::uint64_t* const k = FourState ? known_.data() : nullptr;
+  std::uint64_t ran = 0;
+  const CompiledOp* const ops = prog_.ops.data();
+  // One dispatch per kind-homogeneous run, then a tight branch-free sweep
+  // of the span — the compiler's level-sorted emission order makes the
+  // runs long, so the per-op cost is the loads and the ALU op, not an
+  // indirect jump.
+  for (const OpRun& run : prog_.runs) {
+    const CompiledOp* p = ops + run.begin;
+    const CompiledOp* const e = ops + run.end;
+    if (run.kind == kMacroReadOp) {
+      for (; p != e; ++p) ran += eval_macro_port<FourState>(p->in0) ? 1u : 0u;
+      continue;
+    }
+    ran += run.end - run.begin;
+    constexpr std::uint32_t M = CompiledOp::kOutMask;
+    if constexpr (!FourState) {
+      switch (run.kind) {
+        case op_kind(CT::kBuf):
+          for (; p != e; ++p) v[p->out_kind & M] = v[p->in0];
+          break;
+        case op_kind(CT::kInv):
+          for (; p != e; ++p) v[p->out_kind & M] = ~v[p->in0];
+          break;
+        case op_kind(CT::kAnd2):
+          for (; p != e; ++p) v[p->out_kind & M] = v[p->in0] & v[p->in1];
+          break;
+        case op_kind(CT::kOr2):
+          for (; p != e; ++p) v[p->out_kind & M] = v[p->in0] | v[p->in1];
+          break;
+        case op_kind(CT::kNand2):
+          for (; p != e; ++p) v[p->out_kind & M] = ~(v[p->in0] & v[p->in1]);
+          break;
+        case op_kind(CT::kNor2):
+          for (; p != e; ++p) v[p->out_kind & M] = ~(v[p->in0] | v[p->in1]);
+          break;
+        case op_kind(CT::kXor2):
+          for (; p != e; ++p) v[p->out_kind & M] = v[p->in0] ^ v[p->in1];
+          break;
+        case op_kind(CT::kXnor2):
+          for (; p != e; ++p) v[p->out_kind & M] = ~(v[p->in0] ^ v[p->in1]);
+          break;
+        case op_kind(CT::kMux2):
+          for (; p != e; ++p) {
+            const std::uint64_t s = v[p->in0];
+            v[p->out_kind & M] = (s & v[p->in2]) | (~s & v[p->in1]);
+          }
+          break;
+        default: break;
+      }
+    } else {
+      // Masked value/known pairs (unknown bits carry value 0), derived
+      // from the dtypes/logic.cpp truth tables with Z collapsed to X.
+      switch (run.kind) {
+        case op_kind(CT::kBuf):
+          for (; p != e; ++p) {
+            const std::uint32_t out = p->out_kind & M;
+            v[out] = v[p->in0];
+            k[out] = k[p->in0];
+          }
+          break;
+        case op_kind(CT::kInv):
+          for (; p != e; ++p) {
+            const std::uint32_t out = p->out_kind & M;
+            const std::uint64_t av = v[p->in0], ak = k[p->in0];
+            v[out] = ak & ~av;
+            k[out] = ak;
+          }
+          break;
+        case op_kind(CT::kAnd2):
+          for (; p != e; ++p) {
+            const std::uint32_t out = p->out_kind & M;
+            const std::uint64_t av = v[p->in0], ak = k[p->in0];
+            const std::uint64_t bv = v[p->in1], bk = k[p->in1];
+            const std::uint64_t rv = av & bv;  // a known 0 dominates
+            v[out] = rv;
+            k[out] = rv | (ak & ~av) | (bk & ~bv);
+          }
+          break;
+        case op_kind(CT::kNand2):
+          for (; p != e; ++p) {
+            const std::uint32_t out = p->out_kind & M;
+            const std::uint64_t av = v[p->in0], ak = k[p->in0];
+            const std::uint64_t bv = v[p->in1], bk = k[p->in1];
+            const std::uint64_t tv = av & bv;
+            const std::uint64_t tk = tv | (ak & ~av) | (bk & ~bv);
+            v[out] = tk & ~tv;
+            k[out] = tk;
+          }
+          break;
+        case op_kind(CT::kOr2):
+          for (; p != e; ++p) {
+            const std::uint32_t out = p->out_kind & M;
+            const std::uint64_t av = v[p->in0], ak = k[p->in0];
+            const std::uint64_t bv = v[p->in1], bk = k[p->in1];
+            v[out] = av | bv;  // a known 1 dominates
+            k[out] = av | bv | (ak & bk);
+          }
+          break;
+        case op_kind(CT::kNor2):
+          for (; p != e; ++p) {
+            const std::uint32_t out = p->out_kind & M;
+            const std::uint64_t av = v[p->in0], ak = k[p->in0];
+            const std::uint64_t bv = v[p->in1], bk = k[p->in1];
+            const std::uint64_t tv = av | bv;
+            const std::uint64_t tk = tv | (ak & bk);
+            v[out] = tk & ~tv;
+            k[out] = tk;
+          }
+          break;
+        case op_kind(CT::kXor2):
+          for (; p != e; ++p) {
+            const std::uint32_t out = p->out_kind & M;
+            const std::uint64_t rk = k[p->in0] & k[p->in1];
+            v[out] = rk & (v[p->in0] ^ v[p->in1]);
+            k[out] = rk;
+          }
+          break;
+        case op_kind(CT::kXnor2):
+          for (; p != e; ++p) {
+            const std::uint32_t out = p->out_kind & M;
+            const std::uint64_t rk = k[p->in0] & k[p->in1];
+            v[out] = rk & ~(v[p->in0] ^ v[p->in1]);
+            k[out] = rk;
+          }
+          break;
+        case op_kind(CT::kMux2):
+          for (; p != e; ++p) {
+            const std::uint32_t out = p->out_kind & M;
+            const std::uint64_t sv = v[p->in0], sk = k[p->in0];
+            const std::uint64_t pv = v[p->in1], pk = k[p->in1];
+            const std::uint64_t qv = v[p->in2], qk = k[p->in2];
+            const std::uint64_t s1 = sk & sv, s0 = sk & ~sv;
+            // Unknown select: known only where both branches agree on 0/1.
+            const std::uint64_t agree = pk & qk & ~(pv ^ qv);
+            const std::uint64_t rk = (s0 & pk) | (s1 & qk) | (~sk & agree);
+            v[out] = rk & ((s0 & pv) | (s1 & qv) | (~sk & pv));
+            k[out] = rk;
+          }
+          break;
+        default: break;
+      }
+    }
+  }
+  ops_run_ += ran;
+  counters_.evaluations += ran;
+  words_ += ran * (FourState ? 2 : 1);
+}
+
+template <bool FourState>
+void CompiledSim::ram_writes() {
+  for (std::size_t mi = 0; mi < prog_.macros.size(); ++mi) {
+    const CompiledMacro& cm = prog_.macros[mi];
+    if (cm.kind != nl::MacroInfo::Kind::kRam) continue;
+    MacroRt& mrt = macro_rt_[mi];
+    const std::size_t entries = std::size_t{1} << cm.addr_bits;
+    const auto gather = [&](const std::vector<std::uint32_t>& slots, unsigned lane,
+                            bool& ok) {
+      std::uint64_t w = 0;
+      for (std::size_t b = 0; b < slots.size(); ++b) {
+        if constexpr (FourState) ok &= core::word_lane(known_[slots[b]], lane);
+        w |= std::uint64_t{core::word_lane(vals_[slots[b]], lane)} << b;
+      }
+      return w;
+    };
+    bool any = false;
+    for (unsigned lane = 0; lane < kLanes; ++lane) {
+      // Same rules as GateSim: X on the enable bus or a zero enable skips,
+      // an X address makes the contents unknowable (skip), X data writes 0.
+      bool wen_ok = true;
+      const std::uint64_t wen = gather(cm.wen_slots, lane, wen_ok);
+      if (!wen_ok || wen == 0) continue;
+      bool addr_ok = true;
+      const std::uint64_t addr = gather(cm.waddr_slots, lane, addr_ok);
+      if (!addr_ok) continue;
+      bool data_ok = true;
+      const std::uint64_t data = gather(cm.wdata_slots, lane, data_ok);
+      mrt.ram[std::size_t{lane} * entries + addr] =
+          data_ok ? static_cast<std::uint32_t>(data) : 0;
+      any = true;
+    }
+    if (any) {
+      mrt.wrote = true;
+      counters_.ram_rereads += mrt.read_ports;
+    }
+  }
+}
+
+void CompiledSim::settle() {
+  ++counters_.settle_calls;
+  ++counters_.settle_passes;
+  if (options_.four_state) exec<true>();
+  else exec<false>();
+  // Write-forced re-evaluations were consumed by this pass.
+  for (MacroRt& m : macro_rt_) m.wrote = false;
+}
+
+void CompiledSim::step() {
+  settle();
+  if (options_.four_state) ram_writes<true>();
+  else ram_writes<false>();
+  // The flat flop commit the slot layout was built for: next-state region
+  // [F,2F) onto the committed region [0,F) in one contiguous copy.
+  const std::uint32_t F = prog_.flop_count;
+  std::copy_n(vals_.begin() + F, F, vals_.begin());
+  if (options_.four_state) std::copy_n(known_.begin() + F, F, known_.begin());
+  ++cycles_;
+}
+
+// --- reads -----------------------------------------------------------------
+
+std::uint64_t CompiledSim::output(const std::string& name) {
+  return output(output_port(name));
+}
+
+std::uint64_t CompiledSim::output(PortRef port) {
+  const auto& slots = prog_.output_slots[out_index(port)];
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < slots.size() && i < 64; ++i) {
+    if (options_.four_state && !core::word_lane(known_[slots[i]], 0))
+      throw std::runtime_error("output '" + port->name + "' carries X/Z");
+    v |= std::uint64_t{core::word_lane(vals_[slots[i]], 0)} << i;
+  }
+  return v;
+}
+
+scflow::LogicVector CompiledSim::output_bits(const std::string& name, unsigned lane) const {
+  const auto it = out_ports_.find(name);
+  if (it == out_ports_.end()) throw std::invalid_argument("no output '" + name + "'");
+  const auto& slots = prog_.output_slots[out_index(it->second)];
+  scflow::LogicVector v(slots.size());
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    if (options_.four_state && !core::word_lane(known_[slots[i]], lane))
+      v.set(i, scflow::Logic::X);
+    else
+      v.set(i, scflow::logic_from_bool(core::word_lane(vals_[slots[i]], lane)));
+  }
+  return v;
+}
+
+GateSim::PortSample CompiledSim::output_sample(PortRef port, unsigned lane) const {
+  const auto& slots = prog_.output_slots[out_index(port)];
+  GateSim::PortSample s;
+  for (std::size_t i = 0; i < slots.size() && i < 64; ++i) {
+    if (options_.four_state && !core::word_lane(known_[slots[i]], lane)) continue;
+    s.known |= std::uint64_t{1} << i;
+    if (core::word_lane(vals_[slots[i]], lane)) s.value |= std::uint64_t{1} << i;
+  }
+  return s;
+}
+
+std::uint64_t CompiledSim::output_word(PortRef port, std::size_t bit) const {
+  return vals_[prog_.output_slots[out_index(port)].at(bit)];
+}
+
+std::uint64_t CompiledSim::output_known_word(PortRef port, std::size_t bit) const {
+  if (!options_.four_state) return ~0ull;
+  return known_[prog_.output_slots[out_index(port)].at(bit)];
+}
+
+void CompiledSim::record_into(scflow::obs::Registry& reg, std::string_view prefix) const {
+  const std::string p(prefix);
+  reg.set_counter(p + ".ops", ops_run_);
+  reg.set_counter(p + ".words", words_);
+  reg.set_counter(p + ".cycles", cycles_);
+}
+
+}  // namespace scflow::hdlsim

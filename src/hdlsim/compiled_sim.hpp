@@ -1,0 +1,177 @@
+// Bit-parallel compiled gate simulator: executes the straight-line
+// bytecode produced by compile_netlist() with 64 independent two-state
+// patterns packed per machine word — one fused op per cell, operands
+// pre-resolved to dense word slots, flop commit as one flat copy.  The
+// Verilated-style answer to GateSim's event-driven interpreter: no dirty
+// queue, no levels, just a tight dispatch loop whose pattern throughput
+// (patterns x cycles / s) is what the compiled backend benches report.
+//
+// Two execution modes:
+//  - two-state (default): one word per slot, X-free semantics.  Bit-exact
+//    with GateSim wherever the stimulus and reset state are fully defined
+//    (the SRC schedules, the CEC pre-pass, defined fuzz stimulus).
+//  - four-state (value/known word pair per slot): X-capable parity mode.
+//    Unknown bits carry known=0 (and value=0 — the masked invariant);
+//    X and Z collapse to unknown, exactly as pessimistic as GateSim's
+//    truth tables, so broadcast four-state runs reproduce GateSim's
+//    output_sample() masks bit for bit (the fault campaign's reference
+//    backend rests on this).
+//
+// Macro (RAM/ROM) read ports run as per-lane bit-serial interpreted ops
+// inside the compiled program — the fallback-to-interpreter regime for
+// logic the bytecode cannot fuse.  To match GateSim's event semantics
+// (externally driven macro-data values persist until the port
+// re-evaluates), a port only re-evaluates when its settled address/enable
+// words changed since its last evaluation or the macro was written; with
+// per-lane *independent* stimulus that change detection is whole-word
+// (any lane re-evaluates all lanes), so netlists whose macro data ports
+// are driven externally should use broadcast stimulus.  The checking RAM
+// model (Options::check_ram) stays interpreter-only: make_gate_dut falls
+// back to GateDut when it is requested.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "dtypes/logic.hpp"
+#include "hdlsim/compile.hpp"
+#include "hdlsim/gate_sim.hpp"
+#include "hdlsim/sim_counters.hpp"
+#include "netlist/netlist.hpp"
+
+namespace scflow::obs {
+class Registry;
+}
+
+namespace scflow::hdlsim {
+
+class CompiledSim {
+ public:
+  struct Options {
+    /// Run the value/known pair representation (X-capable).  Implied by
+    /// x_initial_flops.
+    bool four_state = false;
+    /// Power-up flops unknown instead of their reset values; forces
+    /// four_state on.
+    bool x_initial_flops = false;
+  };
+
+  /// Patterns per machine word — the parallel axis of this backend.
+  static constexpr unsigned kLanes = 64;
+
+  /// @p netlist must outlive the simulator (slots bind to its ports).
+  explicit CompiledSim(const nl::Netlist& netlist) : CompiledSim(netlist, Options{}) {}
+  CompiledSim(const nl::Netlist& netlist, Options options);
+  CompiledSim(const CompiledSim&) = delete;
+  CompiledSim& operator=(const CompiledSim&) = delete;
+
+  using PortRef = const nl::PortBits*;
+  [[nodiscard]] PortRef input_port(const std::string& name) const;
+  [[nodiscard]] PortRef output_port(const std::string& name) const;
+
+  // --- broadcast drivers (GateSim-compatible surface) ---
+  /// Drives all 64 lanes with the same scalar value.
+  void set_input(const std::string& name, std::uint64_t value);
+  void set_input(PortRef port, std::uint64_t value);
+  /// All bits unknown on every lane (four-state only; throws otherwise).
+  void set_input_x(const std::string& name);
+  /// Four-valued broadcast; X/Z bits require four_state (throws otherwise).
+  void set_input_logic(const std::string& name, const scflow::LogicVector& bits);
+
+  // --- pattern-word drivers (64 independent stimuli) ---
+  /// Drives bit @p bit of @p port with one pattern per lane, all known.
+  void set_input_word(PortRef port, std::size_t bit, std::uint64_t patterns);
+  /// Four-state variant with an explicit known mask (unknown lanes get
+  /// value 0 — the masked invariant is enforced here).
+  void set_input_word(PortRef port, std::size_t bit, std::uint64_t value,
+                      std::uint64_t known);
+
+  /// Settles combinational logic: one straight-line pass over the ops.
+  void settle();
+  /// Full clock cycle: settle, RAM writes, flat flop commit.
+  void step();
+
+  // --- reads ---
+  /// Lane-0 numeric output; requires all bits known (throws on X).
+  [[nodiscard]] std::uint64_t output(const std::string& name);
+  [[nodiscard]] std::uint64_t output(PortRef port);
+  [[nodiscard]] scflow::LogicVector output_bits(const std::string& name,
+                                                unsigned lane = 0) const;
+  /// Packed never-throwing sample of one lane (GateSim::PortSample shape,
+  /// so the fault campaign compares reference responses type-for-type).
+  [[nodiscard]] GateSim::PortSample output_sample(PortRef port, unsigned lane = 0) const;
+  /// The raw 64 patterns of one output bit (and its known mask;
+  /// two-state reads return an all-ones mask).
+  [[nodiscard]] std::uint64_t output_word(PortRef port, std::size_t bit) const;
+  [[nodiscard]] std::uint64_t output_known_word(PortRef port, std::size_t bit) const;
+
+  // --- GateSim-parity observability ---
+  /// Always empty: the checking RAM model is interpreter-only.
+  [[nodiscard]] const GateSim::RamViolation& ram_violations() const {
+    return no_violations_;
+  }
+  [[nodiscard]] std::uint64_t cycles() const { return cycles_; }
+  [[nodiscard]] std::uint64_t gate_evaluations() const { return counters_.evaluations; }
+  [[nodiscard]] const SimCounters& counters() const { return counters_; }
+  [[nodiscard]] std::vector<WorkerShardStats> worker_stats() const { return {}; }
+
+  [[nodiscard]] bool four_state() const { return options_.four_state; }
+  [[nodiscard]] const CompiledProgram& program() const { return prog_; }
+  /// Bytecode ops executed so far (skipped macro reads excluded).
+  [[nodiscard]] std::uint64_t ops_executed() const { return ops_run_; }
+  /// 64-bit words written by those ops (two per op in four-state mode).
+  [[nodiscard]] std::uint64_t words_written() const { return words_; }
+
+  /// Records "<prefix>.ops/.words/.cycles" counters into the registry —
+  /// the obs surface of the compiled backend.
+  void record_into(scflow::obs::Registry& reg, std::string_view prefix) const;
+
+ private:
+  struct MacroRt {
+    std::vector<std::uint32_t> ram;  // [lane * entries + addr]; always defined
+    std::uint32_t read_ports = 0;
+    bool wrote = false;  // written since the last settle: force port re-eval
+  };
+  struct PortRt {
+    // Settled addr+en words at the last evaluation (four-state: value
+    // words then known words) — the change detector that reproduces
+    // GateSim's event-driven port dirtiness.
+    std::vector<std::uint64_t> stash;
+    bool valid = false;
+  };
+
+  template <bool FourState>
+  void exec();
+  template <bool FourState>
+  bool eval_macro_port(std::uint32_t pi);
+  template <bool FourState>
+  void ram_writes();
+
+  [[nodiscard]] std::size_t in_index(PortRef port) const;
+  [[nodiscard]] std::size_t out_index(PortRef port) const;
+  void drive_bit(std::uint32_t slot, std::uint64_t value, std::uint64_t known);
+
+  const nl::Netlist* nl_;
+  Options options_;
+  CompiledProgram prog_;
+  std::vector<std::uint64_t> vals_;
+  std::vector<std::uint64_t> known_;  // four-state only
+  std::vector<MacroRt> macro_rt_;
+  std::vector<PortRt> port_rt_;
+  // Per-port data scatter scratch, sized to the widest data bus at
+  // construction so the steady state never allocates.
+  std::vector<std::uint64_t> scratch_v_, scratch_k_;
+  std::unordered_map<std::string, PortRef> in_ports_, out_ports_;
+
+  GateSim::RamViolation no_violations_;
+  SimCounters counters_;
+  std::uint64_t cycles_ = 0;
+  std::uint64_t ops_run_ = 0;
+  std::uint64_t words_ = 0;
+};
+
+}  // namespace scflow::hdlsim

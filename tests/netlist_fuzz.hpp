@@ -1,0 +1,96 @@
+// Shared random-netlist generators for the gate-level fuzz harnesses:
+// test_fuzz_equivalence (table vs reference evaluator vs compiled
+// backend) and test_compiled_sim (independent-lane differential) build
+// their structural netlists and four-valued stimulus from the same
+// generators so a seed means the same design everywhere.
+#pragma once
+
+#include <random>
+#include <vector>
+
+#include "dtypes/logic.hpp"
+#include "netlist/netlist.hpp"
+
+namespace scflow {
+
+/// Random structural netlist: input ports, a soup of combinational cells
+/// (acyclic by construction: inputs are drawn from already-created nets),
+/// and flops whose D/SI/SE are patched afterwards so they can close
+/// feedback loops through the whole pool.
+inline nl::Netlist random_gate_netlist(std::mt19937_64& rng) {
+  auto rnd = [&rng](int lo, int hi) {
+    return lo + static_cast<int>(rng() % static_cast<std::uint64_t>(hi - lo + 1));
+  };
+  nl::Netlist n("gatefuzz");
+  std::vector<nl::NetId> pool;
+
+  const int n_inputs = rnd(1, 3);
+  for (int i = 0; i < n_inputs; ++i) {
+    std::vector<nl::NetId> nets;
+    const int w = rnd(1, 8);
+    for (int b = 0; b < w; ++b) nets.push_back(n.new_net());
+    pool.insert(pool.end(), nets.begin(), nets.end());
+    n.add_input("in" + std::to_string(i), std::move(nets));
+  }
+  pool.push_back(n.const_net(false));
+  pool.push_back(n.const_net(true));
+
+  auto pick = [&]() { return pool[static_cast<std::size_t>(rnd(0, static_cast<int>(pool.size()) - 1))]; };
+
+  // Flops first (patched below); their outputs seed the pool so the
+  // combinational soup can consume state.
+  std::vector<std::size_t> flop_cells;
+  const int n_flops = rnd(0, 10);
+  for (int f = 0; f < n_flops; ++f) {
+    const bool scan = (rng() & 1) != 0;
+    flop_cells.push_back(n.cells().size());
+    const nl::NetId q = scan ? n.add_cell(nl::CellType::kSdff, {pick(), pick(), pick()},
+                                          static_cast<int>(rng() & 1))
+                             : n.add_cell(nl::CellType::kDff, {pick()}, static_cast<int>(rng() & 1));
+    pool.push_back(q);
+  }
+
+  static constexpr nl::CellType kComb[] = {
+      nl::CellType::kBuf,   nl::CellType::kInv,  nl::CellType::kAnd2,
+      nl::CellType::kOr2,   nl::CellType::kNand2, nl::CellType::kNor2,
+      nl::CellType::kXor2,  nl::CellType::kXnor2, nl::CellType::kMux2,
+  };
+  const int n_cells = rnd(10, 120);
+  for (int i = 0; i < n_cells; ++i) {
+    const nl::CellType t = kComb[static_cast<std::size_t>(rnd(0, 8))];
+    std::vector<nl::NetId> ins;
+    for (int k = 0; k < nl::cell_input_count(t); ++k) ins.push_back(pick());
+    pool.push_back(n.add_cell(t, std::move(ins)));
+  }
+
+  // Close flop feedback through the full pool (including nets created
+  // after the flop — sequential edges may point anywhere).
+  for (const std::size_t ci : flop_cells)
+    for (nl::NetId& in : n.cells_mut()[ci].inputs) in = pick();
+
+  const int n_outs = rnd(1, 3);
+  for (int o = 0; o < n_outs; ++o) {
+    std::vector<nl::NetId> nets;
+    const int w = rnd(1, 8);
+    for (int b = 0; b < w; ++b) nets.push_back(pick());
+    n.add_output("out" + std::to_string(o), std::move(nets));
+  }
+  return n;
+}
+
+inline LogicVector random_logic_vector(std::mt19937_64& rng, std::size_t width,
+                                       bool allow_xz) {
+  LogicVector v(width);
+  for (std::size_t i = 0; i < width; ++i) {
+    // Bias towards 0/1 so arithmetic survives; X/Z still exercises every
+    // truth-table row over thousands of netlists.
+    const auto r = rng() % 8;
+    Logic b = logic_from_bool((r & 1) != 0);
+    if (allow_xz && r == 6) b = Logic::X;
+    if (allow_xz && r == 7) b = Logic::Z;
+    v.set(i, b);
+  }
+  return v;
+}
+
+}  // namespace scflow

@@ -8,9 +8,11 @@
 #include <random>
 
 #include "dtypes/bit_int.hpp"
+#include "hdlsim/compiled_sim.hpp"
 #include "hdlsim/gate_sim.hpp"
 #include "netlist/lower.hpp"
 #include "netlist/opt.hpp"
+#include "netlist_fuzz.hpp"
 #include "rtl/builder.hpp"
 #include "rtl/interpreter.hpp"
 #include "rtl/passes.hpp"
@@ -126,88 +128,15 @@ INSTANTIATE_TEST_SUITE_P(Seeds, FuzzEquivalence, ::testing::Range(0, 24));
 // feedback loops included) and drives them with four-valued stimulus.
 // ---------------------------------------------------------------------------
 
-/// Random structural netlist: input ports, a soup of combinational cells
-/// (acyclic by construction: inputs are drawn from already-created nets),
-/// and flops whose D/SI/SE are patched afterwards so they can close
-/// feedback loops through the whole pool.
-nl::Netlist random_gate_netlist(std::mt19937_64& rng) {
-  auto rnd = [&rng](int lo, int hi) {
-    return lo + static_cast<int>(rng() % static_cast<std::uint64_t>(hi - lo + 1));
-  };
-  nl::Netlist n("gatefuzz");
-  std::vector<nl::NetId> pool;
-
-  const int n_inputs = rnd(1, 3);
-  for (int i = 0; i < n_inputs; ++i) {
-    std::vector<nl::NetId> nets;
-    const int w = rnd(1, 8);
-    for (int b = 0; b < w; ++b) nets.push_back(n.new_net());
-    pool.insert(pool.end(), nets.begin(), nets.end());
-    n.add_input("in" + std::to_string(i), std::move(nets));
-  }
-  pool.push_back(n.const_net(false));
-  pool.push_back(n.const_net(true));
-
-  auto pick = [&]() { return pool[static_cast<std::size_t>(rnd(0, static_cast<int>(pool.size()) - 1))]; };
-
-  // Flops first (patched below); their outputs seed the pool so the
-  // combinational soup can consume state.
-  std::vector<std::size_t> flop_cells;
-  const int n_flops = rnd(0, 10);
-  for (int f = 0; f < n_flops; ++f) {
-    const bool scan = (rng() & 1) != 0;
-    flop_cells.push_back(n.cells().size());
-    const nl::NetId q = scan ? n.add_cell(nl::CellType::kSdff, {pick(), pick(), pick()},
-                                          static_cast<int>(rng() & 1))
-                             : n.add_cell(nl::CellType::kDff, {pick()}, static_cast<int>(rng() & 1));
-    pool.push_back(q);
-  }
-
-  static constexpr nl::CellType kComb[] = {
-      nl::CellType::kBuf,   nl::CellType::kInv,  nl::CellType::kAnd2,
-      nl::CellType::kOr2,   nl::CellType::kNand2, nl::CellType::kNor2,
-      nl::CellType::kXor2,  nl::CellType::kXnor2, nl::CellType::kMux2,
-  };
-  const int n_cells = rnd(10, 120);
-  for (int i = 0; i < n_cells; ++i) {
-    const nl::CellType t = kComb[static_cast<std::size_t>(rnd(0, 8))];
-    std::vector<nl::NetId> ins;
-    for (int k = 0; k < nl::cell_input_count(t); ++k) ins.push_back(pick());
-    pool.push_back(n.add_cell(t, std::move(ins)));
-  }
-
-  // Close flop feedback through the full pool (including nets created
-  // after the flop — sequential edges may point anywhere).
-  for (const std::size_t ci : flop_cells)
-    for (nl::NetId& in : n.cells_mut()[ci].inputs) in = pick();
-
-  const int n_outs = rnd(1, 3);
-  for (int o = 0; o < n_outs; ++o) {
-    std::vector<nl::NetId> nets;
-    const int w = rnd(1, 8);
-    for (int b = 0; b < w; ++b) nets.push_back(pick());
-    n.add_output("out" + std::to_string(o), std::move(nets));
-  }
-  return n;
-}
-
-LogicVector random_logic_vector(std::mt19937_64& rng, std::size_t width, bool allow_xz) {
-  LogicVector v(width);
-  for (std::size_t i = 0; i < width; ++i) {
-    // Bias towards 0/1 so arithmetic survives; X/Z still exercises every
-    // truth-table row over thousands of netlists.
-    const auto r = rng() % 8;
-    Logic b = logic_from_bool((r & 1) != 0);
-    if (allow_xz && r == 6) b = Logic::X;
-    if (allow_xz && r == 7) b = Logic::Z;
-    v.set(i, b);
-  }
-  return v;
-}
+// random_gate_netlist / random_logic_vector live in netlist_fuzz.hpp,
+// shared with the compiled-backend differential in test_compiled_sim.
 
 /// 1000 netlists sharded across parallel-friendly gtest cases; each runs a
-/// table-driven sim against the reference-evaluator sim on identical
-/// four-valued stimulus and requires bit-identical outputs every cycle.
+/// three-way differential on identical four-valued stimulus: the
+/// table-driven sim against the reference-evaluator sim (bit-identical
+/// outputs every cycle, 'Z' included) and against the compiled four-state
+/// backend (X-masked: Z collapses to unknown, so knownness and known
+/// values must match).
 class GateFuzzTableVsReference : public ::testing::TestWithParam<int> {};
 
 TEST_P(GateFuzzTableVsReference, BitIdenticalOverRandomNetlists) {
@@ -227,6 +156,13 @@ TEST_P(GateFuzzTableVsReference, BitIdenticalOverRandomNetlists) {
     table_opts.threads = 1u << (rng() % 3);
     hdlsim::GateSim table(n, table_opts);
     hdlsim::GateSim ref(n, ref_opts);
+    // Third leg: the compiled bit-parallel backend in four-state mode,
+    // broadcast-driven with the same stimulus.  Z collapses to X there,
+    // so the comparison is X-masked rather than string-exact.
+    hdlsim::CompiledSim::Options comp_opts;
+    comp_opts.four_state = true;
+    comp_opts.x_initial_flops = table_opts.x_initial_flops;
+    hdlsim::CompiledSim comp(n, comp_opts);
 
     const int cycles = 12;
     for (int cycle = 0; cycle < cycles; ++cycle) {
@@ -234,15 +170,45 @@ TEST_P(GateFuzzTableVsReference, BitIdenticalOverRandomNetlists) {
         const LogicVector v = random_logic_vector(rng, in.nets.size(), /*allow_xz=*/cycle > 2);
         table.set_input_logic(in.name, v);
         ref.set_input_logic(in.name, v);
+        comp.set_input_logic(in.name, v);
       }
       table.settle();
       ref.settle();
+      comp.settle();
       for (const auto& out : n.outputs()) {
         ASSERT_EQ(table.output_bits(out.name).to_string(), ref.output_bits(out.name).to_string())
             << "seed " << seed << " cycle " << cycle << " output " << out.name;
+        const LogicVector want = table.output_bits(out.name);
+        const LogicVector got = comp.output_bits(out.name, /*lane=*/0);
+        ASSERT_EQ(want.width(), got.width());
+        for (std::size_t b = 0; b < want.width(); ++b) {
+          const bool known = logic_is_01(want.at(b));
+          ASSERT_EQ(known, logic_is_01(got.at(b)))
+              << "seed " << seed << " cycle " << cycle << " output " << out.name
+              << " bit " << b << " knownness (gate " << want.to_string() << " vs compiled "
+              << got.to_string() << ")";
+          if (known)
+            ASSERT_EQ(want.at(b), got.at(b))
+                << "seed " << seed << " cycle " << cycle << " output " << out.name
+                << " bit " << b;
+        }
+      }
+      // Broadcast stimulus must keep every pattern lane identical: each
+      // output bit's value/known words are all-zeros or all-ones.
+      if (cycle == cycles - 1) {
+        for (const auto& out : n.outputs()) {
+          const auto port = comp.output_port(out.name);
+          for (std::size_t b = 0; b < out.nets.size(); ++b) {
+            const std::uint64_t v = comp.output_word(port, b);
+            const std::uint64_t k = comp.output_known_word(port, b);
+            ASSERT_TRUE(v == 0 || v == ~0ull) << "seed " << seed << " lane skew";
+            ASSERT_TRUE(k == 0 || k == ~0ull) << "seed " << seed << " lane skew";
+          }
+        }
       }
       table.step();
       ref.step();
+      comp.step();
     }
     // The two engines must agree on the work metrics too: neither the LUT
     // path nor the thread count may change which evaluations happen, how
