@@ -4,7 +4,7 @@
 // chain) and once against the pre-scan twin — and the coverage delta is
 // reported as the testability value of scan insertion.
 //
-// `--json FILE` writes the unified scflow-obs-1 report: per-design
+// `--json FILE` writes the unified scflow-obs-2 report: per-design
 // "fault.<design>.scan.*" / ".noscan.*" counters (population, detected,
 // budget-degraded, oscillating, faulty cycles) plus the batch-runner lane
 // timelines.  `--threads N` sets the campaign lane count (coverage numbers
@@ -13,6 +13,11 @@
 // `--backend compiled` runs each good-machine reference on the
 // bit-parallel CompiledSim (faulty machines always interpret); the
 // classifications are bit-identical either way.
+//
+// `--trace FILE` / `--ledger FILE` turn on run telemetry: campaign root
+// spans with per-fault batch jobs hanging off them land in a Perfetto
+// trace (chrome://tracing / ui.perfetto.dev), and each campaign appends
+// one run-ledger entry (counters, coverage, per-fault cycle histogram).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -20,10 +25,10 @@
 
 #include "flow/synthesis_flow.hpp"
 #include "hdlsim/compile.hpp"
-#include "obs/registry.hpp"
+#include "obs/session.hpp"
 
 int main(int argc, char** argv) {
-  std::string json_path;
+  std::string json_path, trace_path, ledger_path;
   std::string backend = "interpreted";
   unsigned threads = 1;
   std::size_t max_faults = 120;
@@ -32,6 +37,14 @@ int main(int argc, char** argv) {
       json_path = argv[++i];
     } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
       json_path = argv[i] + 7;
+    } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else if (std::strncmp(argv[i], "--trace=", 8) == 0) {
+      trace_path = argv[i] + 8;
+    } else if (std::strcmp(argv[i], "--ledger") == 0 && i + 1 < argc) {
+      ledger_path = argv[++i];
+    } else if (std::strncmp(argv[i], "--ledger=", 9) == 0) {
+      ledger_path = argv[i] + 9;
     } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
       threads = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
     } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
@@ -46,7 +59,8 @@ int main(int argc, char** argv) {
       backend = argv[i] + 10;
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--json FILE] [--threads N] [--faults N] "
+                   "usage: %s [--json FILE] [--trace FILE] [--ledger FILE] "
+                   "[--threads N] [--faults N] "
                    "[--backend interpreted|compiled]\n",
                    argv[0]);
       return 2;
@@ -58,7 +72,11 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  scflow::obs::Registry registry;
+  scflow::obs::Session session;
+  // Spans, histograms and ledger entries only when asked for: the default
+  // run keeps the campaign loop uninstrumented (counters still accrue in
+  // the registry — they always did).
+  const bool telemetry = !trace_path.empty() || !ledger_path.empty();
   scflow::flow::FaultOptions fopt;
   fopt.run = true;
   fopt.campaign.max_faults = max_faults;
@@ -66,7 +84,8 @@ int main(int argc, char** argv) {
   fopt.campaign.reference_backend = backend == "compiled"
                                         ? scflow::hdlsim::Backend::kCompiled
                                         : scflow::hdlsim::Backend::kInterpreted;
-  const auto rows = scflow::flow::figure10_area_rows(&registry, {}, fopt);
+  fopt.session = telemetry ? &session : nullptr;
+  const auto rows = scflow::flow::figure10_area_rows(&session.registry, {}, fopt);
   std::printf("%s", scflow::flow::format_fault_table(rows).c_str());
 
   bool scan_helps_everywhere = true;
@@ -75,12 +94,15 @@ int main(int argc, char** argv) {
   std::printf("\nscan coverage >= no-scan on every design: %s\n",
               scan_helps_everywhere ? "yes" : "NO");
 
-  if (!json_path.empty()) {
-    if (!registry.write_report(json_path)) {
-      std::fprintf(stderr, "error: cannot write %s\n", json_path.c_str());
+  if (!json_path.empty() || telemetry) {
+    session.ledger.meta = scflow::obs::collect_run_metadata(argv[0]);
+    if (!session.dump(json_path, trace_path, ledger_path)) {
+      std::fprintf(stderr, "error: cannot write telemetry artifacts\n");
       return 1;
     }
-    std::printf("metrics report: %s\n", json_path.c_str());
+    if (!json_path.empty()) std::printf("metrics report: %s\n", json_path.c_str());
+    if (!trace_path.empty()) std::printf("perfetto trace: %s\n", trace_path.c_str());
+    if (!ledger_path.empty()) std::printf("run ledger: %s\n", ledger_path.c_str());
   }
   return scan_helps_everywhere ? 0 : 1;
 }

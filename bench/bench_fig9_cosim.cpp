@@ -47,13 +47,21 @@ const rtl::Design& rtl_design() {
   static const rtl::Design d = rtl::build_src_design(rtl::rtl_opt_config());
   return d;
 }
+// Synthesis happens once (static init) and records into the telemetry
+// session when --ledger/--trace enabled it: one "synth" ledger entry per
+// netlist, so a bench ledger names the exact DUTs the numbers ran on.
 const nl::Netlist& gates_beh() {
   static const nl::Netlist n =
-      flow::synthesize_to_gates(hls::build_beh_src_design(hls::beh_opt_config()));
+      flow::synthesize_to_gates(hls::build_beh_src_design(hls::beh_opt_config()),
+                                nullptr, benchutil::telemetry_registry(),
+                                "fig9.synth.beh_opt");
   return n;
 }
 const nl::Netlist& gates_rtl() {
-  static const nl::Netlist n = flow::synthesize_to_gates(rtl_design());
+  static const nl::Netlist n =
+      flow::synthesize_to_gates(rtl_design(), nullptr,
+                                benchutil::telemetry_registry(),
+                                "fig9.synth.rtl_opt");
   return n;
 }
 
@@ -220,9 +228,12 @@ void batch_bench(benchmark::State& state, const nl::Netlist& gates) {
   const double patterns = patterns_per_cycle(DutKind::kGateRtl);
   std::uint64_t cycles = 0, evals = 0;
   for (auto _ : state) {
+    // Session non-null only under --ledger/--trace: batch job spans +
+    // "gate_batch.job_ns" histograms accrue there, the timed loop stays
+    // uninstrumented otherwise.
     const auto results =
         hdlsim::run_src_netlist_batch(gates, dsp::SrcMode::k44_1To48, batch_schedules(), {},
-                                      threads, nullptr, 0, backend());
+                                      threads, benchutil::telemetry_session(), 0, backend());
     for (const auto& r : results) {
       benchmark::DoNotOptimize(r.outputs.data());
       cycles += r.cycles;

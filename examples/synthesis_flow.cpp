@@ -7,12 +7,18 @@
 // With --cec, every netlist refinement step (gate optimisation, scan
 // insertion) is formally proven equivalence-preserving; per-design check
 // stats are printed from the "fig10.<design>.cec.*" metrics.
+//
+// With --ledger FILE, one run-ledger entry per design synthesis (and per
+// CEC proof under --cec) is *appended* to FILE — the same JSONL a prior
+// refinement_flow --ledger run started, so one file describes the whole
+// flow; render/diff it with tools/scflow_report.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <string>
 
 #include "flow/synthesis_flow.hpp"
-#include "obs/registry.hpp"
+#include "obs/session.hpp"
 #include "rtl/src_design.hpp"
 #include "verilog/writer.hpp"
 
@@ -20,11 +26,21 @@ int main(int argc, char** argv) {
   using namespace scflow;
 
   bool verify_cec = false;
-  for (int i = 1; i < argc; ++i)
-    if (std::strcmp(argv[i], "--cec") == 0) verify_cec = true;
+  std::string ledger_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--cec") == 0) {
+      verify_cec = true;
+    } else if (std::strcmp(argv[i], "--ledger") == 0 && i + 1 < argc) {
+      ledger_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--cec] [--ledger FILE]\n", argv[0]);
+      return 2;
+    }
+  }
 
   std::printf("=== Synthesis flow: Fig. 10 area comparison ===\n\n");
-  obs::Registry reg;
+  obs::Session session;
+  obs::Registry& reg = session.registry;
   flow::SynthesisOptions opts;
   opts.verify_cec = verify_cec;
   const auto rows = flow::figure10_area_rows(&reg, opts);
@@ -57,7 +73,7 @@ int main(int argc, char** argv) {
   }
   {
     nl::GateOptStats stats;
-    const nl::Netlist gates = flow::synthesize_to_gates(design, &stats, nullptr, "synth", opts);
+    const nl::Netlist gates = flow::synthesize_to_gates(design, &stats, &reg, "synth", opts);
     std::ofstream f("src_rtl_opt_gates.v");
     f << vlog::write_structural(gates);
     std::printf("wrote gate-level structural Verilog -> src_rtl_opt_gates.v\n");
@@ -67,6 +83,15 @@ int main(int argc, char** argv) {
     const auto area = nl::report_area(gates);
     std::printf("  report_area: comb %.1f um^2, seq %.1f um^2, %zu cells, %zu flops\n",
                 area.combinational, area.sequential, area.cell_count, area.flop_count);
+  }
+
+  if (!ledger_path.empty()) {
+    session.ledger.meta = obs::collect_run_metadata(argv[0]);
+    if (!session.ledger.write(ledger_path, /*append=*/true)) {
+      std::fprintf(stderr, "error: cannot write %s\n", ledger_path.c_str());
+      return 1;
+    }
+    std::printf("run ledger: %s\n", ledger_path.c_str());
   }
   return 0;
 }

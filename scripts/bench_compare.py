@@ -8,8 +8,11 @@ Two subcommands:
       trajectory schema.  Repetition runs (--repeat N) are collapsed to
       their best value per metric — max for rate counters and items/s,
       min for cpu_time — so host noise only ever makes numbers worse,
-      never better.  Schema:
+      never better.  Each snapshot carries its provenance (git rev,
+      hostname, hardware thread count) so a committed baseline is
+      attributable to the machine that minted it.  Schema:
         { "schema": "scflow-bench-1", "rev": ..., "date": ...,
+          "host": ..., "hw_threads": ...,
           "pinned": ["bench/metric", ...],
           "benches": { bench: { metric: value } } }
 
@@ -23,6 +26,8 @@ Two subcommands:
 import argparse
 import datetime
 import json
+import os
+import platform
 import sys
 
 # Counters recorded per benchmark (google-benchmark emits many more;
@@ -70,6 +75,8 @@ def cmd_emit(args):
         "schema": "scflow-bench-1",
         "rev": args.rev,
         "date": datetime.date.today().isoformat(),
+        "host": platform.node() or "unknown",
+        "hw_threads": os.cpu_count() or 0,
         "pinned": list(args.pin),
         "benches": benches,
     }

@@ -24,6 +24,10 @@ trap 'rm -rf "$TMP"' EXIT
 cmake -B build -S . >/dev/null
 cmake --build build -j"$JOBS" --target bench_fig9_cosim >/dev/null
 
+# Provenance for the gbench "context" stamp (scflow_rev/host/threads via
+# bench_json_main.hpp) — the same rev lands in the trajectory file below.
+export SCFLOW_GIT_REV="$(git rev-parse HEAD)"
+
 for backend in interpreted compiled; do
   echo "== bench_fig9_cosim --backend $backend (repeat $REPEAT) =="
   ./build/bench/bench_fig9_cosim --backend "$backend" \

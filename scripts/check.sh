@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
 # Full pre-merge check: the tier-1 build + test cycle, the formal CEC and
-# stuck-at fault-coverage gates over the synthesis flow, the benchmark
+# stuck-at fault-coverage gates over the synthesis flow, the run-telemetry
+# gate (two identical flow runs must produce ledgers scflow_report diffs
+# as metric-identical, timestamps excluded), the benchmark
 # trajectory ratchet (pinned throughput metrics vs the latest committed
 # BENCH_*.json, >20% regression fails), then the same
 # test suite under AddressSanitizer + UBSan (-DSCFLOW_SANITIZE=ON), then
@@ -42,10 +44,34 @@ echo "== fault: stuck-at campaigns, scan vs pre-scan coverage gate =="
 build/examples/fault_campaign --check >/dev/null
 RAN_PASSES+=("fault")
 
+echo "== obs: run ledger determinism + scflow_report render/diff gate =="
+# One flow run = refinement_flow (report + Perfetto trace + ledger), then
+# synthesis_flow --cec appending to the same ledger JSONL.  Two such runs
+# must produce ledgers that scflow_report diff calls metric-identical —
+# timestamps and durations are excluded by the schema's "_ns" rule, every
+# counter/hash/histogram must match exactly.  The artifacts land in
+# build/obs/ (CI uploads them).
+OBS_DIR="$(pwd)/build/obs"
+rm -rf "$OBS_DIR" && mkdir -p "$OBS_DIR"
+export SCFLOW_GIT_REV="$(git rev-parse HEAD)"
+for run in a b; do
+  build/examples/refinement_flow --report "$OBS_DIR/report_$run.json" \
+    --trace "$OBS_DIR/trace_$run.json" --ledger "$OBS_DIR/ledger_$run.jsonl" >/dev/null
+  (cd build/examples && ./synthesis_flow --cec --ledger "$OBS_DIR/ledger_$run.jsonl" >/dev/null)
+done
+build/tools/scflow_report validate "$OBS_DIR"/ledger_a.jsonl "$OBS_DIR"/ledger_b.jsonl \
+  "$OBS_DIR"/report_a.json "$OBS_DIR"/trace_a.json
+build/tools/scflow_report show "$OBS_DIR/ledger_a.jsonl" >/dev/null
+build/tools/scflow_report diff "$OBS_DIR/ledger_a.jsonl" "$OBS_DIR/ledger_b.jsonl"
+RAN_PASSES+=("obs")
+
 echo "== bench: trajectory ratchet vs latest committed BENCH_*.json =="
 # Re-measures the pinned headline metrics (gate-cosim pattern throughput
 # on both hdlsim backends) and fails on a >20% regression against the
-# newest committed trajectory file.  scripts/bench_trajectory.sh is also
+# newest committed trajectory file.  The benches run WITHOUT --ledger or
+# --trace, so this doubles as the instrumentation-off overhead guard: if
+# telemetry hooks ever leak cost into the uninstrumented paths, the
+# pinned metrics regress and this gate trips.  scripts/bench_trajectory.sh is also
 # how a new BENCH_<date>.json gets minted when the numbers move for a
 # good reason.
 BASELINE=$(git ls-files 'BENCH_*.json' | sort | tail -1)

@@ -111,6 +111,25 @@ std::vector<GateSim::PortSample> reference_run(Sim& sim, const Observer& o,
   return reference;
 }
 
+/// Fingerprint of the options that change WHAT the campaign computes.
+/// Scheduling/engine knobs (threads, wall budgets, reference backend) are
+/// deliberately excluded: results are bit-identical across them, so a
+/// thread-sweep's ledgers must fingerprint identically.
+std::uint64_t campaign_fingerprint(const CampaignOptions& o) {
+  obs::Fnv1a h;
+  h.update_str("fault-campaign-options-v1");
+  h.update_u64(o.seed);
+  h.update_u64(static_cast<std::uint64_t>(o.scan_patterns));
+  h.update_u64(static_cast<std::uint64_t>(o.capture_cycles));
+  h.update_u64(static_cast<std::uint64_t>(o.functional_cycles));
+  h.update_u64(o.max_faults);
+  h.update_u64(o.cycle_budget);
+  h.update_u64(o.x_initial_flops ? 1 : 0);
+  h.update_u64(static_cast<std::uint64_t>(o.oscillation_threshold));
+  h.update_u64(o.use_scan ? 1 : 0);
+  return h.digest();
+}
+
 }  // namespace
 
 std::vector<std::vector<std::uint64_t>> build_campaign_stimulus(
@@ -163,6 +182,12 @@ CampaignResult run_campaign(const nl::Netlist& n, const std::vector<Fault>& faul
       options.metric_prefix.empty() ? "fault." + n.name() : options.metric_prefix;
   std::optional<obs::Registry::ScopedTimer> campaign_timer;
   if (session != nullptr) campaign_timer.emplace(session->registry.time_scope(prefix));
+  const std::uint64_t t0_steady = steady_now_ns();
+  // Root span of the campaign's fan-out: reserved up front so every batch
+  // job span can parent-link to it, added (with its real extent) below.
+  const std::uint64_t root_span =
+      session != nullptr ? session->spans.reserve_id() : 0;
+  const std::uint64_t trace_t0 = session != nullptr ? session->trace.now_ns() : 0;
 
   CampaignResult result;
   result.design = n.name();
@@ -187,6 +212,9 @@ CampaignResult run_campaign(const nl::Netlist& n, const std::vector<Fault>& faul
     hdlsim::CompiledSim::Options copt;
     copt.four_state = true;
     copt.x_initial_flops = options.x_initial_flops;
+    // With a session listening, also collect the per-cycle op-throughput
+    // distribution (off otherwise — benches measure the bare loop).
+    copt.ops_histogram = session != nullptr;
     hdlsim::CompiledSim good(n, copt);
     reference = reference_run(good, obs_points, prog);
     if (session != nullptr) good.record_into(session->registry, "compiled." + n.name());
@@ -267,9 +295,38 @@ CampaignResult run_campaign(const nl::Netlist& n, const std::vector<Fault>& faul
     }
   }
 
+  // Per-fault simulated-cycle distribution — deterministic (fr.cycles is a
+  // pure function of the fault and program when wall budgets are off), so
+  // it lands in the ledger as a gating histogram, not a timing one.
+  obs::Histogram fault_cycles;
+  for (const FaultResult& fr : result.faults) fault_cycles.record(fr.cycles);
+
   if (session != nullptr) {
     result.record_into(session->registry, prefix);
-    runner.record_into(*session, prefix + ".batch");
+    session->registry.merge_histogram(prefix + ".fault_cycles", fault_cycles);
+    session->spans.add({root_span, 0, prefix, "fault", trace_t0,
+                        session->trace.now_ns(), 0});
+    runner.record_into(*session, prefix + ".batch", root_span);
+
+    obs::LedgerEntry entry;
+    entry.phase = "fault";
+    entry.design = prefix.rfind("fault.", 0) == 0 ? prefix.substr(6) : prefix;
+    entry.input_hash = nl::content_hash(n);
+    entry.options_fingerprint = campaign_fingerprint(options);
+    entry.duration_ns = steady_now_ns() - t0_steady;
+    entry.add_counter("population", result.population);
+    entry.add_counter("simulated", result.faults.size());
+    entry.add_counter("detected", result.detected);
+    entry.add_counter("undetected", result.undetected);
+    entry.add_counter("undetected_budget", result.undetected_budget);
+    entry.add_counter("oscillating", result.oscillating);
+    entry.add_counter("stimulus_cycles", result.stimulus_cycles);
+    entry.add_counter("faulty_cycles", result.faulty_cycles_total);
+    entry.add_counter("observe_points", result.observe_ports.size());
+    entry.add_counter("scan_used", result.scan_used ? 1 : 0);
+    entry.add_gauge("coverage_pct", result.coverage_pct());
+    entry.add_histogram("fault_cycles", fault_cycles);
+    session->ledger.append(std::move(entry));
   }
   return result;
 }

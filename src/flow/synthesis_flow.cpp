@@ -1,5 +1,6 @@
 #include "flow/synthesis_flow.hpp"
 
+#include <chrono>
 #include <iomanip>
 #include <optional>
 #include <sstream>
@@ -7,7 +8,9 @@
 #include "formal/cec.hpp"
 #include "hls/src_beh.hpp"
 #include "netlist/lower.hpp"
+#include "obs/ledger.hpp"
 #include "obs/registry.hpp"
+#include "obs/session.hpp"
 #include "rtl/passes.hpp"
 #include "rtl/src_design.hpp"
 
@@ -20,6 +23,11 @@ nl::Netlist synthesize_to_gates(const rtl::Design& design, nl::GateOptStats* gat
                                 const SynthesisOptions& options,
                                 nl::Netlist* pre_scan_out) {
   const std::string p(prefix);
+  const auto t0 = std::chrono::steady_clock::now();
+  // Input identity for the run ledger: the freshly lowered (pre-opt)
+  // netlist is a deterministic function of the design, so its content
+  // hash keys the whole pipeline without an rtl::Design serializer.
+  std::uint64_t lowered_hash = 0;
   // Snapshots of each refinement step's input, kept only when the formal
   // gate is on or the caller wants the scan-stripped twin (netlists copy
   // cheaply: three vectors of PODs + port names).
@@ -50,6 +58,7 @@ nl::Netlist synthesize_to_gates(const rtl::Design& design, nl::GateOptStats* gat
       const auto t = timed("lower");
       return nl::lower_to_gates(optimised, {});
     }();
+    lowered_hash = nl::content_hash(g);
     if (options.verify_cec) pre_opt = g;
     g = [&] {
       const auto t = timed("gate_opt");
@@ -68,6 +77,28 @@ nl::Netlist synthesize_to_gates(const rtl::Design& design, nl::GateOptStats* gat
     stats->record_into(*reg, p + ".opt");
     reg->set_counter(p + ".scan_flops", scan_flops);
     reg->set_counter(p + ".cells", gates.cells().size());
+    if (obs::Ledger* ledger = reg->ledger(); ledger != nullptr) {
+      obs::Fnv1a opt_h;
+      opt_h.update_str("synthesis-options-v1");
+      opt_h.update_u64(options.verify_cec ? 1 : 0);
+      obs::LedgerEntry entry;
+      entry.phase = "synth";
+      entry.design = p;
+      entry.input_hash = lowered_hash;
+      entry.options_fingerprint = opt_h.digest();
+      entry.duration_ns = static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - t0)
+              .count());
+      entry.add_counter("cells_before", stats->cells_before);
+      entry.add_counter("cells_after", stats->cells_after);
+      entry.add_counter("rewrites", stats->rewrites);
+      entry.add_counter("iterations", static_cast<std::uint64_t>(stats->iterations));
+      entry.add_counter("scan_flops", scan_flops);
+      entry.add_counter("cells", gates.cells().size());
+      entry.add_counter("output_hash", nl::content_hash(gates));
+      ledger->append(std::move(entry));
+    }
   }
 
   if (options.verify_cec) {
@@ -138,9 +169,13 @@ std::vector<AreaRow> figure10_area_rows(obs::Registry* reg,
 
       fault::CampaignOptions co = fault_options.campaign;
       co.use_scan = true;
-      fault::CampaignResult with_scan = fault::run_campaign(gates, list, co);
+      co.metric_prefix = "fault." + e.slug + ".scan";
+      fault::CampaignResult with_scan =
+          fault::run_campaign(gates, list, co, fault_options.session);
       co.use_scan = false;
-      fault::CampaignResult no_scan = fault::run_campaign(pre_scan, list, co);
+      co.metric_prefix = "fault." + e.slug + ".noscan";
+      fault::CampaignResult no_scan =
+          fault::run_campaign(pre_scan, list, co, fault_options.session);
       for (fault::CampaignResult* r : {&with_scan, &no_scan}) {
         r->list = stats;
         r->population = population;

@@ -55,6 +55,10 @@ nl::Netlist synthesize_to_gates(const rtl::Design& design,
 struct FaultOptions {
   bool run = false;  ///< run the campaigns (they cost simulation time)
   fault::CampaignOptions campaign;
+  /// Routed into every run_campaign call: batch spans, the per-fault
+  /// cycle histograms and one run-ledger entry per campaign land here
+  /// (campaign counters still go to the @p reg the caller passed).
+  obs::Session* session = nullptr;
   FaultOptions() { campaign.max_faults = 120; }
 };
 

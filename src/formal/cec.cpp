@@ -1,6 +1,7 @@
 #include "formal/cec.hpp"
 
 #include <bit>
+#include <chrono>
 #include <map>
 #include <optional>
 #include <unordered_map>
@@ -12,6 +13,7 @@
 #include "hdlsim/compiled_sim.hpp"
 #include "hdlsim/gate_sim.hpp"
 #include "kernel/vcd.hpp"
+#include "obs/ledger.hpp"
 #include "obs/registry.hpp"
 
 namespace scflow::formal {
@@ -136,7 +138,9 @@ struct Engine {
     solver.add_clause({sat::lit_neg(ls), sa, sb});
     solver.add_clause({sat::lit_neg(ls), sat::lit_neg(sa), sat::lit_neg(sb)});
     ++stats.sat_calls;
+    const std::uint64_t conflicts_before = solver.stats().conflicts;
     const sat::Result r = solver.solve({ls}, budget);
+    stats.sat_call_conflicts.record(solver.stats().conflicts - conflicts_before);
     solver.add_clause({sat::lit_neg(ls)});  // retire the activation literal
     if (r == sat::Result::kUnsat) {
       solver.add_clause({sat::lit_neg(sa), sb});
@@ -216,8 +220,27 @@ void replay_cex(CecCounterexample& cex, const nl::Netlist* a_nl,
   }
 }
 
+/// Hash of the options that change what the engine computes (thread/wall
+/// knobs would go here too if CEC had any — it is single-threaded).
+std::uint64_t options_fingerprint(const CecOptions& opt) {
+  obs::Fnv1a h;
+  h.update_str("cec-options-v1");
+  for (const auto& s : opt.tie_zero_inputs) h.update_str(s);
+  for (const auto& s : opt.ignore_outputs) h.update_str(s);
+  h.update_u64(opt.fraig_sweep ? 1 : 0);
+  h.update_u64(static_cast<std::uint64_t>(opt.sim_rounds));
+  h.update_u64(opt.compiled_presim ? 1 : 0);
+  h.update_u64(opt.sweep_conflict_limit);
+  h.update_u64(opt.sweep_max_checks);
+  h.update_u64(opt.final_conflict_limit);
+  h.update_u64(opt.seed);
+  h.update_u64(opt.replay ? 1 : 0);
+  return h.digest();
+}
+
 void record_metrics(obs::Registry* reg, const CecOptions& opt, const CecStats& st,
-                    const CecResult& res) {
+                    const CecResult& res, std::uint64_t input_hash,
+                    std::uint64_t duration_ns) {
   if (reg == nullptr) return;
   const std::string& p = opt.metric_prefix;
   reg->set_counter(p + ".aig_nodes", st.aig_nodes);
@@ -235,12 +258,53 @@ void record_metrics(obs::Registry* reg, const CecOptions& opt, const CecStats& s
   reg->set_counter(p + ".sat_propagations", st.sat_propagations);
   reg->set_counter(p + ".counterexamples", res.cex ? 1 : 0);
   reg->set_gauge(p + ".equivalent", res.equivalent() ? 1.0 : 0.0);
+  if (st.sat_call_conflicts.count() > 0)
+    reg->merge_histogram(p + ".sat_call_conflicts", st.sat_call_conflicts);
+  if (obs::Ledger* ledger = reg->ledger(); ledger != nullptr) {
+    obs::LedgerEntry e;
+    e.phase = "cec";
+    e.design = p;
+    e.input_hash = input_hash;
+    e.options_fingerprint = options_fingerprint(opt);
+    e.duration_ns = duration_ns;
+    e.add_counter("aig_nodes", st.aig_nodes);
+    e.add_counter("presim_rounds", st.presim_rounds);
+    e.add_counter("presim_ops", st.presim_ops);
+    e.add_counter("compare_points", st.compare_points);
+    e.add_counter("compare_bits", st.compare_bits);
+    e.add_counter("bits_structural", st.bits_structural);
+    e.add_counter("bits_sat_proved", st.bits_sat_proved);
+    e.add_counter("sweep_classes", st.sweep_classes);
+    e.add_counter("sweep_merges", st.sweep_merges);
+    e.add_counter("sat_calls", st.sat_calls);
+    e.add_counter("sat_conflicts", st.sat_conflicts);
+    e.add_counter("sat_decisions", st.sat_decisions);
+    e.add_counter("sat_propagations", st.sat_propagations);
+    e.add_counter("counterexamples", res.cex ? 1 : 0);
+    e.add_counter("equivalent", res.equivalent() ? 1 : 0);
+    e.add_histogram("sat_call_conflicts", st.sat_call_conflicts);
+    ledger->append(std::move(e));
+  }
 }
 
 CecResult run_cec(const nl::Netlist* a_nl, const rtl::Design* a_rtl,
                   const nl::Netlist& b, obs::Registry* reg, const CecOptions& opt) {
   std::optional<obs::Registry::ScopedTimer> timer;
   if (reg != nullptr) timer.emplace(reg->time_scope(opt.metric_prefix));
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto elapsed_ns = [t0] {
+    return static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                          std::chrono::steady_clock::now() - t0)
+                                          .count());
+  };
+  // Input identity for the run ledger (and a future artifact cache): the
+  // structural hash of both sides.  The RTL variant keys on the design
+  // name — rtl::Design has no canonical serialization yet.
+  obs::Fnv1a input_h;
+  if (a_nl != nullptr) input_h.update_u64(nl::content_hash(*a_nl));
+  else input_h.update_str("rtl:" + a_rtl->name());
+  input_h.update_u64(nl::content_hash(b));
+  const std::uint64_t input_hash = input_h.digest();
 
   Engine eng(opt);
   CecResult res;
@@ -320,7 +384,7 @@ CecResult run_cec(const nl::Netlist* a_nl, const rtl::Design* a_rtl,
     res.stats.sat_decisions = eng.solver.stats().decisions;
     res.stats.sat_propagations = eng.solver.stats().propagations;
     if (res.cex && opt.replay) replay_cex(*res.cex, a_nl, b);
-    record_metrics(reg, opt, res.stats, res);
+    record_metrics(reg, opt, res.stats, res, input_hash, elapsed_ns());
     return res;
   };
 

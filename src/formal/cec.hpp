@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "netlist/netlist.hpp"
+#include "obs/histogram.hpp"
 #include "rtl/ir.hpp"
 
 namespace scflow::obs {
@@ -65,6 +66,10 @@ struct CecStats {
   std::uint64_t sat_conflicts = 0;
   std::uint64_t sat_decisions = 0;
   std::uint64_t sat_propagations = 0;
+  /// Per-SAT-call conflict distribution (one sample per prove_equal call):
+  /// the hardness profile behind the flat sat_conflicts total — a long
+  /// tail here is what motivates sweep budget tuning.
+  obs::Histogram sat_call_conflicts;
 };
 
 struct CecOptions {

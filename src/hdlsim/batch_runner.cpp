@@ -72,7 +72,8 @@ void BatchRunner::run(
       [](void* c, unsigned lane) { (*static_cast<Ctx*>(c)->loop)(lane); }, &ctx);
 }
 
-void BatchRunner::record_into(obs::Session& session, std::string_view prefix) const {
+void BatchRunner::record_into(obs::Session& session, std::string_view prefix,
+                              std::uint64_t parent_span_id) const {
   const std::string p(prefix);
   // Map steady-clock stamps onto the trace epoch via one common sample.
   const std::uint64_t trace_now = session.trace.now_ns();
@@ -85,14 +86,19 @@ void BatchRunner::record_into(obs::Session& session, std::string_view prefix) co
   for (std::size_t j = 0; j < stats_.size(); ++j) {
     const BatchJobStat& st = stats_[j];
     ++per_lane[st.lane];
-    session.trace.complete_event(p + ".job" + std::to_string(j), "batch",
-                                 to_trace(st.start_ns), st.end_ns - st.start_ns,
-                                 static_cast<int>(st.lane));
+    session.spans.add({0, parent_span_id, p + ".job" + std::to_string(j), "batch",
+                       to_trace(st.start_ns), to_trace(st.end_ns),
+                       static_cast<int>(st.lane)});
+    session.registry.record_value(p + ".job_ns", st.end_ns - st.start_ns);
   }
   session.registry.set_counter(p + ".jobs", stats_.size());
   session.registry.set_counter(p + ".lanes", lanes_);
   for (unsigned l = 0; l < lanes_; ++l)
     session.registry.set_counter(p + ".lane" + std::to_string(l) + ".jobs", per_lane[l]);
+  // Export straight away so callers that only inspect session.trace (not
+  // dump()) still see one slice per job; the SpanSet watermark keeps a
+  // later dump() from re-emitting them.
+  session.spans.export_to(session.trace);
 }
 
 std::vector<GateRunResult> run_src_netlist_batch(

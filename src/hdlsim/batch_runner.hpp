@@ -80,12 +80,18 @@ class BatchRunner {
   /// Per-job timings of the most recent run(), indexed by job.
   [[nodiscard]] const std::vector<BatchJobStat>& job_stats() const { return stats_; }
 
-  /// Records the last run() into @p session: one complete trace slice per
-  /// job (tid = lane, so the trace shows the per-lane occupancy), plus
-  /// "<prefix>.jobs", "<prefix>.lanes" and per-lane "<prefix>.lane<k>.jobs"
-  /// counters.  Runs on the calling thread after the join — TraceWriter is
-  /// not thread-safe.
-  void record_into(obs::Session& session, std::string_view prefix) const;
+  /// Records the last run() into @p session: one span (= complete trace
+  /// slice, tid = lane, so the trace shows the per-lane occupancy) per
+  /// job, a "<prefix>.job_ns" latency histogram, plus "<prefix>.jobs",
+  /// "<prefix>.lanes" and per-lane "<prefix>.lane<k>.jobs" counters.
+  /// With @p parent_span_id (reserved from session.spans and added by the
+  /// caller), every job span parent-links to it and the export draws
+  /// Perfetto flow arrows from the parent slice into each lane — the link
+  /// survives the thread hand-off because it is span data, not stack
+  /// context.  Runs on the calling thread after the join — TraceWriter
+  /// and SpanSet storage are not thread-safe.
+  void record_into(obs::Session& session, std::string_view prefix,
+                   std::uint64_t parent_span_id = 0) const;
 
  private:
   std::vector<BatchJobStat> stats_;

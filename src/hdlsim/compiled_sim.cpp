@@ -417,6 +417,10 @@ void CompiledSim::step() {
   std::copy_n(vals_.begin() + F, F, vals_.begin());
   if (options_.four_state) std::copy_n(known_.begin() + F, F, known_.begin());
   ++cycles_;
+  if (options_.ops_histogram) {
+    cycle_ops_.record(ops_run_ - ops_at_cycle_start_);
+    ops_at_cycle_start_ = ops_run_;
+  }
 }
 
 // --- reads -----------------------------------------------------------------
@@ -475,6 +479,7 @@ void CompiledSim::record_into(scflow::obs::Registry& reg, std::string_view prefi
   reg.set_counter(p + ".ops", ops_run_);
   reg.set_counter(p + ".words", words_);
   reg.set_counter(p + ".cycles", cycles_);
+  if (cycle_ops_.count() > 0) reg.merge_histogram(p + ".cycle_ops", cycle_ops_);
 }
 
 }  // namespace scflow::hdlsim

@@ -42,6 +42,7 @@
 #include "hdlsim/gate_sim.hpp"
 #include "hdlsim/sim_counters.hpp"
 #include "netlist/netlist.hpp"
+#include "obs/histogram.hpp"
 
 namespace scflow::obs {
 class Registry;
@@ -58,6 +59,9 @@ class CompiledSim {
     /// Power-up flops unknown instead of their reset values; forces
     /// four_state on.
     bool x_initial_flops = false;
+    /// Record a per-cycle executed-ops histogram (one sample per step()).
+    /// Off by default: the benches measure the uninstrumented loop.
+    bool ops_histogram = false;
   };
 
   /// Patterns per machine word — the parallel axis of this backend.
@@ -126,7 +130,13 @@ class CompiledSim {
   /// 64-bit words written by those ops (two per op in four-state mode).
   [[nodiscard]] std::uint64_t words_written() const { return words_; }
 
-  /// Records "<prefix>.ops/.words/.cycles" counters into the registry —
+  /// Per-cycle executed-ops distribution (empty unless
+  /// Options::ops_histogram) — the throughput-shape evidence behind the
+  /// flat "ops" counter.
+  [[nodiscard]] const obs::Histogram& cycle_ops() const { return cycle_ops_; }
+
+  /// Records "<prefix>.ops/.words/.cycles" counters (plus the
+  /// "<prefix>.cycle_ops" histogram when enabled) into the registry —
   /// the obs surface of the compiled backend.
   void record_into(scflow::obs::Registry& reg, std::string_view prefix) const;
 
@@ -169,9 +179,11 @@ class CompiledSim {
 
   GateSim::RamViolation no_violations_;
   SimCounters counters_;
+  obs::Histogram cycle_ops_;
   std::uint64_t cycles_ = 0;
   std::uint64_t ops_run_ = 0;
   std::uint64_t words_ = 0;
+  std::uint64_t ops_at_cycle_start_ = 0;  // watermark for the per-cycle sample
 };
 
 }  // namespace scflow::hdlsim

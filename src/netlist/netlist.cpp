@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "obs/ledger.hpp"
+
 namespace scflow::nl {
 
 const char* cell_name(CellType t) {
@@ -173,6 +175,47 @@ std::vector<std::size_t> combinational_topo_order(const Netlist& n) {
                                describe_cell(n, ci));
   }
   return order;
+}
+
+std::uint64_t content_hash(const Netlist& n) {
+  obs::Fnv1a h;
+  h.update_str(n.name());
+  h.update_u64(static_cast<std::uint64_t>(n.net_count()));
+  h.update_u64(n.cells().size());
+  for (const Cell& c : n.cells()) {
+    h.update_u64(static_cast<std::uint64_t>(c.type));
+    h.update_u64(c.inputs.size());
+    for (const NetId in : c.inputs) h.update_u64(static_cast<std::uint64_t>(in));
+    h.update_u64(static_cast<std::uint64_t>(c.output));
+    h.update_u64(static_cast<std::uint64_t>(c.init));
+    h.update_str(c.name);
+  }
+  const auto hash_ports = [&h](const std::vector<PortBits>& ports) {
+    h.update_u64(ports.size());
+    for (const PortBits& p : ports) {
+      h.update_str(p.name);
+      h.update_u64(p.nets.size());
+      for (const NetId net : p.nets) h.update_u64(static_cast<std::uint64_t>(net));
+    }
+  };
+  hash_ports(n.inputs());
+  hash_ports(n.outputs());
+  h.update_u64(n.macros.size());
+  for (const MacroInfo& m : n.macros) {
+    h.update_u64(static_cast<std::uint64_t>(m.kind));
+    h.update_str(m.name);
+    h.update_u64(static_cast<std::uint64_t>(m.addr_bits));
+    h.update_u64(static_cast<std::uint64_t>(m.data_bits));
+    for (const std::string& p : m.read_addr_ports) h.update_str(p);
+    for (const std::string& p : m.read_data_ports) h.update_str(p);
+    for (const std::string& p : m.read_enable_ports) h.update_str(p);
+    h.update_str(m.write_addr_port);
+    h.update_str(m.write_data_port);
+    h.update_str(m.write_enable_port);
+    h.update_u64(m.rom_contents.size());
+    for (const std::int64_t v : m.rom_contents) h.update_u64(static_cast<std::uint64_t>(v));
+  }
+  return h.digest();
 }
 
 AreaReport report_area(const Netlist& n) {

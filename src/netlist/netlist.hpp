@@ -128,4 +128,10 @@ struct AreaReport {
 
 [[nodiscard]] AreaReport report_area(const Netlist& n);
 
+/// Deterministic 64-bit content hash over the whole structure (name,
+/// cells with types/nets/init/provenance labels, ports, macros) — the
+/// ledger's input identity and the key a flow artifact cache can memoize
+/// on.  Stable across runs and platforms; any structural edit changes it.
+[[nodiscard]] std::uint64_t content_hash(const Netlist& n);
+
 }  // namespace scflow::nl

@@ -1,0 +1,140 @@
+#include "obs/histogram.hpp"
+
+#include <bit>
+#include <cstdio>
+#include <sstream>
+
+#include "obs/json.hpp"
+
+namespace scflow::obs {
+
+namespace {
+
+/// Inclusive lower bound of bucket @p b (bucket 0 = {0}, bucket b = [2^(b-1), 2^b)).
+std::uint64_t bucket_lo(int b) { return b == 0 ? 0 : (1ULL << (b - 1)); }
+
+/// Exclusive upper bound of bucket @p b, saturated for the last bucket.
+std::uint64_t bucket_hi(int b) {
+  return b >= 64 ? ~0ULL : (b == 0 ? 1ULL : (1ULL << b));
+}
+
+}  // namespace
+
+void Histogram::record(std::uint64_t value) {
+  buckets_[static_cast<std::size_t>(std::bit_width(value))] += 1;
+  count_ += 1;
+  sum_ += value;
+  if (value < min_) min_ = value;
+  if (value > max_) max_ = value;
+}
+
+void Histogram::merge_from(const Histogram& other) {
+  if (other.count_ == 0) return;
+  for (int i = 0; i < kBuckets; ++i)
+    buckets_[static_cast<std::size_t>(i)] += other.buckets_[static_cast<std::size_t>(i)];
+  count_ += other.count_;
+  sum_ += other.sum_;
+  if (other.min_ < min_) min_ = other.min_;
+  if (other.max_ > max_) max_ = other.max_;
+}
+
+std::uint64_t Histogram::quantile(double q) const {
+  if (count_ == 0) return 0;
+  if (q <= 0.0) return min();
+  if (q >= 1.0) return max_;
+  // Rank of the target sample (1-based), then walk buckets until the
+  // cumulative count covers it.
+  const double rank = q * static_cast<double>(count_);
+  std::uint64_t cum = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    const std::uint64_t n = buckets_[static_cast<std::size_t>(b)];
+    if (n == 0) continue;
+    if (static_cast<double>(cum + n) >= rank) {
+      const double frac = (rank - static_cast<double>(cum)) / static_cast<double>(n);
+      const double lo = static_cast<double>(bucket_lo(b));
+      const double hi = static_cast<double>(bucket_hi(b));
+      auto est = static_cast<std::uint64_t>(lo + frac * (hi - lo));
+      if (est < min()) est = min();
+      if (est > max_) est = max_;
+      return est;
+    }
+    cum += n;
+  }
+  return max_;
+}
+
+std::string Histogram::to_json() const {
+  std::ostringstream os;
+  os << "{\"count\":" << count_ << ",\"sum\":" << sum_ << ",\"min\":" << min()
+     << ",\"max\":" << max_ << ",\"p50\":" << p50() << ",\"p90\":" << p90()
+     << ",\"p99\":" << p99() << ",\"buckets\":{";
+  bool first = true;
+  for (int b = 0; b < kBuckets; ++b) {
+    const std::uint64_t n = buckets_[static_cast<std::size_t>(b)];
+    if (n == 0) continue;
+    if (!first) os << ',';
+    first = false;
+    os << '"' << bucket_hi(b) << "\":" << n;
+  }
+  os << "}}";
+  return os.str();
+}
+
+bool Histogram::from_json(const std::string& json, Histogram* out) {
+  *out = Histogram{};
+  JsonValue v;
+  if (!json_parse(json, &v) || v.kind != JsonValue::Kind::kObject) return false;
+  const JsonValue* count = v.find("count");
+  const JsonValue* sum = v.find("sum");
+  const JsonValue* buckets = v.find("buckets");
+  if (count == nullptr || sum == nullptr || buckets == nullptr ||
+      buckets->kind != JsonValue::Kind::kObject) {
+    return false;
+  }
+  out->count_ = count->as_u64();
+  out->sum_ = sum->as_u64();
+  if (const JsonValue* mn = v.find("min"); mn != nullptr && out->count_ > 0)
+    out->min_ = mn->as_u64();
+  if (const JsonValue* mx = v.find("max"); mx != nullptr) out->max_ = mx->as_u64();
+  std::uint64_t total = 0;
+  for (const auto& [key, val] : buckets->members) {
+    const std::uint64_t hi = std::strtoull(key.c_str(), nullptr, 10);
+    // Recover the bucket index from its exclusive upper bound.
+    int b = 0;
+    if (key == "18446744073709551615") b = 64;
+    else if (hi > 1) b = std::bit_width(hi - 1);
+    if (b < 0 || b >= kBuckets) return false;
+    out->buckets_[static_cast<std::size_t>(b)] += val.as_u64();
+    total += val.as_u64();
+  }
+  return total == out->count_;
+}
+
+namespace {
+
+/// Scales a nanosecond value to a short human string (ns/us/ms/s).
+std::string scale_ns(std::uint64_t ns) {
+  char buf[32];
+  const auto v = static_cast<double>(ns);
+  if (ns < 1000) std::snprintf(buf, sizeof buf, "%lluns", static_cast<unsigned long long>(ns));
+  else if (ns < 1000000) std::snprintf(buf, sizeof buf, "%.1fus", v / 1e3);
+  else if (ns < 1000000000ULL) std::snprintf(buf, sizeof buf, "%.1fms", v / 1e6);
+  else std::snprintf(buf, sizeof buf, "%.2fs", v / 1e9);
+  return buf;
+}
+
+}  // namespace
+
+std::string Histogram::summary(bool ns_values) const {
+  std::ostringstream os;
+  os << "n=" << count_;
+  if (count_ == 0) return os.str();
+  auto fmt = [ns_values](std::uint64_t v) {
+    return ns_values ? scale_ns(v) : std::to_string(v);
+  };
+  os << " p50=" << fmt(p50()) << " p90=" << fmt(p90()) << " p99=" << fmt(p99())
+     << " max=" << fmt(max_);
+  return os.str();
+}
+
+}  // namespace scflow::obs

@@ -1,0 +1,67 @@
+// Log2-bucketed histogram metric.  Values land in power-of-two buckets
+// (bucket 0 holds value 0; bucket b holds [2^(b-1), 2^b)), which keeps
+// the footprint fixed (65 counts) while covering the full uint64 range —
+// per-job nanosecond latencies and per-SAT-call conflict counts both fit
+// without configuration.  Count/sum/min/max are exact; quantiles are
+// estimated by a bucket walk with linear interpolation inside the
+// resolving bucket.  merge_from is a bucket-wise add, so merging is
+// associative and commutative — shard-local histograms fold into a
+// flow-wide one in any order with identical results.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace scflow::obs {
+
+class Histogram {
+ public:
+  static constexpr int kBuckets = 65;
+
+  void record(std::uint64_t value);
+  void merge_from(const Histogram& other);
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] std::uint64_t sum() const { return sum_; }
+  [[nodiscard]] std::uint64_t min() const { return count_ == 0 ? 0 : min_; }
+  [[nodiscard]] std::uint64_t max() const { return max_; }
+  [[nodiscard]] double mean() const {
+    return count_ == 0 ? 0.0 : static_cast<double>(sum_) / static_cast<double>(count_);
+  }
+  [[nodiscard]] std::uint64_t bucket(int i) const { return buckets_[static_cast<std::size_t>(i)]; }
+
+  /// Estimated value at quantile @p q in [0,1]: walks buckets to the one
+  /// containing the q-th sample and interpolates linearly across its
+  /// [lo,hi) range, clamped to the observed min/max.  Exact for q=0/q=1.
+  [[nodiscard]] std::uint64_t quantile(double q) const;
+
+  [[nodiscard]] std::uint64_t p50() const { return quantile(0.50); }
+  [[nodiscard]] std::uint64_t p90() const { return quantile(0.90); }
+  [[nodiscard]] std::uint64_t p99() const { return quantile(0.99); }
+
+  [[nodiscard]] bool operator==(const Histogram& other) const = default;
+
+  /// JSON object: {"count":..,"sum":..,"min":..,"max":..,"p50":..,
+  /// "p90":..,"p99":..,"buckets":{"8":3,"16":12,...}} — buckets keyed by
+  /// their exclusive upper bound, zero buckets omitted.  Stable across
+  /// runs for identical data, so ledger diffs can compare it textually.
+  [[nodiscard]] std::string to_json() const;
+
+  /// Rebuilds a histogram from its to_json() image (count/sum/min/max +
+  /// buckets).  Returns false if @p json is not a valid image.
+  [[nodiscard]] static bool from_json(const std::string& json, Histogram* out);
+
+  /// One-line human summary: "n=1234 p50=8.2us p90=... max=..." with the
+  /// unit scaled when @p ns_values (values are nanoseconds).
+  [[nodiscard]] std::string summary(bool ns_values) const;
+
+ private:
+  std::array<std::uint64_t, kBuckets> buckets_{};
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = ~0ULL;
+  std::uint64_t max_ = 0;
+};
+
+}  // namespace scflow::obs

@@ -1,0 +1,452 @@
+#include "obs/ledger.hpp"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <sstream>
+#include <thread>
+
+#include "obs/json.hpp"
+
+namespace scflow::obs {
+
+void Fnv1a::update_bytes(const void* data, std::size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    h_ ^= p[i];
+    h_ *= 1099511628211ULL;
+  }
+}
+
+void Fnv1a::update_u64(std::uint64_t v) {
+  unsigned char bytes[8];
+  for (int i = 0; i < 8; ++i) bytes[i] = static_cast<unsigned char>(v >> (8 * i));
+  update_bytes(bytes, sizeof bytes);
+}
+
+void Fnv1a::update_str(std::string_view s) {
+  update_u64(s.size());
+  update_bytes(s.data(), s.size());
+}
+
+RunMetadata collect_run_metadata(std::string tool) {
+  RunMetadata meta;
+  meta.tool = std::move(tool);
+  if (const char* rev = std::getenv("SCFLOW_GIT_REV"); rev != nullptr && *rev != '\0')
+    meta.rev = rev;
+  char host[256] = {};
+  if (gethostname(host, sizeof host - 1) == 0 && host[0] != '\0') meta.host = host;
+  meta.hw_threads = std::thread::hardware_concurrency();
+  return meta;
+}
+
+namespace {
+
+std::string hex64(std::uint64_t v) {
+  char buf[20];
+  std::snprintf(buf, sizeof buf, "0x%016llx", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+bool parse_hex64(const JsonValue& v, std::uint64_t* out) {
+  if (v.kind == JsonValue::Kind::kNumber) {
+    *out = v.as_u64();
+    return true;
+  }
+  if (v.kind != JsonValue::Kind::kString) return false;
+  *out = std::strtoull(v.string.c_str(), nullptr, 16);
+  return true;
+}
+
+}  // namespace
+
+bool is_timing_metric(std::string_view name) {
+  return name.size() >= 3 && name.substr(name.size() - 3) == "_ns";
+}
+
+std::uint64_t LedgerEntry::counter(std::string_view name) const {
+  for (const auto& [k, v] : counters)
+    if (k == name) return v;
+  return 0;
+}
+
+std::string LedgerEntry::to_json(bool strip_timing) const {
+  // Serialize metrics sorted by name so recording order never shows.
+  std::map<std::string_view, std::uint64_t> cs;
+  for (const auto& [k, v] : counters)
+    if (!strip_timing || !is_timing_metric(k)) cs.emplace(k, v);
+  std::map<std::string_view, double> gs;
+  for (const auto& [k, v] : gauges)
+    if (!strip_timing || !is_timing_metric(k)) gs.emplace(k, v);
+  std::map<std::string_view, const Histogram*> hs;
+  for (const auto& [k, v] : histograms) hs.emplace(k, &v);
+
+  std::ostringstream os;
+  os << "{\"phase\":\"" << json_escape(phase) << "\",\"design\":\"" << json_escape(design)
+     << "\",\"input_hash\":\"" << hex64(input_hash) << "\",\"options_fingerprint\":\""
+     << hex64(options_fingerprint) << '"';
+  if (!strip_timing) os << ",\"duration_ns\":" << duration_ns;
+  os << ",\"counters\":{";
+  bool first = true;
+  for (const auto& [k, v] : cs) {
+    os << (first ? "" : ",") << '"' << json_escape(k) << "\":" << v;
+    first = false;
+  }
+  os << "},\"gauges\":{";
+  first = true;
+  for (const auto& [k, v] : gs) {
+    os << (first ? "" : ",") << '"' << json_escape(k) << "\":" << json_number(v);
+    first = false;
+  }
+  os << "},\"histograms\":{";
+  first = true;
+  for (const auto& [k, h] : hs) {
+    os << (first ? "" : ",") << '"' << json_escape(k) << "\":";
+    // Timing histograms carry wall-clock values; their deterministic
+    // projection is the sample count alone.
+    if (strip_timing && is_timing_metric(k)) os << "{\"count\":" << h->count() << '}';
+    else os << h->to_json();
+    first = false;
+  }
+  os << "}}";
+  return os.str();
+}
+
+std::string Ledger::to_jsonl(bool strip_timing) const {
+  std::ostringstream os;
+  os << "{\"schema\":\"" << kLedgerSchema << "\",\"rev\":\"" << json_escape(meta.rev)
+     << "\",\"host\":\"" << json_escape(meta.host) << "\",\"hw_threads\":" << meta.hw_threads
+     << ",\"tool\":\"" << json_escape(meta.tool) << "\"}\n";
+  for (const LedgerEntry& e : entries_) os << e.to_json(strip_timing) << '\n';
+  return os.str();
+}
+
+bool Ledger::write(const std::string& path, bool append) const {
+  bool skip_header = false;
+  if (append) {
+    if (std::FILE* f = std::fopen(path.c_str(), "r"); f != nullptr) {
+      skip_header = std::fgetc(f) != EOF;
+      std::fclose(f);
+    }
+  }
+  std::FILE* f = std::fopen(path.c_str(), append ? "a" : "w");
+  if (f == nullptr) return false;
+  const std::string all = to_jsonl();
+  std::string_view body = all;
+  if (skip_header) body.remove_prefix(all.find('\n') + 1);
+  const bool ok = std::fwrite(body.data(), 1, body.size(), f) == body.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+namespace {
+
+bool parse_entry(const JsonValue& v, LedgerEntry* e, std::string* error) {
+  const JsonValue* phase = v.find("phase");
+  const JsonValue* design = v.find("design");
+  if (phase == nullptr || design == nullptr) {
+    if (error != nullptr) *error = "entry missing phase/design";
+    return false;
+  }
+  e->phase = phase->as_string();
+  e->design = design->as_string();
+  if (const JsonValue* h = v.find("input_hash"); h != nullptr)
+    if (!parse_hex64(*h, &e->input_hash)) return false;
+  if (const JsonValue* h = v.find("options_fingerprint"); h != nullptr)
+    if (!parse_hex64(*h, &e->options_fingerprint)) return false;
+  if (const JsonValue* d = v.find("duration_ns"); d != nullptr) e->duration_ns = d->as_u64();
+  if (const JsonValue* cs = v.find("counters");
+      cs != nullptr && cs->kind == JsonValue::Kind::kObject) {
+    for (const auto& [k, c] : cs->members) e->add_counter(k, c.as_u64());
+  }
+  if (const JsonValue* gs = v.find("gauges");
+      gs != nullptr && gs->kind == JsonValue::Kind::kObject) {
+    for (const auto& [k, g] : gs->members) e->add_gauge(k, g.as_double());
+  }
+  // Histograms are parsed by the caller, which still holds the DOM.
+  return true;
+}
+
+}  // namespace
+
+bool parse_ledger(std::string_view jsonl, LoadedLedger* out, std::string* error) {
+  *out = LoadedLedger{};
+  std::size_t line_no = 0;
+  std::size_t pos = 0;
+  bool saw_header = false;
+  while (pos < jsonl.size()) {
+    std::size_t nl = jsonl.find('\n', pos);
+    if (nl == std::string_view::npos) nl = jsonl.size();
+    const std::string_view line = jsonl.substr(pos, nl - pos);
+    pos = nl + 1;
+    ++line_no;
+    if (line.empty()) continue;
+    JsonValue v;
+    std::string perr;
+    if (!json_parse(line, &v, &perr) || v.kind != JsonValue::Kind::kObject) {
+      if (error != nullptr)
+        *error = "line " + std::to_string(line_no) + ": " + (perr.empty() ? "not an object" : perr);
+      return false;
+    }
+    if (const JsonValue* schema = v.find("schema"); schema != nullptr) {
+      if (schema->as_string() != kLedgerSchema) {
+        if (error != nullptr)
+          *error = "line " + std::to_string(line_no) + ": unknown schema '" +
+                   schema->as_string() + "'";
+        return false;
+      }
+      if (!saw_header) {
+        saw_header = true;
+        if (const JsonValue* r = v.find("rev"); r != nullptr) out->meta.rev = r->as_string();
+        if (const JsonValue* h = v.find("host"); h != nullptr) out->meta.host = h->as_string();
+        if (const JsonValue* t = v.find("hw_threads"); t != nullptr)
+          out->meta.hw_threads = static_cast<unsigned>(t->as_u64());
+        if (const JsonValue* t = v.find("tool"); t != nullptr) out->meta.tool = t->as_string();
+      }
+      continue;  // later headers (appended runs) keep the first stamp
+    }
+    LedgerEntry e;
+    std::string eerr;
+    if (!parse_entry(v, &e, &eerr)) {
+      if (error != nullptr) *error = "line " + std::to_string(line_no) + ": " + eerr;
+      return false;
+    }
+    if (const JsonValue* hs = v.find("histograms");
+        hs != nullptr && hs->kind == JsonValue::Kind::kObject) {
+      for (const auto& [k, hv] : hs->members) {
+        Histogram h;
+        if (const JsonValue* buckets = hv.find("buckets"); buckets != nullptr) {
+          // Full image: rebuild via the textual round-trip.
+          std::ostringstream img;
+          img << "{\"count\":" << (hv.find("count") != nullptr ? hv.find("count")->as_u64() : 0)
+              << ",\"sum\":" << (hv.find("sum") != nullptr ? hv.find("sum")->as_u64() : 0)
+              << ",\"min\":" << (hv.find("min") != nullptr ? hv.find("min")->as_u64() : 0)
+              << ",\"max\":" << (hv.find("max") != nullptr ? hv.find("max")->as_u64() : 0)
+              << ",\"buckets\":{";
+          bool first = true;
+          for (const auto& [bk, bv] : buckets->members) {
+            img << (first ? "" : ",") << '"' << bk << "\":" << bv.as_u64();
+            first = false;
+          }
+          img << "}}";
+          if (!Histogram::from_json(img.str(), &h)) {
+            if (error != nullptr)
+              *error = "line " + std::to_string(line_no) + ": bad histogram '" + k + "'";
+            return false;
+          }
+        } else if (const JsonValue* c = hv.find("count"); c != nullptr) {
+          // Stripped-timing projection: count only.
+          for (std::uint64_t i = 0; i < c->as_u64(); ++i) h.record(0);
+        }
+        e.add_histogram(k, std::move(h));
+      }
+    }
+    out->entries.push_back(std::move(e));
+  }
+  if (!saw_header && !out->entries.empty()) {
+    if (error != nullptr) *error = "missing ledger header line";
+    return false;
+  }
+  return true;
+}
+
+bool load_ledger(const std::string& path, LoadedLedger* out, std::string* error) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    if (error != nullptr) *error = "cannot open " + path;
+    return false;
+  }
+  std::string text;
+  char buf[1 << 16];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) text.append(buf, n);
+  std::fclose(f);
+  return parse_ledger(text, out, error);
+}
+
+namespace {
+
+/// "phase/design" with "#k" appended for repeated invocations of the
+/// same (phase, design) pair.
+std::vector<std::string> entry_keys(const std::vector<LedgerEntry>& entries) {
+  std::map<std::string, int> seen;
+  std::vector<std::string> keys;
+  keys.reserve(entries.size());
+  for (const LedgerEntry& e : entries) {
+    std::string key = e.phase + "/" + e.design;
+    const int k = seen[key]++;
+    if (k > 0) key += "#" + std::to_string(k);
+    keys.push_back(std::move(key));
+  }
+  return keys;
+}
+
+void diff_entry(const std::string& key, const LedgerEntry& a, const LedgerEntry& b,
+                LedgerDiff* out) {
+  auto delta = [&](std::vector<MetricDelta>* dst, std::string metric, double va, double vb) {
+    dst->push_back({key, std::move(metric), va, vb});
+  };
+  if (a.input_hash != b.input_hash)
+    delta(&out->deltas, "input_hash", static_cast<double>(a.input_hash),
+          static_cast<double>(b.input_hash));
+  if (a.options_fingerprint != b.options_fingerprint)
+    delta(&out->deltas, "options_fingerprint", static_cast<double>(a.options_fingerprint),
+          static_cast<double>(b.options_fingerprint));
+  if (a.duration_ns != b.duration_ns)
+    delta(&out->timing_only, "duration_ns", static_cast<double>(a.duration_ns),
+          static_cast<double>(b.duration_ns));
+
+  auto diff_map = [&](auto getter, const char* kind) {
+    std::map<std::string, double> ma;
+    std::map<std::string, double> mb;
+    for (const auto& [k, v] : getter(a)) ma[k] = static_cast<double>(v);
+    for (const auto& [k, v] : getter(b)) mb[k] = static_cast<double>(v);
+    (void)kind;
+    for (const auto& [k, va] : ma) {
+      const auto it = mb.find(k);
+      const double vb = it == mb.end() ? 0.0 : it->second;
+      if (va != vb)
+        delta(is_timing_metric(k) ? &out->timing_only : &out->deltas, k, va, vb);
+      if (it != mb.end()) mb.erase(it);
+    }
+    for (const auto& [k, vb] : mb)
+      if (vb != 0.0)
+        delta(is_timing_metric(k) ? &out->timing_only : &out->deltas, k, 0.0, vb);
+  };
+  diff_map([](const LedgerEntry& e) -> const auto& { return e.counters; }, "counter");
+  diff_map([](const LedgerEntry& e) -> const auto& { return e.gauges; }, "gauge");
+
+  // Histograms: timing histograms gate on sample count only; value
+  // histograms gate on the full image.
+  std::map<std::string, const Histogram*> ha;
+  std::map<std::string, const Histogram*> hb;
+  for (const auto& [k, h] : a.histograms) ha[k] = &h;
+  for (const auto& [k, h] : b.histograms) hb[k] = &h;
+  for (const auto& [k, pa] : ha) {
+    const auto it = hb.find(k);
+    if (it == hb.end()) {
+      delta(&out->deltas, k + ".count", static_cast<double>(pa->count()), 0.0);
+      continue;
+    }
+    const Histogram* pb = it->second;
+    if (pa->count() != pb->count())
+      delta(&out->deltas, k + ".count", static_cast<double>(pa->count()),
+            static_cast<double>(pb->count()));
+    else if (!is_timing_metric(k) && !(*pa == *pb))
+      delta(&out->deltas, k + ".sum", static_cast<double>(pa->sum()),
+            static_cast<double>(pb->sum()));
+    hb.erase(it);
+  }
+  for (const auto& [k, pb] : hb)
+    delta(&out->deltas, k + ".count", 0.0, static_cast<double>(pb->count()));
+}
+
+}  // namespace
+
+LedgerDiff diff_ledgers(const LoadedLedger& a, const LoadedLedger& b) {
+  LedgerDiff out;
+  const std::vector<std::string> ka = entry_keys(a.entries);
+  const std::vector<std::string> kb = entry_keys(b.entries);
+  std::map<std::string, std::size_t> ib;
+  for (std::size_t i = 0; i < kb.size(); ++i) ib.emplace(kb[i], i);
+  std::vector<bool> matched(kb.size(), false);
+  for (std::size_t i = 0; i < ka.size(); ++i) {
+    const auto it = ib.find(ka[i]);
+    if (it == ib.end()) {
+      out.only_a.push_back(ka[i]);
+      continue;
+    }
+    matched[it->second] = true;
+    diff_entry(ka[i], a.entries[i], b.entries[it->second], &out);
+  }
+  for (std::size_t i = 0; i < kb.size(); ++i)
+    if (!matched[i]) out.only_b.push_back(kb[i]);
+  return out;
+}
+
+namespace {
+
+std::string fmt_ms(std::uint64_t ns) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.2f", static_cast<double>(ns) / 1e6);
+  return buf;
+}
+
+std::string fmt_value(double v) {
+  if (v == static_cast<double>(static_cast<long long>(v)) && v > -1e18 && v < 1e18) {
+    return std::to_string(static_cast<long long>(v));
+  }
+  return json_number(v);
+}
+
+}  // namespace
+
+std::string format_ledger_table(const LoadedLedger& ledger) {
+  std::ostringstream os;
+  os << "ledger: tool=" << ledger.meta.tool << " rev=" << ledger.meta.rev
+     << " host=" << ledger.meta.host << " hw_threads=" << ledger.meta.hw_threads << "\n";
+  // Group by phase, preserving first-appearance order.
+  std::vector<std::string> phases;
+  for (const LedgerEntry& e : ledger.entries)
+    if (std::find(phases.begin(), phases.end(), e.phase) == phases.end())
+      phases.push_back(e.phase);
+  for (const std::string& phase : phases) {
+    os << "\n[" << phase << "]\n";
+    os << "  " << std::left;
+    char head[128];
+    std::snprintf(head, sizeof head, "%-28s %10s  %-18s %-18s %s", "design", "ms",
+                  "input_hash", "opts_fp", "counters");
+    os << head << "\n";
+    for (const LedgerEntry& e : ledger.entries) {
+      if (e.phase != phase) continue;
+      char row[160];
+      std::snprintf(row, sizeof row, "%-28s %10s  0x%016llx 0x%016llx", e.design.c_str(),
+                    fmt_ms(e.duration_ns).c_str(),
+                    static_cast<unsigned long long>(e.input_hash),
+                    static_cast<unsigned long long>(e.options_fingerprint));
+      os << "  " << row << " ";
+      // Up to four headline (non-timing) counters keep rows readable.
+      int shown = 0;
+      for (const auto& [k, v] : e.counters) {
+        if (is_timing_metric(k)) continue;
+        if (shown++ == 4) {
+          os << "…";
+          break;
+        }
+        os << (shown > 1 ? " " : "") << k << "=" << v;
+      }
+      os << "\n";
+    }
+  }
+  return os.str();
+}
+
+std::string format_ledger_histograms(const LoadedLedger& ledger) {
+  std::ostringstream os;
+  for (const LedgerEntry& e : ledger.entries) {
+    for (const auto& [k, h] : e.histograms) {
+      os << e.phase << "/" << e.design << " " << k << ": "
+         << h.summary(is_timing_metric(k)) << "\n";
+    }
+  }
+  return os.str();
+}
+
+std::string format_diff(const LedgerDiff& diff) {
+  std::ostringstream os;
+  for (const std::string& k : diff.only_a) os << "only in A: " << k << "\n";
+  for (const std::string& k : diff.only_b) os << "only in B: " << k << "\n";
+  for (const MetricDelta& d : diff.deltas) {
+    os << "DELTA " << d.entry << " " << d.metric << ": " << fmt_value(d.a) << " -> "
+       << fmt_value(d.b) << "\n";
+  }
+  for (const MetricDelta& d : diff.timing_only) {
+    os << "timing " << d.entry << " " << d.metric << ": " << fmt_value(d.a) << " -> "
+       << fmt_value(d.b) << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace scflow::obs

@@ -48,6 +48,23 @@ double Registry::gauge(std::string_view name) const {
   return it == gauges_.end() ? 0.0 : it->second;
 }
 
+void Registry::record_value(std::string_view name, std::uint64_t value) {
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) it = histograms_.emplace(std::string(name), Histogram{}).first;
+  it->second.record(value);
+}
+
+void Registry::merge_histogram(std::string_view name, const Histogram& h) {
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) it = histograms_.emplace(std::string(name), Histogram{}).first;
+  it->second.merge_from(h);
+}
+
+const Histogram* Registry::histogram(std::string_view name) const {
+  const auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : &it->second;
+}
+
 Registry::ScopedTimer::~ScopedTimer() {
   if (reg_ != nullptr) reg_->close_scope(start_ns_);
 }
@@ -90,6 +107,7 @@ void Registry::merge_from(const Registry& other, std::string_view prefix) {
   const std::string pre = prefix.empty() ? std::string() : std::string(prefix) + ".";
   for (const auto& [k, v] : other.counters_) count(pre + k, v);
   for (const auto& [k, v] : other.gauges_) set_gauge(pre + k, v);
+  for (const auto& [k, v] : other.histograms_) merge_histogram(pre + k, v);
   for (const auto& [k, v] : other.timers_) {
     TimerStat& t = timers_[pre + k];
     t.total_ns += v.total_ns;
@@ -99,7 +117,7 @@ void Registry::merge_from(const Registry& other, std::string_view prefix) {
 
 std::string Registry::report_json() const {
   std::ostringstream os;
-  os << "{\"schema\":\"scflow-obs-1\",\"counters\":{";
+  os << "{\"schema\":\"scflow-obs-2\",\"counters\":{";
   bool first = true;
   for (const auto& [k, v] : counters_) {
     os << (first ? "" : ",") << '"' << json_escape(k) << "\":" << v;
@@ -108,7 +126,14 @@ std::string Registry::report_json() const {
   os << "},\"gauges\":{";
   first = true;
   for (const auto& [k, v] : gauges_) {
-    os << (first ? "" : ",") << '"' << json_escape(k) << "\":" << v;
+    // json_number so non-finite gauges degrade to null, not bare "inf".
+    os << (first ? "" : ",") << '"' << json_escape(k) << "\":" << json_number(v);
+    first = false;
+  }
+  os << "},\"histograms\":{";
+  first = true;
+  for (const auto& [k, v] : histograms_) {
+    os << (first ? "" : ",") << '"' << json_escape(k) << "\":" << v.to_json();
     first = false;
   }
   os << "},\"timers\":{";

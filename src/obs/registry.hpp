@@ -1,9 +1,9 @@
-// The flow-wide metric registry: named monotonic counters, gauges and
-// scoped RAII timers with monotonic-clock nesting.  Every layer of the
-// stack (kernel stats, gate-sim counters, hls/netlist pass stats, flow
-// step timings) records into one Registry, which then emits a single
-// machine-readable report.json — the unified schema the benches and the
-// flow drivers share ("scflow-obs-1").
+// The flow-wide metric registry: named monotonic counters, gauges,
+// log-bucketed histograms and scoped RAII timers with monotonic-clock
+// nesting.  Every layer of the stack (kernel stats, gate-sim counters,
+// hls/netlist pass stats, flow step timings) records into one Registry,
+// which then emits a single machine-readable report.json — the unified
+// schema the benches and the flow drivers share ("scflow-obs-2").
 #pragma once
 
 #include <cstdint>
@@ -12,8 +12,11 @@
 #include <string_view>
 #include <vector>
 
+#include "obs/histogram.hpp"
+
 namespace scflow::obs {
 
+class Ledger;
 class TraceWriter;
 
 class Registry {
@@ -34,6 +37,16 @@ class Registry {
   // --- gauges (latest-value, floating point) ---
   void set_gauge(std::string_view name, double value);
   [[nodiscard]] double gauge(std::string_view name) const;  ///< 0.0 if absent
+
+  // --- histograms (log2-bucketed value distributions) ---
+  /// Records one sample into the named histogram (created on first use).
+  void record_value(std::string_view name, std::uint64_t value);
+  /// Bucket-wise merges @p h into the named histogram.
+  void merge_histogram(std::string_view name, const Histogram& h);
+  [[nodiscard]] const Histogram* histogram(std::string_view name) const;  ///< null if absent
+  [[nodiscard]] const std::map<std::string, Histogram, std::less<>>& histograms() const {
+    return histograms_;
+  }
 
   // --- scoped timers ---
   struct TimerStat {
@@ -69,13 +82,19 @@ class Registry {
   void attach_trace(TraceWriter* trace) { trace_ = trace; }
   [[nodiscard]] TraceWriter* trace() const { return trace_; }
 
+  /// Attaches a run ledger so engines that only receive a Registry* can
+  /// still append invocation entries.  Pass nullptr to detach.
+  void attach_ledger(Ledger* ledger) { ledger_ = ledger; }
+  [[nodiscard]] Ledger* ledger() const { return ledger_; }
+
   /// Merges every metric of @p other into this registry under
-  /// "<prefix>.name" (counters add, gauges overwrite, timers accumulate).
+  /// "<prefix>.name" (counters add, gauges overwrite, timers accumulate,
+  /// histograms bucket-wise merge).
   void merge_from(const Registry& other, std::string_view prefix = {});
 
-  /// The unified report: {"schema":"scflow-obs-1","counters":{...},
-  /// "gauges":{...},"timers":{"path":{"ns":..,"count":..}}} with keys in
-  /// deterministic (lexicographic) order.
+  /// The unified report: {"schema":"scflow-obs-2","counters":{...},
+  /// "gauges":{...},"histograms":{...},"timers":{"path":{"ns":..,
+  /// "count":..}}} with keys in deterministic (lexicographic) order.
   [[nodiscard]] std::string report_json() const;
   /// Writes report_json() to @p path; returns false on I/O failure.
   bool write_report(const std::string& path) const;
@@ -85,9 +104,11 @@ class Registry {
 
   std::map<std::string, std::uint64_t, std::less<>> counters_;
   std::map<std::string, double, std::less<>> gauges_;
+  std::map<std::string, Histogram, std::less<>> histograms_;
   std::map<std::string, TimerStat, std::less<>> timers_;
   std::vector<std::string> scope_stack_;
   TraceWriter* trace_ = nullptr;
+  Ledger* ledger_ = nullptr;
 };
 
 }  // namespace scflow::obs

@@ -1,29 +1,42 @@
-// An observability session: one Registry wired to one TraceWriter.  The
-// flow drivers and benches take an optional Session* and, when given,
-// record step timings (as trace slices), counters and gauges into it; the
-// caller then dumps report.json / trace.json.  Stack-allocate and keep it
-// alive for the run — the registry holds a pointer to the trace.
+// An observability session: one Registry wired to one TraceWriter, one
+// SpanSet and one run Ledger.  The flow drivers and benches take an
+// optional Session* and, when given, record step timings (as trace
+// slices), counters, gauges, histograms, spans and ledger entries into
+// it; the caller then dumps report.json / trace.json / ledger.jsonl.
+// Stack-allocate and keep it alive for the run — the registry holds
+// pointers to the trace and ledger.
 #pragma once
 
+#include "obs/ledger.hpp"
 #include "obs/registry.hpp"
+#include "obs/span.hpp"
 #include "obs/trace.hpp"
 
 namespace scflow::obs {
 
 struct Session {
-  Session() { registry.attach_trace(&trace); }
+  Session() {
+    registry.attach_trace(&trace);
+    registry.attach_ledger(&ledger);
+  }
   Session(const Session&) = delete;
   Session& operator=(const Session&) = delete;
 
   Registry registry;
   TraceWriter trace;
+  SpanSet spans;
+  Ledger ledger;
 
-  /// Convenience: writes both artifacts; empty paths are skipped.
-  /// Returns false if any requested write failed.
-  bool dump(const std::string& report_path, const std::string& trace_path) const {
+  /// Convenience: exports pending spans into the trace, then writes the
+  /// requested artifacts; empty paths are skipped.  Returns false if any
+  /// requested write failed.
+  bool dump(const std::string& report_path, const std::string& trace_path,
+            const std::string& ledger_path = {}) {
+    if (!trace_path.empty()) spans.export_to(trace);
     bool ok = true;
     if (!report_path.empty()) ok = registry.write_report(report_path) && ok;
     if (!trace_path.empty()) ok = trace.write_file(trace_path) && ok;
+    if (!ledger_path.empty()) ok = ledger.write(ledger_path) && ok;
     return ok;
   }
 };

@@ -1,0 +1,41 @@
+#include "obs/span.hpp"
+
+#include <unordered_map>
+
+#include "obs/trace.hpp"
+
+namespace scflow::obs {
+
+void SpanSet::add(Span s) {
+  if (s.id == 0) s.id = reserve_id();
+  spans_.push_back(std::move(s));
+}
+
+void SpanSet::export_to(TraceWriter& trace) {
+  if (exported_ >= spans_.size()) return;
+  // Index every span (not just new ones): a new child may link to a
+  // parent exported in an earlier batch.
+  std::unordered_map<std::uint64_t, const Span*> by_id;
+  by_id.reserve(spans_.size());
+  for (const Span& s : spans_) by_id.emplace(s.id, &s);
+  for (std::size_t i = exported_; i < spans_.size(); ++i) {
+    const Span& s = spans_[i];
+    const std::uint64_t dur = s.end_ns > s.start_ns ? s.end_ns - s.start_ns : 0;
+    trace.complete_event(s.name, s.category.empty() ? "span" : s.category, s.start_ns,
+                         dur, s.tid);
+    if (s.parent_id == 0) continue;
+    const auto it = by_id.find(s.parent_id);
+    if (it == by_id.end()) continue;
+    const Span& p = *it->second;
+    // Flow events bind to the slice enclosing (tid, ts): start inside the
+    // parent slice (clamped to its extent), end at the child slice start.
+    std::uint64_t from_ts = s.start_ns;
+    if (from_ts < p.start_ns) from_ts = p.start_ns;
+    if (from_ts > p.end_ns) from_ts = p.end_ns;
+    trace.flow_start(s.name, "flow", from_ts, p.tid, s.id);
+    trace.flow_end(s.name, "flow", s.start_ns, s.tid, s.id);
+  }
+  exported_ = spans_.size();
+}
+
+}  // namespace scflow::obs

@@ -1,0 +1,63 @@
+// Structured spans: timed regions with identities and parent links, built
+// for work that hops threads.  A parent (e.g. a fault campaign) reserves
+// an id, hands it to jobs that execute on BatchRunner lanes, and each job
+// becomes a child span carrying parent_id — the link survives the thread
+// hand-off because it is plain data, not stack context.  SpanSet collects
+// the spans (ids are reservable from any thread; span storage is appended
+// post-join on the owning thread, same discipline as TraceWriter) and
+// exports them as Chrome/Perfetto events: one complete slice per span
+// plus a flow-event pair (ph "s" at the parent, ph "f" binding into the
+// child slice) per parent link, so a campaign's fan-out across lanes
+// renders as one connected graph in the Perfetto UI.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace scflow::obs {
+
+class TraceWriter;
+
+struct Span {
+  std::uint64_t id = 0;         ///< non-zero, unique within the SpanSet
+  std::uint64_t parent_id = 0;  ///< 0 = root span
+  std::string name;
+  std::string category;
+  std::uint64_t start_ns = 0;  ///< trace-epoch relative
+  std::uint64_t end_ns = 0;
+  int tid = 0;  ///< lane / thread track the span ran on
+};
+
+class SpanSet {
+ public:
+  SpanSet() = default;
+  SpanSet(const SpanSet&) = delete;
+  SpanSet& operator=(const SpanSet&) = delete;
+
+  /// Reserves a fresh span id.  Thread-safe: lanes may reserve ids
+  /// concurrently while the owning thread is elsewhere.
+  [[nodiscard]] std::uint64_t reserve_id() {
+    return next_id_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Appends a finished span.  NOT thread-safe — call from the owning
+  /// thread (post-join), like TraceWriter.  A zero id is assigned one.
+  void add(Span s);
+
+  [[nodiscard]] const std::vector<Span>& spans() const { return spans_; }
+  [[nodiscard]] std::size_t size() const { return spans_.size(); }
+
+  /// Emits every span added since the previous export_to call as a
+  /// complete slice on its tid, plus a flow s/f pair for each parent
+  /// link whose parent span is known.  Idempotent per span (watermark).
+  void export_to(TraceWriter& trace);
+
+ private:
+  std::atomic<std::uint64_t> next_id_{1};
+  std::vector<Span> spans_;
+  std::size_t exported_ = 0;
+};
+
+}  // namespace scflow::obs

@@ -42,7 +42,19 @@ void TraceWriter::instant_event(std::string name, std::string category,
 }
 
 void TraceWriter::counter_event(std::string name, std::uint64_t ts_ns, double value) {
-  events_.push_back({Phase::kCounter, std::move(name), "counter", ts_ns, 0, 0, value});
+  events_.push_back({Phase::kCounter, std::move(name), "counter", ts_ns, 0, 0, value, 0});
+}
+
+void TraceWriter::flow_start(std::string name, std::string category, std::uint64_t ts_ns,
+                             int tid, std::uint64_t flow_id) {
+  events_.push_back(
+      {Phase::kFlowStart, std::move(name), std::move(category), ts_ns, 0, tid, 0.0, flow_id});
+}
+
+void TraceWriter::flow_end(std::string name, std::string category, std::uint64_t ts_ns,
+                           int tid, std::uint64_t flow_id) {
+  events_.push_back(
+      {Phase::kFlowEnd, std::move(name), std::move(category), ts_ns, 0, tid, 0.0, flow_id});
 }
 
 std::string TraceWriter::to_json() const {
@@ -64,7 +76,13 @@ std::string TraceWriter::to_json() const {
         os << ",\"ph\":\"i\",\"s\":\"t\"";
         break;
       case Phase::kCounter:
-        os << ",\"ph\":\"C\",\"args\":{\"value\":" << e.value << '}';
+        os << ",\"ph\":\"C\",\"args\":{\"value\":" << json_number(e.value) << '}';
+        break;
+      case Phase::kFlowStart:
+        os << ",\"ph\":\"s\",\"id\":" << e.flow_id;
+        break;
+      case Phase::kFlowEnd:
+        os << ",\"ph\":\"f\",\"bp\":\"e\",\"id\":" << e.flow_id;
         break;
     }
     os << '}';

@@ -28,6 +28,15 @@ class TraceWriter {
   /// A sample on a counter track (renders as a value graph).
   void counter_event(std::string name, std::uint64_t ts_ns, double value);
 
+  /// Flow-event pair: a flow with @p flow_id starts inside the slice
+  /// enclosing (tid, ts) and ends ("bp":"e" binding) inside the slice
+  /// enclosing the end point — Perfetto draws an arrow between the two
+  /// slices even when they sit on different thread tracks.
+  void flow_start(std::string name, std::string category, std::uint64_t ts_ns, int tid,
+                  std::uint64_t flow_id);
+  void flow_end(std::string name, std::string category, std::uint64_t ts_ns, int tid,
+                std::uint64_t flow_id);
+
   [[nodiscard]] std::size_t event_count() const { return events_.size(); }
 
   /// The whole trace as {"traceEvents":[...],"displayTimeUnit":"ms"}.
@@ -36,7 +45,7 @@ class TraceWriter {
   bool write_file(const std::string& path) const;
 
  private:
-  enum class Phase { kComplete, kInstant, kCounter };
+  enum class Phase { kComplete, kInstant, kCounter, kFlowStart, kFlowEnd };
   struct Event {
     Phase phase;
     std::string name;
@@ -45,6 +54,7 @@ class TraceWriter {
     std::uint64_t dur_ns = 0;
     int tid = 0;
     double value = 0.0;
+    std::uint64_t flow_id = 0;
   };
 
   std::uint64_t epoch_ns_;  // steady-clock origin

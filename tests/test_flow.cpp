@@ -93,7 +93,7 @@ TEST(RefinementFlowTest, SessionEmitsValidTraceAndReport) {
 
   const std::string report = session.registry.report_json();
   ASSERT_TRUE(obs::json_validate(report, &err)) << err;
-  EXPECT_NE(report.find("scflow-obs-1"), std::string::npos);
+  EXPECT_NE(report.find("scflow-obs-2"), std::string::npos);
   ASSERT_NE(session.registry.timer("level:rtl_opt"), nullptr);
   EXPECT_EQ(session.registry.timer("level:rtl_opt")->count, 1u);
   EXPECT_EQ(session.registry.counter("verify.steps"), 6u);

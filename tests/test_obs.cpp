@@ -159,7 +159,7 @@ TEST(RegistryTest, ReportJsonIsValidAndCarriesSchema) {
   const std::string json = r.report_json();
   std::string err;
   EXPECT_TRUE(json_validate(json, &err)) << err << "\n" << json;
-  EXPECT_NE(json.find("\"schema\":\"scflow-obs-1\""), std::string::npos);
+  EXPECT_NE(json.find("\"schema\":\"scflow-obs-2\""), std::string::npos);
   EXPECT_NE(json.find("\"k.v\":7"), std::string::npos);
   EXPECT_NE(json.find("g\\\"quoted\\\""), std::string::npos);
   EXPECT_NE(json.find("\"phase\""), std::string::npos);
@@ -183,6 +183,21 @@ TEST(TraceWriterTest, EmitsWellFormedChromeTraceJson) {
   EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos);
   // ns -> us conversion: 2500 ns slice is a 2.5 us duration.
   EXPECT_NE(json.find("\"dur\":2.500"), std::string::npos);
+}
+
+TEST(TraceWriterTest, FlowEventsCarrySharedIds) {
+  TraceWriter tw;
+  tw.flow_start("link", "flow", 1000, 0, 42);
+  tw.flow_end("link", "flow", 3000, 3, 42);
+  const std::string json = tw.to_json();
+  std::string err;
+  EXPECT_TRUE(json_validate(json, &err)) << err << "\n" << json;
+  EXPECT_NE(json.find("\"ph\":\"s\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"f\""), std::string::npos);
+  // Binding point "enclosing slice" keeps the arrow attached to the
+  // consuming slice in Perfetto.
+  EXPECT_NE(json.find("\"bp\":\"e\""), std::string::npos);
+  EXPECT_EQ(json.find("\"id\":42", json.find("\"id\":42") + 1) != std::string::npos, true);
 }
 
 TEST(TraceWriterTest, ClockIsMonotoneFromEpoch) {

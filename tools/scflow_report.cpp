@@ -1,0 +1,150 @@
+// scflow_report — renders and compares run-ledger artifacts.
+//
+//   scflow_report show <ledger.jsonl> [--phase P] [--design D] [--hist]
+//       Per-phase tables of every entry; --hist adds histogram summaries.
+//   scflow_report diff <a.jsonl> <b.jsonl> [--show-timing]
+//       Per-metric deltas between two runs.  Timing metrics
+//       ("duration_ns", "*_ns") never gate; exit 0 iff everything else
+//       is identical, exit 1 on real deltas.
+//   scflow_report validate <file.json|jsonl> [...]
+//       Checks each file is well-formed JSON (JSONL: every line) and, for
+//       ledgers, that the schema/shape parses.  Exit 0 iff all pass.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/ledger.hpp"
+
+namespace {
+
+using scflow::obs::LedgerDiff;
+using scflow::obs::LoadedLedger;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: scflow_report show <ledger.jsonl> [--phase P] [--design D] [--hist]\n"
+               "       scflow_report diff <a.jsonl> <b.jsonl> [--show-timing]\n"
+               "       scflow_report validate <file.json|jsonl> [...]\n");
+  return 2;
+}
+
+bool load_or_die(const std::string& path, LoadedLedger* out) {
+  std::string error;
+  if (!scflow::obs::load_ledger(path, out, &error)) {
+    std::fprintf(stderr, "scflow_report: %s: %s\n", path.c_str(), error.c_str());
+    return false;
+  }
+  return true;
+}
+
+int cmd_show(const std::vector<std::string>& args) {
+  std::string path;
+  std::string phase;
+  std::string design;
+  bool hist = false;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--phase" && i + 1 < args.size()) phase = args[++i];
+    else if (args[i] == "--design" && i + 1 < args.size()) design = args[++i];
+    else if (args[i] == "--hist") hist = true;
+    else if (path.empty()) path = args[i];
+    else return usage();
+  }
+  if (path.empty()) return usage();
+  LoadedLedger ledger;
+  if (!load_or_die(path, &ledger)) return 1;
+  if (!phase.empty() || !design.empty()) {
+    std::vector<scflow::obs::LedgerEntry> kept;
+    for (auto& e : ledger.entries) {
+      if (!phase.empty() && e.phase != phase) continue;
+      if (!design.empty() && e.design != design) continue;
+      kept.push_back(std::move(e));
+    }
+    ledger.entries = std::move(kept);
+  }
+  std::fputs(scflow::obs::format_ledger_table(ledger).c_str(), stdout);
+  if (hist) {
+    const std::string h = scflow::obs::format_ledger_histograms(ledger);
+    if (!h.empty()) {
+      std::fputs("\nhistograms:\n", stdout);
+      std::fputs(h.c_str(), stdout);
+    }
+  }
+  return 0;
+}
+
+int cmd_diff(const std::vector<std::string>& args) {
+  std::vector<std::string> paths;
+  bool show_timing = false;
+  for (const std::string& a : args) {
+    if (a == "--show-timing") show_timing = true;
+    else paths.push_back(a);
+  }
+  if (paths.size() != 2) return usage();
+  LoadedLedger a;
+  LoadedLedger b;
+  if (!load_or_die(paths[0], &a) || !load_or_die(paths[1], &b)) return 1;
+  LedgerDiff diff = scflow::obs::diff_ledgers(a, b);
+  if (!show_timing) diff.timing_only.clear();
+  const std::string text = scflow::obs::format_diff(diff);
+  if (!text.empty()) std::fputs(text.c_str(), stdout);
+  if (diff.clean()) {
+    std::printf("ledgers match: %zu vs %zu entries, 0 metric deltas (timing excluded)\n",
+                a.entries.size(), b.entries.size());
+    return 0;
+  }
+  std::printf("ledgers differ: %zu entry mismatches, %zu metric deltas\n",
+              diff.only_a.size() + diff.only_b.size(), diff.deltas.size());
+  return 1;
+}
+
+/// Validates one file: every line (JSONL) or the whole body (JSON) must
+/// parse; files whose first line carries a scflow-ledger schema are also
+/// structurally loaded.
+bool validate_file(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "scflow_report: cannot open %s\n", path.c_str());
+    return false;
+  }
+  std::string text;
+  char buf[1 << 16];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) text.append(buf, n);
+  std::fclose(f);
+
+  std::string error;
+  if (text.find("\"schema\":\"scflow-ledger-") != std::string::npos) {
+    LoadedLedger ledger;
+    if (!scflow::obs::load_ledger(path, &ledger, &error)) {
+      std::fprintf(stderr, "scflow_report: %s: %s\n", path.c_str(), error.c_str());
+      return false;
+    }
+    std::printf("%s: ok (ledger, %zu entries)\n", path.c_str(), ledger.entries.size());
+    return true;
+  }
+  if (!scflow::obs::json_validate(text, &error)) {
+    std::fprintf(stderr, "scflow_report: %s: %s\n", path.c_str(), error.c_str());
+    return false;
+  }
+  std::printf("%s: ok (json)\n", path.c_str());
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  std::vector<std::string> args(argv + 2, argv + argc);
+  if (cmd == "show") return cmd_show(args);
+  if (cmd == "diff") return cmd_diff(args);
+  if (cmd == "validate") {
+    if (args.empty()) return usage();
+    bool ok = true;
+    for (const std::string& p : args) ok = validate_file(p) && ok;
+    return ok ? 0 : 1;
+  }
+  return usage();
+}
