@@ -18,20 +18,85 @@
 // spans with per-fault batch jobs hanging off them land in a Perfetto
 // trace (chrome://tracing / ui.perfetto.dev), and each campaign appends
 // one run-ledger entry (counters, coverage, per-fault cycle histogram).
+//
+// `--engine event-driven|ppsfp` selects the campaign engine (PPSFP packs
+// 64 faults per compiled run and drops each at its first detection).
+// `--gbench-json FILE` emits a Google-Benchmark-shaped JSON with one
+// "fault_<design>" entry per design carrying `faults_per_s` — the
+// trajectory metric scripts/bench_compare.py ratchets; `--repeat N` reruns
+// the whole five-design sweep N times so the ratchet can take the max.
+#include <algorithm>
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "flow/synthesis_flow.hpp"
 #include "hdlsim/compile.hpp"
 #include "obs/session.hpp"
 
+namespace {
+
+// Registry-friendly slug of an AreaRow label ("RTL opt." -> "rtl_opt"),
+// matching the fig10.<slug> metric names.
+std::string row_slug(const std::string& label) {
+  std::string s;
+  for (char c : label) {
+    if (c == '.') continue;
+    if (c == ' ' || c == '-') {
+      if (!s.empty() && s.back() != '_') s.push_back('_');
+      continue;
+    }
+    s.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  return s;
+}
+
+// One gbench "iteration" entry per (design, repeat): name "fault_<slug>",
+// counter faults_per_s = faults simulated across the scan+noscan pair per
+// wall second.  The shape matches what scripts/bench_compare.py folds
+// (best-of-repeats per name, then pin comparison).
+bool write_gbench_json(const std::string& path,
+                       const std::vector<std::vector<scflow::flow::AreaRow>>& sweeps,
+                       const std::string& engine, unsigned threads) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::fprintf(f, "{\n  \"context\": {\"engine\": \"%s\", \"threads\": %u},\n",
+               engine.c_str(), threads);
+  std::fprintf(f, "  \"benchmarks\": [\n");
+  bool first = true;
+  for (const auto& rows : sweeps) {
+    for (const auto& r : rows) {
+      const double wall_ns = static_cast<double>(r.fault_wall_ns);
+      if (wall_ns <= 0.0) continue;
+      // scan + noscan each simulate the list once -> 2x faults per pair.
+      const double fps = 2.0 * static_cast<double>(r.faults_simulated) /
+                         (wall_ns / 1e9);
+      if (!first) std::fprintf(f, ",\n");
+      first = false;
+      std::fprintf(f,
+                   "    {\"name\": \"fault_%s\", \"run_type\": \"iteration\", "
+                   "\"iterations\": 1, \"real_time\": %.1f, \"cpu_time\": %.1f, "
+                   "\"time_unit\": \"ns\", \"faults_per_s\": %.3f}",
+                   row_slug(r.name).c_str(), wall_ns, wall_ns, fps);
+    }
+  }
+  std::fprintf(f, "\n  ]\n}\n");
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
-  std::string json_path, trace_path, ledger_path;
+  std::string json_path, trace_path, ledger_path, gbench_path;
   std::string backend = "interpreted";
+  std::string engine = "event-driven";
   unsigned threads = 1;
   std::size_t max_faults = 120;
+  int repeat = 1;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       json_path = argv[++i];
@@ -57,11 +122,25 @@ int main(int argc, char** argv) {
       backend = argv[++i];
     } else if (std::strncmp(argv[i], "--backend=", 10) == 0) {
       backend = argv[i] + 10;
+    } else if (std::strcmp(argv[i], "--engine") == 0 && i + 1 < argc) {
+      engine = argv[++i];
+    } else if (std::strncmp(argv[i], "--engine=", 9) == 0) {
+      engine = argv[i] + 9;
+    } else if (std::strcmp(argv[i], "--gbench-json") == 0 && i + 1 < argc) {
+      gbench_path = argv[++i];
+    } else if (std::strncmp(argv[i], "--gbench-json=", 14) == 0) {
+      gbench_path = argv[i] + 14;
+    } else if (std::strcmp(argv[i], "--repeat") == 0 && i + 1 < argc) {
+      repeat = std::max(1, static_cast<int>(std::strtol(argv[++i], nullptr, 10)));
+    } else if (std::strncmp(argv[i], "--repeat=", 9) == 0) {
+      repeat = std::max(1, static_cast<int>(std::strtol(argv[i] + 9, nullptr, 10)));
     } else {
       std::fprintf(stderr,
                    "usage: %s [--json FILE] [--trace FILE] [--ledger FILE] "
                    "[--threads N] [--faults N] "
-                   "[--backend interpreted|compiled]\n",
+                   "[--backend interpreted|compiled] "
+                   "[--engine event-driven|ppsfp] "
+                   "[--gbench-json FILE] [--repeat N]\n",
                    argv[0]);
       return 2;
     }
@@ -69,6 +148,11 @@ int main(int argc, char** argv) {
   if (backend != "interpreted" && backend != "compiled") {
     std::fprintf(stderr, "error: unknown --backend '%s' (interpreted|compiled)\n",
                  backend.c_str());
+    return 2;
+  }
+  if (engine != "event-driven" && engine != "ppsfp") {
+    std::fprintf(stderr, "error: unknown --engine '%s' (event-driven|ppsfp)\n",
+                 engine.c_str());
     return 2;
   }
 
@@ -84,8 +168,14 @@ int main(int argc, char** argv) {
   fopt.campaign.reference_backend = backend == "compiled"
                                         ? scflow::hdlsim::Backend::kCompiled
                                         : scflow::hdlsim::Backend::kInterpreted;
+  fopt.campaign.engine = engine == "ppsfp"
+                             ? scflow::fault::CampaignOptions::Engine::kPpsfp
+                             : scflow::fault::CampaignOptions::Engine::kEventDriven;
   fopt.session = telemetry ? &session : nullptr;
-  const auto rows = scflow::flow::figure10_area_rows(&session.registry, {}, fopt);
+  std::vector<std::vector<scflow::flow::AreaRow>> sweeps;
+  for (int rep = 0; rep < repeat; ++rep)
+    sweeps.push_back(scflow::flow::figure10_area_rows(&session.registry, {}, fopt));
+  const auto& rows = sweeps.front();
   std::printf("%s", scflow::flow::format_fault_table(rows).c_str());
 
   bool scan_helps_everywhere = true;
@@ -93,6 +183,14 @@ int main(int argc, char** argv) {
     if (r.scan_coverage_pct < r.noscan_coverage_pct) scan_helps_everywhere = false;
   std::printf("\nscan coverage >= no-scan on every design: %s\n",
               scan_helps_everywhere ? "yes" : "NO");
+
+  if (!gbench_path.empty()) {
+    if (!write_gbench_json(gbench_path, sweeps, engine, threads)) {
+      std::fprintf(stderr, "error: cannot write %s\n", gbench_path.c_str());
+      return 1;
+    }
+    std::printf("gbench json: %s\n", gbench_path.c_str());
+  }
 
   if (!json_path.empty() || telemetry) {
     session.ledger.meta = scflow::obs::collect_run_metadata(argv[0]);

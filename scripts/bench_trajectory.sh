@@ -1,12 +1,14 @@
 #!/usr/bin/env bash
 # Benchmark-trajectory snapshot: runs the headline gate-cosim benchmark on
-# both hdlsim backends and folds the google-benchmark JSON reports into a
-# committed BENCH_<date>.json (schema scflow-bench-1, see
-# scripts/bench_compare.py).  The pinned metrics are the pattern
-# throughputs (patterns x cycles / s) of the two synthesized Fig. 10
-# gate netlists under the VHDL-style testbench — the numbers the
-# compiled-backend acceptance rests on — for both backends, so a later
-# change that quietly slows either engine >20% fails scripts/check.sh.
+# both hdlsim backends plus the full-population PPSFP fault campaigns, and
+# folds the google-benchmark JSON reports into a committed BENCH_<date>.json
+# (schema scflow-bench-1, see scripts/bench_compare.py).  The pinned
+# metrics are the pattern throughputs (patterns x cycles / s) of the two
+# synthesized Fig. 10 gate netlists under the VHDL-style testbench — the
+# numbers the compiled-backend acceptance rests on — for both backends,
+# and the faults/s of every Fig. 10 design's full-list PPSFP campaign
+# pair, so a later change that quietly slows either engine >20% fails
+# scripts/check.sh.
 #
 # Usage: scripts/bench_trajectory.sh [OUT.json]
 #   REPEAT=N   repetitions per benchmark; the ratchet keeps the best run,
@@ -22,7 +24,7 @@ TMP=$(mktemp -d)
 trap 'rm -rf "$TMP"' EXIT
 
 cmake -B build -S . >/dev/null
-cmake --build build -j"$JOBS" --target bench_fig9_cosim >/dev/null
+cmake --build build -j"$JOBS" --target bench_fig9_cosim bench_fault >/dev/null
 
 # Provenance for the gbench "context" stamp (scflow_rev/host/threads via
 # bench_json_main.hpp) — the same rev lands in the trajectory file below.
@@ -36,6 +38,13 @@ for backend in interpreted compiled; do
     --benchmark_out_format=json >/dev/null
 done
 
+# Full-population stuck-at campaigns (scan + noscan pair per design) on
+# the PPSFP engine — the fault-throughput half of the trajectory.  A
+# fixed thread count keeps the number comparable across machines.
+echo "== bench_fault --engine ppsfp --faults 0 (repeat $REPEAT) =="
+./build/bench/bench_fault --engine ppsfp --faults 0 --threads 4 \
+  --repeat "$REPEAT" --gbench-json "$TMP/fault.gbench.json" >/dev/null
+
 python3 scripts/bench_compare.py emit \
   --rev "$(git rev-parse HEAD)" \
   --out "$OUT" \
@@ -43,8 +52,14 @@ python3 scripts/bench_compare.py emit \
   --pin 'fig9_cosim[interpreted]/Fig9_GateRTL_VhdlTestbench.patt_cyc_per_s' \
   --pin 'fig9_cosim[compiled]/Fig9_GateBEH_VhdlTestbench.patt_cyc_per_s' \
   --pin 'fig9_cosim[compiled]/Fig9_GateRTL_VhdlTestbench.patt_cyc_per_s' \
+  --pin 'fault/fault_vhdl_ref.faults_per_s' \
+  --pin 'fault/fault_beh_unopt.faults_per_s' \
+  --pin 'fault/fault_beh_opt.faults_per_s' \
+  --pin 'fault/fault_rtl_unopt.faults_per_s' \
+  --pin 'fault/fault_rtl_opt.faults_per_s' \
   "fig9_cosim[interpreted]=$TMP/interpreted.gbench.json" \
-  "fig9_cosim[compiled]=$TMP/compiled.gbench.json"
+  "fig9_cosim[compiled]=$TMP/compiled.gbench.json" \
+  "fault=$TMP/fault.gbench.json"
 
 python3 - "$OUT" <<'EOF'
 import json, sys
@@ -55,4 +70,7 @@ for design in ("GateBEH", "GateRTL"):
     comp, interp = b["fig9_cosim[compiled]"][key], b["fig9_cosim[interpreted]"][key]
     print(f"  {design}: compiled {comp:.3g}/s vs interpreted {interp:.3g}/s "
           f"-> {comp / interp:.1f}x")
+for slug in ("vhdl_ref", "beh_unopt", "beh_opt", "rtl_unopt", "rtl_opt"):
+    fps = b["fault"][f"fault_{slug}.faults_per_s"]
+    print(f"  fault {slug}: {fps:.3g} faults/s (full list, ppsfp)")
 EOF

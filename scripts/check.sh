@@ -35,12 +35,15 @@ echo "== cec: formal equivalence gates over the full synthesis flow =="
 (cd build/examples && ./synthesis_flow --cec >/dev/null)
 RAN_PASSES+=("cec")
 
-echo "== fault: stuck-at campaigns, scan vs pre-scan coverage gate =="
-# All five Fig. 10 designs run the shared-fault-list campaign pair; the
-# gate fails unless scan coverage strictly exceeds the scan-stripped
-# twin's on every design.  The fault engine's unit suite (collapse rules,
-# overlay clamping, thread-count determinism, budget degradation, SEU
-# divergence) runs via ctest above and again under ASan+UBSan below.
+echo "== fault: full-list PPSFP campaigns, scan vs pre-scan coverage gate =="
+# All five Fig. 10 designs run the shared-fault-list campaign pair over
+# the FULL collapsed fault population on the PPSFP bit-parallel engine
+# (no sampling); the gate fails unless every population is simulated
+# whole and scan coverage strictly exceeds the scan-stripped twin's on
+# every design.  The fault engine's unit suite (collapse rules, overlay
+# clamping, PPSFP-vs-event-driven differential, thread-count determinism,
+# budget degradation, SEU divergence) runs via ctest above and again
+# under ASan+UBSan below.
 build/examples/fault_campaign --check >/dev/null
 RAN_PASSES+=("fault")
 
@@ -103,11 +106,21 @@ else
   cmake -B build-tsan -S . -DSCFLOW_SANITIZE=thread >/dev/null
   cmake --build build-tsan -j"$JOBS" --target \
     test_gate_parallel test_gate_level test_gate_alloc test_fault \
-    test_fuzz_equivalence test_compiled_sim
-  for t in test_gate_parallel test_gate_level test_gate_alloc test_fault; do
+    test_ppsfp test_fuzz_equivalence test_compiled_sim
+  for t in test_gate_parallel test_gate_level test_gate_alloc; do
     echo "-- TSan: $t"
     TSAN_OPTIONS=halt_on_error=1 "build-tsan/tests/$t"
   done
+  # test_fault minus the five-design full-population parity sweep (minutes
+  # under TSan; its thread coverage is the campaign runner, which the
+  # remaining cases and test_ppsfp's differential already drive hard).
+  echo "-- TSan: test_fault"
+  TSAN_OPTIONS=halt_on_error=1 build-tsan/tests/test_fault \
+    --gtest_filter='-Campaign.PpsfpFullListReproducesSampledCoverageOnFig10'
+  # The PPSFP engine's differential oracle across thread counts {1,2,4,8}
+  # on both engines — the batch-granularity concurrency of the new path.
+  echo "-- TSan: test_ppsfp"
+  TSAN_OPTIONS=halt_on_error=1 build-tsan/tests/test_ppsfp
   # The compiled backend's threaded path: BatchRunner lanes sharing one
   # immutable CompiledProgram across worker threads.
   echo "-- TSan: test_compiled_sim (batch runner)"

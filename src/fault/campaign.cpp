@@ -1,9 +1,11 @@
 #include "fault/campaign.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <optional>
 #include <random>
 
+#include "fault/ppsfp.hpp"
 #include "hdlsim/batch_runner.hpp"
 #include "hdlsim/compiled_sim.hpp"
 #include "hdlsim/gate_sim.hpp"
@@ -112,9 +114,10 @@ std::vector<GateSim::PortSample> reference_run(Sim& sim, const Observer& o,
 }
 
 /// Fingerprint of the options that change WHAT the campaign computes.
-/// Scheduling/engine knobs (threads, wall budgets, reference backend) are
-/// deliberately excluded: results are bit-identical across them, so a
-/// thread-sweep's ledgers must fingerprint identically.
+/// Scheduling/engine knobs (threads, wall budgets, reference backend, the
+/// PPSFP faulty-machine engine) are deliberately excluded: results are
+/// bit-identical across them, so a thread-sweep's (or an engine-sweep's)
+/// ledgers must fingerprint identically.
 std::uint64_t campaign_fingerprint(const CampaignOptions& o) {
   obs::Fnv1a h;
   h.update_str("fault-campaign-options-v1");
@@ -154,6 +157,8 @@ void CampaignResult::record_into(obs::Registry& reg, std::string_view prefix) co
   reg.set_counter(p + ".faulty_cycles", faulty_cycles_total);
   reg.set_counter(p + ".observe_points", observe_ports.size());
   reg.set_counter(p + ".scan_used", scan_used ? 1 : 0);
+  reg.set_counter(p + ".ppsfp_dropped", ppsfp_dropped);
+  reg.set_counter(p + ".ppsfp_fallback_faults", ppsfp_fallback);
   reg.set_gauge(p + ".coverage_pct", coverage_pct());
 }
 
@@ -203,6 +208,20 @@ CampaignResult run_campaign(const nl::Netlist& n, const std::vector<Fault>& faul
   GateSim::Options sim_opt;
   sim_opt.x_initial_flops = options.x_initial_flops;
 
+  // One compile serves the compiled reference run, the PPSFP screen, and
+  // every PPSFP batch.  A netlist the compiler rejects (combinational
+  // cycle) simply keeps the whole fault list on the event-driven path.
+  const bool use_ppsfp = options.engine == CampaignOptions::Engine::kPpsfp;
+  std::optional<hdlsim::CompiledProgram> cprog;
+  if (options.reference_backend == hdlsim::Backend::kCompiled) {
+    cprog.emplace(hdlsim::compile_netlist(n));
+  } else if (use_ppsfp) {
+    try {
+      cprog.emplace(hdlsim::compile_netlist(n));
+    } catch (const std::exception&) {
+    }
+  }
+
   // Reference responses of the good machine, observed after every cycle.
   // The compiled backend runs the same program broadcast across its 64
   // pattern lanes (four-state so X propagation matches the interpreter);
@@ -215,7 +234,7 @@ CampaignResult run_campaign(const nl::Netlist& n, const std::vector<Fault>& faul
     // With a session listening, also collect the per-cycle op-throughput
     // distribution (off otherwise — benches measure the bare loop).
     copt.ops_histogram = session != nullptr;
-    hdlsim::CompiledSim good(n, copt);
+    hdlsim::CompiledSim good(n, *cprog, copt);
     reference = reference_run(good, obs_points, prog);
     if (session != nullptr) good.record_into(session->registry, "compiled." + n.name());
   } else {
@@ -234,12 +253,12 @@ CampaignResult run_campaign(const nl::Netlist& n, const std::vector<Fault>& faul
   const std::uint64_t cycle_budget =
       options.cycle_budget == 0 ? prog.cycles.size() : options.cycle_budget;
 
-  hdlsim::BatchRunner runner(options.threads);
-  runner.set_job_budget_ns(options.fault_wall_budget_ns);
-  runner.run(faults.size(), [&](std::size_t job, unsigned /*lane*/,
-                                const hdlsim::BatchRunner::JobContext& ctx) {
-    FaultResult& fr = result.faults[job];
-    fr.fault = faults[job];
+  // The event-driven faulty machine: one whole GateSim per fault — the
+  // kEventDriven engine, and the per-fault fallback of kPpsfp.
+  const auto event_driven_fault = [&](std::size_t fi,
+                                      const hdlsim::BatchRunner::JobContext& ctx) {
+    FaultResult& fr = result.faults[fi];
+    fr.fault = faults[fi];
     // Campaign watchdog: once the whole campaign is over budget, remaining
     // faults degrade to a budget classification without simulating.
     if (campaign_deadline != 0 && steady_now_ns() > campaign_deadline) {
@@ -283,7 +302,63 @@ CampaignResult run_campaign(const nl::Netlist& n, const std::vector<Fault>& faul
       fr.klass = FaultClass::kOscillating;
     else
       fr.klass = FaultClass::kUndetected;
-  });
+  };
+
+  hdlsim::BatchRunner runner(options.threads);
+  runner.set_job_budget_ns(options.fault_wall_budget_ns);
+  PpsfpPlan plan;
+  if (!use_ppsfp) {
+    runner.run(faults.size(), [&](std::size_t job, unsigned /*lane*/,
+                                  const hdlsim::BatchRunner::JobContext& ctx) {
+      event_driven_fault(job, ctx);
+    });
+  } else {
+    if (cprog.has_value()) {
+      plan = ppsfp_plan(n, *cprog, prog.cycles, reference, options.x_initial_flops,
+                        faults);
+    } else {
+      plan.reason = "combinational cycle";
+      plan.fallback.resize(faults.size());
+      for (std::size_t i = 0; i < faults.size(); ++i) plan.fallback[i] = i;
+    }
+    // Jobs: the bit-parallel batches first (64 faults each), then one job
+    // per fallback fault — all on one runner, each job writing only its
+    // own faults' slots, so the thread-count bit-identity carries over.
+    constexpr std::size_t kB = hdlsim::CompiledSim::kLanes;
+    const std::size_t n_batches = (plan.parallel.size() + kB - 1) / kB;
+    runner.run(n_batches + plan.fallback.size(),
+               [&](std::size_t job, unsigned /*lane*/,
+                   const hdlsim::BatchRunner::JobContext& ctx) {
+                 if (job >= n_batches) {
+                   event_driven_fault(plan.fallback[job - n_batches], ctx);
+                   return;
+                 }
+                 const std::size_t begin = job * kB;
+                 const std::size_t count = std::min(kB, plan.parallel.size() - begin);
+                 // Same watchdog degradation as the per-fault path, at
+                 // batch granularity.
+                 if (campaign_deadline != 0 && steady_now_ns() > campaign_deadline) {
+                   for (std::size_t i = 0; i < count; ++i) {
+                     FaultResult& fr = result.faults[plan.parallel[begin + i]];
+                     fr.fault = faults[plan.parallel[begin + i]];
+                     fr.klass = FaultClass::kUndetectedBudget;
+                   }
+                   return;
+                 }
+                 run_ppsfp_batch(
+                     n, *cprog, prog.cycles, reference, faults,
+                     plan.parallel.data() + begin, count, cycle_budget,
+                     [&] {
+                       return ctx.expired() ||
+                              (campaign_deadline != 0 &&
+                               steady_now_ns() > campaign_deadline);
+                     },
+                     result.faults);
+               });
+    result.ppsfp_fallback = plan.fallback.size();
+    for (const std::size_t fi : plan.parallel)
+      if (result.faults[fi].klass == FaultClass::kDetected) ++result.ppsfp_dropped;
+  }
 
   for (const FaultResult& fr : result.faults) {
     result.faulty_cycles_total += fr.cycles;
@@ -304,6 +379,17 @@ CampaignResult run_campaign(const nl::Netlist& n, const std::vector<Fault>& faul
   if (session != nullptr) {
     result.record_into(session->registry, prefix);
     session->registry.merge_histogram(prefix + ".fault_cycles", fault_cycles);
+    if (use_ppsfp) {
+      // Which stimulus cycle dropped each bit-parallel fault — the
+      // fault-dropping evidence.  Registry-only (like the ppsfp_* counters
+      // record_into adds): the ledger entry below stays engine-invariant,
+      // so cross-engine `scflow_report diff` is clean modulo timing.
+      obs::Histogram dropped_at;
+      for (const std::size_t fi : plan.parallel)
+        if (result.faults[fi].klass == FaultClass::kDetected)
+          dropped_at.record(result.faults[fi].detect_cycle);
+      session->registry.merge_histogram(prefix + ".ppsfp_dropped_at", dropped_at);
+    }
     session->spans.add({root_span, 0, prefix, "fault", trace_t0,
                         session->trace.now_ns(), 0});
     runner.record_into(*session, prefix + ".batch", root_span);

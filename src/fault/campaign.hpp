@@ -74,9 +74,18 @@ struct CampaignOptions {
   /// bit-parallel four-state CompiledSim (bit-exact with the interpreter
   /// on broadcast stimulus — see test_compiled_sim) and records its
   /// "compiled.<design>.ops/.words/.cycles" counters into the session.
-  /// Faulty machines always run the interpreter (fault injection is an
-  /// event-level hook).
+  /// With engine == kEventDriven, faulty machines always run the
+  /// interpreter (fault injection is an event-level hook).
   hdlsim::Backend reference_backend = hdlsim::Backend::kInterpreted;
+  /// Faulty-machine engine.  kPpsfp batches up to 64 faults per compiled
+  /// bit-parallel run (one stuck-at overlay lane each, dropped at first
+  /// detection); faults the two-state screen can't prove exact — X/
+  /// oscillation-sensitive programs, macro bus nets, x_initial_flops,
+  /// cyclic netlists — fall back to the event-driven overlay per fault,
+  /// so classifications are bit-identical with kEventDriven either way
+  /// (the differential harness in tests/test_ppsfp.cpp holds this).
+  enum class Engine { kEventDriven, kPpsfp };
+  Engine engine = Engine::kEventDriven;
 };
 
 /// The campaign stimulus program, materialised the same way run_campaign
@@ -113,6 +122,11 @@ struct CampaignResult {
   std::size_t undetected_budget = 0;
   std::size_t oscillating = 0;
   std::uint64_t faulty_cycles_total = 0;
+  /// PPSFP engine accounting (0 under kEventDriven): faults detected —
+  /// and therefore dropped — on the bit-parallel path, and faults that
+  /// fell back to the event-driven overlay.
+  std::size_t ppsfp_dropped = 0;
+  std::size_t ppsfp_fallback = 0;
 
   [[nodiscard]] std::size_t simulated() const { return faults.size(); }
   /// Stuck-at coverage over the simulated faults, in percent.

@@ -100,10 +100,14 @@ std::vector<Fault> sample_faults(const std::vector<Fault>& faults, std::size_t m
   if (max_faults == 0 || faults.size() <= max_faults) return faults;
   std::vector<Fault> out;
   out.reserve(max_faults);
-  // Even stride over the (net-ordered) list, so the sample spans the whole
-  // design instead of its first region.
+  // Centred even stride over the (net-ordered) list: pick the middle of
+  // each of the max_faults equal spans.  The left-aligned i*N/M stride
+  // could never reach the last span's tail (faults[N-1] was unreachable),
+  // systematically under-selecting the design's last FFR group whenever
+  // N % M == 0.  Indices stay strictly increasing for N > M.
+  const std::size_t n = faults.size();
   for (std::size_t i = 0; i < max_faults; ++i)
-    out.push_back(faults[i * faults.size() / max_faults]);
+    out.push_back(faults[(2 * i + 1) * n / (2 * max_faults)]);
   return out;
 }
 

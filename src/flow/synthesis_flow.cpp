@@ -168,6 +168,7 @@ std::vector<AreaRow> figure10_area_rows(obs::Registry* reg,
       list = fault::sample_faults(list, fault_options.campaign.max_faults);
 
       fault::CampaignOptions co = fault_options.campaign;
+      const auto fault_t0 = std::chrono::steady_clock::now();
       co.use_scan = true;
       co.metric_prefix = "fault." + e.slug + ".scan";
       fault::CampaignResult with_scan =
@@ -176,6 +177,10 @@ std::vector<AreaRow> figure10_area_rows(obs::Registry* reg,
       co.metric_prefix = "fault." + e.slug + ".noscan";
       fault::CampaignResult no_scan =
           fault::run_campaign(pre_scan, list, co, fault_options.session);
+      row.fault_wall_ns = static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - fault_t0)
+              .count());
       for (fault::CampaignResult* r : {&with_scan, &no_scan}) {
         r->list = stats;
         r->population = population;

@@ -74,7 +74,10 @@ struct AreaRow {
   double scan_coverage_pct = -1.0;    ///< stuck-at coverage, scan driven
   double noscan_coverage_pct = -1.0;  ///< same fault list, pre-scan netlist
   std::size_t fault_population = 0;   ///< collapsed list size before sampling
-  std::size_t faults_simulated = 0;
+  std::size_t faults_simulated = 0;   ///< per campaign (scan and noscan each)
+  /// Wall time of the scan+noscan campaign pair — the denominator of
+  /// bench_fault's faults_per_s trajectory metric.
+  std::uint64_t fault_wall_ns = 0;
 };
 
 /// All Fig. 10 designs: the VHDL reference, behavioural unopt/opt (through

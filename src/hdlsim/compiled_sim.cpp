@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <unordered_map>
+#include <utility>
 
 #include "core/wordpack.hpp"
 #include "dtypes/bit_int.hpp"
@@ -15,7 +17,18 @@ constexpr std::uint8_t op_kind(CT t) { return static_cast<std::uint8_t>(t); }
 }  // namespace
 
 CompiledSim::CompiledSim(const nl::Netlist& netlist, Options options)
-    : nl_(&netlist), options_(options), prog_(compile_netlist(netlist)) {
+    : CompiledSim(netlist, options, compile_netlist(netlist), nullptr) {}
+
+CompiledSim::CompiledSim(const nl::Netlist& netlist, const CompiledProgram& program,
+                         Options options)
+    : CompiledSim(netlist, options, CompiledProgram{}, &program) {}
+
+CompiledSim::CompiledSim(const nl::Netlist& netlist, Options options, CompiledProgram own,
+                         const CompiledProgram* shared)
+    : nl_(&netlist),
+      options_(options),
+      prog_own_(std::move(own)),
+      prog_(shared != nullptr ? *shared : prog_own_) {
   if (options_.x_initial_flops) options_.four_state = true;
 
   vals_.assign(prog_.slot_count, 0);
@@ -132,10 +145,97 @@ void CompiledSim::set_input_word(PortRef port, std::size_t bit, std::uint64_t va
   drive_bit(prog_.input_slots[in_index(port)].at(bit), value, known);
 }
 
+// --- PPSFP fault overlay ---------------------------------------------------
+
+void CompiledSim::set_fault_overlay(const std::vector<LaneFault>& faults) {
+  if (options_.four_state)
+    throw std::logic_error(prog_.name + ": the PPSFP fault overlay is two-state only");
+  ov_settle_.clear();
+  ov_commit_.clear();
+  ov_op_.clear();
+  overlay_ = !faults.empty();
+  if (!overlay_) return;
+
+  // Merge the per-lane faults into one clamp per slot (a slot has one
+  // driver, so every write site applies the whole merged word at once).
+  std::unordered_map<std::uint32_t, Clamp> by_slot;
+  for (const LaneFault& lf : faults) {
+    if (lf.lane >= kLanes)
+      throw std::invalid_argument(prog_.name + ": fault overlay lane out of range");
+    if (lf.net < 0 || static_cast<std::size_t>(lf.net) >= prog_.slot_of_net.size())
+      throw std::invalid_argument(prog_.name + ": fault overlay net out of range");
+    const std::uint32_t slot = prog_.slot_of_net[static_cast<std::size_t>(lf.net)];
+    const std::uint64_t mask = std::uint64_t{1} << lf.lane;
+    Clamp& c = by_slot[slot];
+    c.slot = slot;
+    c.mask |= mask;
+    if (lf.stuck_one) c.val |= mask;
+  }
+
+  std::unordered_map<std::uint32_t, bool> covered;  // slot -> has a write site
+  for (const auto& [slot, c] : by_slot) covered[slot] = false;
+
+  // Flop Q slots: rewritten only by the flat commit.
+  for (auto& [slot, c] : by_slot)
+    if (slot < prog_.flop_count) {
+      ov_commit_.push_back(c);
+      covered[slot] = true;
+    }
+  // Externally driven slots: re-clamped before every settle (set_input*
+  // happens between steps, so a settle-start clamp is equivalent to
+  // clamping inside every drive).
+  for (const auto& slots : prog_.input_slots)
+    for (const std::uint32_t s : slots) {
+      const auto it = by_slot.find(s);
+      if (it != by_slot.end()) {
+        ov_settle_.push_back(it->second);
+        covered[s] = true;
+      }
+    }
+  // Op-driven slots (including macro data buses): clamp right after the
+  // driver op itself.  Readers of the slot may share the driver's
+  // kind-homogeneous run (a dependent same-kind chain compiles into one
+  // run), so the executor splits the run at each clamped op instead of
+  // clamping at run end.
+  for (std::uint32_t ri = 0; ri < prog_.runs.size(); ++ri) {
+    const OpRun& run = prog_.runs[ri];
+    for (std::uint32_t oi = run.begin; oi < run.end; ++oi) {
+      const CompiledOp& op = prog_.ops[oi];
+      if (run.kind == kMacroReadOp) {
+        for (const std::uint32_t s : prog_.macro_ports[op.in0].data_slots) {
+          const auto it = by_slot.find(s);
+          if (it != by_slot.end()) {
+            ov_op_.push_back({oi, it->second});
+            covered[s] = true;
+          }
+        }
+      } else {
+        const auto it = by_slot.find(op.out());
+        if (it != by_slot.end()) {
+          ov_op_.push_back({oi, it->second});
+          covered[op.out()] = true;
+        }
+      }
+    }
+  }
+  // Anything left (tie cells, undriven nets) never gets rewritten: the
+  // install-time clamp below persists, but keep a settle-start clamp so
+  // the invariant is enforced uniformly.
+  for (const auto& [slot, c] : by_slot)
+    if (!covered[slot]) ov_settle_.push_back(c);
+
+  std::sort(ov_op_.begin(), ov_op_.end(),
+            [](const OpClamp& a, const OpClamp& b) { return a.op < b.op; });
+  // Clamp the current state immediately — inject_stuck semantics.
+  for (const auto& [slot, c] : by_slot) apply_clamp(c);
+}
+
 // --- execution -------------------------------------------------------------
 
 template <bool FourState>
 bool CompiledSim::eval_macro_port(std::uint32_t pi) {
+  if constexpr (!FourState)
+    if (overlay_) return eval_macro_port_overlay(pi);
   const CompiledMacroPort& mp = prog_.macro_ports[pi];
   const CompiledMacro& cm = prog_.macros[mp.macro];
   MacroRt& mrt = macro_rt_[mp.macro];
@@ -146,7 +246,7 @@ bool CompiledSim::eval_macro_port(std::uint32_t pi) {
   // mirroring GateSim's dirty marking, which is what lets externally
   // driven data-port values persist identically on both engines.
   const std::size_t n_in = mp.addr_slots.size() + mp.en_slots.size();
-  bool changed = !prt.valid || mrt.wrote;
+  bool changed = !prt.valid || mrt.wrote_mask != 0;
   std::size_t w = 0;
   const auto scan = [&](const std::vector<std::uint32_t>& slots) {
     for (const std::uint32_t s : slots) {
@@ -207,6 +307,55 @@ bool CompiledSim::eval_macro_port(std::uint32_t pi) {
   return true;
 }
 
+// Overlay-mode port evaluation: the same change detection per lane.  Each
+// lane is one faulty machine, so only the lanes whose address/enable bits
+// (or RAM contents) moved re-evaluate — the others keep their externally
+// driven data-port values exactly as their event-driven twin would.
+bool CompiledSim::eval_macro_port_overlay(std::uint32_t pi) {
+  const CompiledMacroPort& mp = prog_.macro_ports[pi];
+  const CompiledMacro& cm = prog_.macros[mp.macro];
+  MacroRt& mrt = macro_rt_[mp.macro];
+  PortRt& prt = port_rt_[pi];
+
+  std::uint64_t changed = prt.valid ? mrt.wrote_mask : ~0ull;
+  std::size_t w = 0;
+  const auto scan = [&](const std::vector<std::uint32_t>& slots) {
+    for (const std::uint32_t s : slots) {
+      changed |= prt.stash[w] ^ vals_[s];
+      prt.stash[w] = vals_[s];
+      ++w;
+    }
+  };
+  scan(mp.addr_slots);
+  scan(mp.en_slots);
+  prt.valid = true;
+  if (changed == 0) return false;
+
+  const std::size_t data_bits = mp.data_slots.size();
+  std::fill_n(scratch_v_.begin(), data_bits, 0);
+  const std::size_t entries = std::size_t{1} << cm.addr_bits;
+  for (unsigned lane = 0; lane < kLanes; ++lane) {
+    if (((changed >> lane) & 1u) == 0) continue;
+    std::uint64_t addr = 0;
+    for (std::size_t b = 0; b < mp.addr_slots.size(); ++b)
+      addr |= std::uint64_t{core::word_lane(vals_[mp.addr_slots[b]], lane)} << b;
+    std::uint64_t word;
+    if (cm.kind == nl::MacroInfo::Kind::kRom) {
+      word = addr < cm.rom_contents.size()
+                 ? static_cast<std::uint64_t>(cm.rom_contents[addr]) &
+                       scflow::bit_mask(cm.data_bits)
+                 : 0;
+    } else {
+      word = mrt.ram[std::size_t{lane} * entries + addr];
+    }
+    for (std::size_t b = 0; b < data_bits; ++b)
+      if (((word >> b) & 1u) != 0) scratch_v_[b] |= std::uint64_t{1} << lane;
+  }
+  for (std::size_t b = 0; b < data_bits; ++b)
+    vals_[mp.data_slots[b]] = (vals_[mp.data_slots[b]] & ~changed) | scratch_v_[b];
+  return true;
+}
+
 template <bool FourState>
 void CompiledSim::exec() {
   std::uint64_t* const v = vals_.data();
@@ -216,18 +365,23 @@ void CompiledSim::exec() {
   // One dispatch per kind-homogeneous run, then a tight branch-free sweep
   // of the span — the compiler's level-sorted emission order makes the
   // runs long, so the per-op cost is the loads and the ALU op, not an
-  // indirect jump.
-  for (const OpRun& run : prog_.runs) {
-    const CompiledOp* p = ops + run.begin;
-    const CompiledOp* const e = ops + run.end;
-    if (run.kind == kMacroReadOp) {
-      for (; p != e; ++p) ran += eval_macro_port<FourState>(p->in0) ? 1u : 0u;
-      continue;
-    }
-    ran += run.end - run.begin;
+  // indirect jump.  Fault-overlay clamps ride the same op order: each
+  // clamp fires right after its driver op (oc walks ov_op_, sorted by op
+  // index), with the run split at the clamped op — a dependent same-kind
+  // chain shares one run, so a reader may sit just after the driver.
+  // Overlay-free executions (the benches) never take the split: the oc
+  // bound check fails once per run and the sweep covers the whole span.
+  [[maybe_unused]] std::size_t oc = 0;
+  const auto clamps_through = [&](std::uint32_t op_end) {
+    if constexpr (!FourState)
+      for (; oc < ov_op_.size() && ov_op_[oc].op < op_end; ++oc)
+        apply_clamp(ov_op_[oc].clamp);
+  };
+  const auto sweep = [&](std::uint8_t kind, const CompiledOp* p,
+                         const CompiledOp* const e) {
     constexpr std::uint32_t M = CompiledOp::kOutMask;
     if constexpr (!FourState) {
-      switch (run.kind) {
+      switch (kind) {
         case op_kind(CT::kBuf):
           for (; p != e; ++p) v[p->out_kind & M] = v[p->in0];
           break;
@@ -263,7 +417,7 @@ void CompiledSim::exec() {
     } else {
       // Masked value/known pairs (unknown bits carry value 0), derived
       // from the dtypes/logic.cpp truth tables with Z collapsed to X.
-      switch (run.kind) {
+      switch (kind) {
         case op_kind(CT::kBuf):
           for (; p != e; ++p) {
             const std::uint32_t out = p->out_kind & M;
@@ -353,6 +507,29 @@ void CompiledSim::exec() {
         default: break;
       }
     }
+  };
+  for (std::size_t ri = 0; ri < prog_.runs.size(); ++ri) {
+    const OpRun& run = prog_.runs[ri];
+    if (run.kind == kMacroReadOp) {
+      // Read-port data slots clamp per op too: one port's data net can
+      // directly address another port in the same run.
+      for (std::uint32_t oi = run.begin; oi < run.end; ++oi) {
+        ran += eval_macro_port<FourState>(ops[oi].in0) ? 1u : 0u;
+        clamps_through(oi + 1);
+      }
+      continue;
+    }
+    ran += run.end - run.begin;
+    std::uint32_t cur = run.begin;
+    if constexpr (!FourState) {
+      while (oc < ov_op_.size() && ov_op_[oc].op < run.end) {
+        const std::uint32_t stop = ov_op_[oc].op + 1;
+        sweep(run.kind, ops + cur, ops + stop);
+        clamps_through(stop);
+        cur = stop;
+      }
+    }
+    sweep(run.kind, ops + cur, ops + run.end);
   }
   ops_run_ += ran;
   counters_.evaluations += ran;
@@ -375,7 +552,7 @@ void CompiledSim::ram_writes() {
       }
       return w;
     };
-    bool any = false;
+    std::uint64_t wrote = 0;
     for (unsigned lane = 0; lane < kLanes; ++lane) {
       // Same rules as GateSim: X on the enable bus or a zero enable skips,
       // an X address makes the contents unknowable (skip), X data writes 0.
@@ -389,10 +566,10 @@ void CompiledSim::ram_writes() {
       const std::uint64_t data = gather(cm.wdata_slots, lane, data_ok);
       mrt.ram[std::size_t{lane} * entries + addr] =
           data_ok ? static_cast<std::uint32_t>(data) : 0;
-      any = true;
+      wrote |= std::uint64_t{1} << lane;
     }
-    if (any) {
-      mrt.wrote = true;
+    if (wrote != 0) {
+      mrt.wrote_mask |= wrote;
       counters_.ram_rereads += mrt.read_ports;
     }
   }
@@ -401,10 +578,14 @@ void CompiledSim::ram_writes() {
 void CompiledSim::settle() {
   ++counters_.settle_calls;
   ++counters_.settle_passes;
+  // Externally driven slots were (re)written by set_input since the last
+  // pass; re-assert their lane clamps before any op reads them.
+  if (overlay_)
+    for (const Clamp& c : ov_settle_) apply_clamp(c);
   if (options_.four_state) exec<true>();
   else exec<false>();
   // Write-forced re-evaluations were consumed by this pass.
-  for (MacroRt& m : macro_rt_) m.wrote = false;
+  for (MacroRt& m : macro_rt_) m.wrote_mask = 0;
 }
 
 void CompiledSim::step() {
@@ -416,6 +597,9 @@ void CompiledSim::step() {
   const std::uint32_t F = prog_.flop_count;
   std::copy_n(vals_.begin() + F, F, vals_.begin());
   if (options_.four_state) std::copy_n(known_.begin() + F, F, known_.begin());
+  // Faulty Q slots: the commit is the write, the clamp follows it.
+  if (overlay_)
+    for (const Clamp& c : ov_commit_) apply_clamp(c);
   ++cycles_;
   if (options_.ops_histogram) {
     cycle_ops_.record(ops_run_ - ops_at_cycle_start_);

@@ -28,6 +28,18 @@
 // are driven externally should use broadcast stimulus.  The checking RAM
 // model (Options::check_ram) stays interpreter-only: make_gate_dut falls
 // back to GateDut when it is requested.
+//
+// PPSFP fault overlay (set_fault_overlay, two-state only): each pattern
+// lane carries one stuck-at fault.  The fault's slot is clamped after
+// every write — at settle start for externally driven slots, right after
+// its driver op (the executor splits that op's kind-homogeneous run at
+// the clamp, since a reader may share the run), after the flat flop
+// commit for Q slots — matching GateSim::inject_stuck's write-side
+// semantics per lane.  With
+// an overlay installed the macro change detection above switches to
+// per-lane masks (changed/wrote lanes re-evaluate alone), so 64 faulty
+// machines diverge independently exactly as 64 event-driven GateSims
+// would; the fault campaign's PPSFP engine is the client.
 #pragma once
 
 #include <cstdint>
@@ -70,8 +82,28 @@ class CompiledSim {
   /// @p netlist must outlive the simulator (slots bind to its ports).
   explicit CompiledSim(const nl::Netlist& netlist) : CompiledSim(netlist, Options{}) {}
   CompiledSim(const nl::Netlist& netlist, Options options);
+  /// Shares a pre-compiled @p program (from compile_netlist(netlist);
+  /// must outlive the simulator).  Fan-out users — the PPSFP fault
+  /// batches above all — compile once and construct many executors.
+  CompiledSim(const nl::Netlist& netlist, const CompiledProgram& program, Options options);
   CompiledSim(const CompiledSim&) = delete;
   CompiledSim& operator=(const CompiledSim&) = delete;
+
+  /// One stuck-at clamp of the PPSFP fault overlay: pattern lane
+  /// @p lane's bit of @p net's slot is forced to @p stuck_one after every
+  /// write to the slot.
+  struct LaneFault {
+    nl::NetId net = nl::kNoNet;
+    bool stuck_one = false;
+    unsigned lane = 0;
+  };
+
+  /// Installs a per-lane stuck-at overlay (replacing any previous one)
+  /// and clamps the current state, like GateSim::inject_stuck.  Two-state
+  /// mode only — the PPSFP campaign screens X-sensitive programs out to
+  /// the event-driven engine first; throws std::logic_error in four-state
+  /// mode.  An empty vector clears the overlay.
+  void set_fault_overlay(const std::vector<LaneFault>& faults);
 
   using PortRef = const nl::PortBits*;
   [[nodiscard]] PortRef input_port(const std::string& name) const;
@@ -144,7 +176,9 @@ class CompiledSim {
   struct MacroRt {
     std::vector<std::uint32_t> ram;  // [lane * entries + addr]; always defined
     std::uint32_t read_ports = 0;
-    bool wrote = false;  // written since the last settle: force port re-eval
+    // Lanes written since the last settle: force port re-eval (whole word
+    // without an overlay, per lane with one).
+    std::uint64_t wrote_mask = 0;
   };
   struct PortRt {
     // Settled addr+en words at the last evaluation (four-state: value
@@ -154,12 +188,29 @@ class CompiledSim {
     bool valid = false;
   };
 
+  // One merged write-site clamp of the fault overlay: lanes in `mask`
+  // are forced to the bits of `val` (val is pre-masked).
+  struct Clamp {
+    std::uint32_t slot = 0;
+    std::uint64_t mask = 0;
+    std::uint64_t val = 0;
+  };
+  struct OpClamp {
+    std::uint32_t op = 0;  // index into prog_.ops; applied right after that op
+    Clamp clamp;
+  };
+
+  CompiledSim(const nl::Netlist& netlist, Options options, CompiledProgram own,
+              const CompiledProgram* shared);
+
   template <bool FourState>
   void exec();
   template <bool FourState>
   bool eval_macro_port(std::uint32_t pi);
+  bool eval_macro_port_overlay(std::uint32_t pi);
   template <bool FourState>
   void ram_writes();
+  void apply_clamp(const Clamp& c) { vals_[c.slot] = (vals_[c.slot] & ~c.mask) | c.val; }
 
   [[nodiscard]] std::size_t in_index(PortRef port) const;
   [[nodiscard]] std::size_t out_index(PortRef port) const;
@@ -167,7 +218,8 @@ class CompiledSim {
 
   const nl::Netlist* nl_;
   Options options_;
-  CompiledProgram prog_;
+  CompiledProgram prog_own_;     // owned compile when not sharing
+  const CompiledProgram& prog_;  // the executed program (own or shared)
   std::vector<std::uint64_t> vals_;
   std::vector<std::uint64_t> known_;  // four-state only
   std::vector<MacroRt> macro_rt_;
@@ -176,6 +228,15 @@ class CompiledSim {
   // construction so the steady state never allocates.
   std::vector<std::uint64_t> scratch_v_, scratch_k_;
   std::unordered_map<std::string, PortRef> in_ports_, out_ports_;
+
+  // Fault overlay, split by write site: externally driven / undriven
+  // slots re-clamp at settle start, op-driven slots right after their
+  // driver op (ov_op_ sorted by op index — a reader may share the
+  // driver's kind-homogeneous run, so end-of-run clamping would be too
+  // late), flop Q slots after the flat commit.
+  bool overlay_ = false;
+  std::vector<Clamp> ov_settle_, ov_commit_;
+  std::vector<OpClamp> ov_op_;
 
   GateSim::RamViolation no_violations_;
   SimCounters counters_;

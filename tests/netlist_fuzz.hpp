@@ -1,14 +1,19 @@
 // Shared random-netlist generators for the gate-level fuzz harnesses:
 // test_fuzz_equivalence (table vs reference evaluator vs compiled
-// backend) and test_compiled_sim (independent-lane differential) build
-// their structural netlists and four-valued stimulus from the same
-// generators so a seed means the same design everywhere.
+// backend), test_compiled_sim (independent-lane differential) and
+// test_ppsfp (PPSFP-vs-event-driven campaign oracle) build their
+// structural netlists and four-valued stimulus from the same generators
+// so a seed means the same design everywhere.
 #pragma once
 
 #include <random>
+#include <sstream>
+#include <string>
 #include <vector>
 
 #include "dtypes/logic.hpp"
+#include "fault/campaign.hpp"
+#include "fault/fault.hpp"
 #include "netlist/netlist.hpp"
 
 namespace scflow {
@@ -76,6 +81,74 @@ inline nl::Netlist random_gate_netlist(std::mt19937_64& rng) {
     n.add_output("out" + std::to_string(o), std::move(nets));
   }
   return n;
+}
+
+/// Random campaign shape for the engine-differential oracle: every knob
+/// that changes WHAT the campaign computes is drawn from ranges small
+/// enough to keep a seed fast but wide enough to cross the interesting
+/// boundaries (scan on/off, cycle budgets shorter than the program,
+/// single-cycle programs).
+inline fault::CampaignOptions random_campaign_options(std::mt19937_64& rng) {
+  fault::CampaignOptions opt;
+  opt.seed = rng();
+  opt.scan_patterns = 1 + static_cast<int>(rng() % 2);
+  opt.capture_cycles = 1 + static_cast<int>(rng() % 3);
+  opt.functional_cycles = 1 + static_cast<int>(rng() % 24);
+  opt.use_scan = (rng() & 3) != 0;  // mostly on; off covers the tied path
+  if ((rng() & 3) == 0) opt.cycle_budget = 1 + rng() % 8;
+  opt.oscillation_threshold = 1 + static_cast<int>(rng() % 4);
+  return opt;
+}
+
+/// Differential campaign oracle: simulates the same (netlist, fault list,
+/// options) under the event-driven engine and under PPSFP, across
+/// @p thread_counts, and checks every per-fault classification, detecting
+/// pattern index (detect_cycle), observe port and cycle count for
+/// bit-identity.  Returns an empty string on agreement, else a message
+/// naming the first divergent fault — gtest-free so any harness can wrap
+/// it in its own EXPECT.
+inline std::string diff_campaign_engines(const nl::Netlist& n,
+                                         const fault::CampaignOptions& base,
+                                         const std::vector<unsigned>& thread_counts) {
+  fault::CampaignOptions ref_opt = base;
+  ref_opt.engine = fault::CampaignOptions::Engine::kEventDriven;
+  ref_opt.threads = 1;
+  const fault::CampaignResult ref = fault::run_campaign(n, ref_opt);
+  for (const unsigned threads : thread_counts) {
+    for (const bool ppsfp : {false, true}) {
+      if (!ppsfp && threads == 1) continue;  // that is the reference itself
+      fault::CampaignOptions opt = base;
+      opt.engine = ppsfp ? fault::CampaignOptions::Engine::kPpsfp
+                         : fault::CampaignOptions::Engine::kEventDriven;
+      opt.threads = threads;
+      const fault::CampaignResult got = fault::run_campaign(n, opt);
+      std::ostringstream why;
+      why << (ppsfp ? "ppsfp" : "event-driven") << " threads=" << threads << ": ";
+      if (got.faults.size() != ref.faults.size()) {
+        why << "simulated " << got.faults.size() << " != " << ref.faults.size();
+        return why.str();
+      }
+      for (std::size_t i = 0; i < ref.faults.size(); ++i) {
+        const fault::FaultResult& a = ref.faults[i];
+        const fault::FaultResult& b = got.faults[i];
+        if (a == b) continue;
+        why << "fault " << i << " (" << fault::describe_fault(n, a.fault) << ") "
+            << fault::fault_class_name(b.klass) << " cycle=" << b.detect_cycle
+            << " port=" << b.detect_port << " cycles=" << b.cycles << " vs reference "
+            << fault::fault_class_name(a.klass) << " cycle=" << a.detect_cycle
+            << " port=" << a.detect_port << " cycles=" << a.cycles;
+        return why.str();
+      }
+      if (got.detected != ref.detected || got.undetected != ref.undetected ||
+          got.oscillating != ref.oscillating ||
+          got.undetected_budget != ref.undetected_budget ||
+          got.faulty_cycles_total != ref.faulty_cycles_total) {
+        why << "aggregate mismatch";
+        return why.str();
+      }
+    }
+  }
+  return {};
 }
 
 inline LogicVector random_logic_vector(std::mt19937_64& rng, std::size_t width,

@@ -8,14 +8,19 @@
 #include <fstream>
 #include <utility>
 
+#include <map>
+
 #include "fault/campaign.hpp"
 #include "fault/fault.hpp"
 #include "fault/seu.hpp"
+#include "flow/synthesis_flow.hpp"
 #include "hdlsim/gate_sim.hpp"
+#include "hls/src_beh.hpp"
 #include "netlist/lower.hpp"
 #include "netlist/opt.hpp"
 #include "obs/session.hpp"
 #include "rtl/builder.hpp"
+#include "rtl/src_design.hpp"
 
 namespace scflow::fault {
 namespace {
@@ -126,16 +131,49 @@ TEST(FaultList, DescribeFaultNamesCellOrInputPort) {
   EXPECT_NE(describe_fault(n, {y, false}).find("INV"), std::string::npos);
 }
 
-TEST(FaultList, SampleFaultsIsEvenStrideAndDeterministic) {
+TEST(FaultList, SampleFaultsIsCentredStrideAndDeterministic) {
   std::vector<Fault> faults;
   for (nl::NetId i = 0; i < 6; ++i) faults.push_back({i, false});
   EXPECT_EQ(sample_faults(faults, 0).size(), 6u);
   EXPECT_EQ(sample_faults(faults, 9).size(), 6u);
+  // Centred stride: the middle of each span, so the tail (net 5 — the
+  // list's last FFR group) is reachable; the old left-aligned stride
+  // picked {0, 2, 4} and could never select the last fault.
   const auto s = sample_faults(faults, 3);
   ASSERT_EQ(s.size(), 3u);
-  EXPECT_EQ(s[0].net, 0u);
-  EXPECT_EQ(s[1].net, 2u);
-  EXPECT_EQ(s[2].net, 4u);
+  EXPECT_EQ(s[0].net, 1);
+  EXPECT_EQ(s[1].net, 3);
+  EXPECT_EQ(s[2].net, 5);
+}
+
+TEST(FaultList, SampleFaultsDegenerateSizes) {
+  const auto make = [](nl::NetId count) {
+    std::vector<Fault> v;
+    for (nl::NetId i = 0; i < count; ++i) v.push_back({i, (i & 1) != 0});
+    return v;
+  };
+  // Empty list, any cap.
+  EXPECT_TRUE(sample_faults({}, 0).empty());
+  EXPECT_TRUE(sample_faults({}, 5).empty());
+  // Single-element list survives every cap.
+  EXPECT_EQ(sample_faults(make(1), 1).size(), 1u);
+  EXPECT_EQ(sample_faults(make(1), 7).size(), 1u);
+  // Cap of one picks the middle element, not the head.
+  const auto mid = sample_faults(make(9), 1);
+  ASSERT_EQ(mid.size(), 1u);
+  EXPECT_EQ(mid[0].net, 4);
+  // Exact divisors (the N % M == 0 boundary of the old bias): indices are
+  // strictly increasing, in range, and include the last span.
+  for (const std::size_t m : {2u, 4u, 8u}) {
+    const auto s = sample_faults(make(8), m);
+    ASSERT_EQ(s.size(), m);
+    for (std::size_t i = 1; i < s.size(); ++i) EXPECT_LT(s[i - 1].net, s[i].net);
+    EXPECT_GE(s.back().net, static_cast<nl::NetId>(8 - 8 / m));
+  }
+  // N = M + 1 (minimal oversize) still yields M distinct picks.
+  const auto s = sample_faults(make(5), 4);
+  ASSERT_EQ(s.size(), 4u);
+  for (std::size_t i = 1; i < s.size(); ++i) EXPECT_LT(s[i - 1].net, s[i].net);
 }
 
 TEST(FaultInjection, StuckOverlayClampsDriverAndExternalWrites) {
@@ -344,6 +382,64 @@ TEST(Campaign, RecordsMetricsAndBatchTimelineIntoSession) {
   EXPECT_EQ(session.registry.counter(p + ".batch.jobs"), r.simulated());
   ASSERT_NE(session.registry.timer(p), nullptr);  // whole-campaign timer
   EXPECT_EQ(session.registry.timer(p)->count, 1u);
+}
+
+// Full-list PPSFP on the five Fig. 10 designs reproduces the sampled
+// event-driven campaign with exact superset semantics: every sampled
+// fault's FaultResult recurs bit-for-bit inside the full-population run,
+// so the sampled coverage is a true projection of the full list (and the
+// full detected set is a superset of the sampled one by construction).
+TEST(Campaign, PpsfpFullListReproducesSampledCoverageOnFig10) {
+  struct Design {
+    const char* slug;
+    rtl::Design d;
+  };
+  std::vector<Design> designs;
+  designs.push_back({"vhdl_ref", rtl::build_src_design(rtl::vhdl_ref_config())});
+  designs.push_back({"beh_unopt", hls::build_beh_src_design(hls::beh_unopt_config())});
+  designs.push_back({"beh_opt", hls::build_beh_src_design(hls::beh_opt_config())});
+  designs.push_back({"rtl_unopt", rtl::build_src_design(rtl::rtl_unopt_config())});
+  designs.push_back({"rtl_opt", rtl::build_src_design(rtl::rtl_opt_config())});
+
+  for (Design& e : designs) {
+    nl::Netlist pre_scan("");
+    const nl::Netlist gates =
+        flow::synthesize_to_gates(e.d, nullptr, nullptr, e.slug, {}, &pre_scan);
+    const std::vector<Fault> full = enumerate_stuck_faults(pre_scan);
+    const std::vector<Fault> sampled = sample_faults(full, 60);
+    ASSERT_LT(sampled.size(), full.size()) << e.slug;
+
+    // A shortened (but shared) program keeps five full-population runs
+    // inside unit-test time; both engines see the identical options.
+    CampaignOptions opt;
+    opt.scan_patterns = 1;
+    opt.capture_cycles = 1;
+    opt.functional_cycles = 8;
+    opt.threads = 4;
+
+    CampaignOptions ppsfp_opt = opt;
+    ppsfp_opt.engine = CampaignOptions::Engine::kPpsfp;
+    const CampaignResult whole = run_campaign(gates, full, ppsfp_opt);
+    const CampaignResult subset = run_campaign(gates, sampled, opt);
+    ASSERT_EQ(whole.faults.size(), full.size()) << e.slug;
+
+    std::map<std::pair<nl::NetId, bool>, const FaultResult*> by_site;
+    for (const FaultResult& fr : whole.faults)
+      by_site[{fr.fault.net, fr.fault.stuck_one}] = &fr;
+    std::size_t sampled_detected = 0;
+    for (const FaultResult& fr : subset.faults) {
+      const auto it = by_site.find({fr.fault.net, fr.fault.stuck_one});
+      ASSERT_NE(it, by_site.end()) << e.slug << ": " << describe_fault(gates, fr.fault);
+      EXPECT_TRUE(*it->second == fr)
+          << e.slug << ": " << describe_fault(gates, fr.fault) << " full-list "
+          << fault_class_name(it->second->klass) << " vs sampled "
+          << fault_class_name(fr.klass);
+      if (fr.klass == FaultClass::kDetected) ++sampled_detected;
+    }
+    EXPECT_EQ(subset.detected, sampled_detected) << e.slug;
+    EXPECT_GE(whole.detected, sampled_detected) << e.slug;  // strict superset
+    EXPECT_GT(whole.detected, 0u) << e.slug;
+  }
 }
 
 TEST(Seu, UpsetsDivergeOnAccumulatorAndDumpVcd) {

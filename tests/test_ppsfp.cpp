@@ -1,0 +1,244 @@
+// The PPSFP bit-parallel fault engine, proven equivalent to the
+// event-driven reference:
+//
+//  * CompiledSim's per-lane stuck-at overlay against GateSim::inject_stuck,
+//    lane by lane on the same stimulus (the write-side clamp semantics);
+//  * the campaign-level differential oracle on random netlists x random
+//    scan programs x thread counts {1,2,4,8} (netlist_fuzz.hpp) — every
+//    per-fault classification, detecting pattern index, observe port and
+//    cycle count must be bit-identical;
+//  * the fallback regimes: x_initial_flops programs fall back whole, RAM
+//    macro bus faults fall back per fault (and neither path crashes or
+//    diverges), with the ppsfp_* accounting visible in the registry;
+//  * run-ledger invariance: the strip-timing ledger projection of a
+//    campaign must not depend on the engine, so cross-engine scflow_report
+//    diffs stay clean for every non-timing metric.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "dtypes/logic.hpp"
+#include "fault/campaign.hpp"
+#include "fault/fault.hpp"
+#include "hdlsim/compile.hpp"
+#include "hdlsim/compiled_sim.hpp"
+#include "hdlsim/gate_sim.hpp"
+#include "netlist/lower.hpp"
+#include "netlist/netlist.hpp"
+#include "netlist/opt.hpp"
+#include "netlist_fuzz.hpp"
+#include "obs/registry.hpp"
+#include "obs/session.hpp"
+#include "rtl/builder.hpp"
+
+namespace scflow::fault {
+namespace {
+
+using Engine = CampaignOptions::Engine;
+
+// A small scan-inserted sequential design with feedback — the same shape
+// the ledger thread-sweep test uses, so results here triangulate with it.
+nl::Netlist scan_accumulator() {
+  rtl::DesignBuilder b("ppsfp_acc");
+  auto x = b.input("x", 8);
+  auto y = b.input("y", 8);
+  auto acc = b.reg("acc", 8, 3);
+  b.assign_always(acc, b.add(acc.q, b.and_(x, y)));
+  b.output("sum", b.add(x, y));
+  b.output("acc", acc.q);
+  nl::Netlist g = nl::optimize_gates(nl::lower_to_gates(b.finalise(), {}));
+  nl::insert_scan_chain(g);
+  return g;
+}
+
+// Accumulator plus a RAM macro whose write bus hangs off primary inputs:
+// faults on the bus nets must take the event-driven fallback, everything
+// else stays on the bit-parallel path (exercising the per-lane macro
+// read-port change detection against GateSim's).
+nl::Netlist ram_design() {
+  rtl::DesignBuilder b("ppsfp_ram");
+  auto addr = b.input("addr", 4);
+  auto wdata = b.input("wdata", 8);
+  auto wen = b.input("wen", 1);
+  const int mem = b.memory("ram", 4, 8);
+  b.ram_write(mem, addr, wdata, wen);
+  auto acc = b.reg("acc", 8, 0);
+  auto rd = b.ram_read(mem, addr);
+  b.assign_always(acc, b.add(acc.q, rd));
+  b.output("rdata", rd);
+  b.output("acc", acc.q);
+  return nl::lower_to_gates(b.finalise(), {});
+}
+
+// --- the overlay itself, lane by lane against inject_stuck --------------
+
+TEST(PpsfpOverlay, MatchesInjectStuckPerLane) {
+  const nl::Netlist n = scan_accumulator();
+  const hdlsim::CompiledProgram prog = hdlsim::compile_netlist(n);
+
+  std::vector<Fault> faults = enumerate_stuck_faults(n);
+  ASSERT_GT(faults.size(), 8u);
+  const unsigned lanes =
+      static_cast<unsigned>(std::min<std::size_t>(faults.size(), 64));
+
+  hdlsim::CompiledSim cs(n, prog, {});
+  std::vector<hdlsim::CompiledSim::LaneFault> overlay;
+  for (unsigned l = 0; l < lanes; ++l)
+    overlay.push_back({faults[l].net, faults[l].stuck_one, l});
+  cs.set_fault_overlay(overlay);
+
+  // One event-driven faulty machine per lane, injected the same way.
+  std::vector<std::unique_ptr<hdlsim::GateSim>> gs;
+  for (unsigned l = 0; l < lanes; ++l) {
+    gs.push_back(std::make_unique<hdlsim::GateSim>(n));
+    gs.back()->inject_stuck(faults[l].net,
+                            faults[l].stuck_one ? Logic::L1 : Logic::L0);
+  }
+
+  std::mt19937_64 rng(0x9e3779b97f4a7c15ull);
+  for (int cycle = 0; cycle < 48; ++cycle) {
+    for (const nl::PortBits& in : n.inputs()) {
+      const std::uint64_t v = rng();
+      cs.set_input(&in, v);
+      for (auto& g : gs) g->set_input(&in, v);
+    }
+    cs.step();
+    for (auto& g : gs) g->step();
+    for (const nl::PortBits& out : n.outputs()) {
+      for (unsigned l = 0; l < lanes; ++l) {
+        const hdlsim::GateSim::PortSample s = gs[l]->output_sample(&out);
+        for (std::size_t b = 0; b < out.nets.size(); ++b) {
+          ASSERT_TRUE((s.known >> b) & 1)
+              << "lane " << l << " cycle " << cycle << " X at " << out.name;
+          EXPECT_EQ((cs.output_word(&out, b) >> l) & 1, (s.value >> b) & 1)
+              << describe_fault(n, faults[l]) << " cycle " << cycle << " port "
+              << out.name << " bit " << b;
+        }
+      }
+    }
+  }
+}
+
+TEST(PpsfpOverlay, FourStateModeRejectsOverlay) {
+  const nl::Netlist n = scan_accumulator();
+  hdlsim::CompiledSim cs(n, {.four_state = true});
+  EXPECT_THROW(cs.set_fault_overlay({{0, false, 0}}), std::logic_error);
+}
+
+// --- campaign-level differential oracle ---------------------------------
+
+TEST(PpsfpFuzz, MatchesEventDrivenOnRandomNetlists) {
+  const std::vector<unsigned> threads = {1, 2, 4, 8};
+  for (std::uint64_t seed = 1; seed <= 64; ++seed) {
+    std::mt19937_64 rng(seed * 0x2545f4914f6cdd1dull);
+    nl::Netlist n = random_gate_netlist(rng);
+    // Half the seeds get a real scan chain so the shift/capture program
+    // (scan_out observed every shift cycle) is part of the oracle.
+    if ((seed & 1) == 0) nl::insert_scan_chain(n);
+    const CampaignOptions opt = random_campaign_options(rng);
+    const std::string diff = diff_campaign_engines(n, opt, threads);
+    EXPECT_EQ(diff, "") << "seed " << seed;
+    if (!diff.empty()) break;
+  }
+}
+
+TEST(PpsfpFuzz, XInitialFlopsFallsBackWholeAndMatches) {
+  const std::vector<unsigned> threads = {1, 4};
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    std::mt19937_64 rng(seed * 0xda942042e4dd58b5ull);
+    nl::Netlist n = random_gate_netlist(rng);
+    if ((seed & 1) == 0) nl::insert_scan_chain(n);
+    CampaignOptions opt = random_campaign_options(rng);
+    opt.x_initial_flops = true;  // the 4-valued taxonomy must survive
+    EXPECT_EQ(diff_campaign_engines(n, opt, threads), "") << "seed " << seed;
+
+    opt.engine = Engine::kPpsfp;
+    opt.threads = 1;
+    const CampaignResult r = run_campaign(n, opt);
+    EXPECT_EQ(r.ppsfp_fallback, r.faults.size()) << "seed " << seed;
+    EXPECT_EQ(r.ppsfp_dropped, 0u) << "seed " << seed;
+  }
+}
+
+// --- fallback regimes on a real RAM macro -------------------------------
+
+TEST(Ppsfp, RamMacroBusFaultsFallBackAndMatch) {
+  const nl::Netlist n = ram_design();
+  CampaignOptions opt;
+  opt.functional_cycles = 32;
+  EXPECT_EQ(diff_campaign_engines(n, opt, {1, 2, 4, 8}), "");
+
+  opt.engine = Engine::kPpsfp;
+  obs::Session session;
+  opt.metric_prefix = "fault.ppsfp_ram";
+  const CampaignResult r = run_campaign(n, opt, &session);
+  // The write/read bus faults must take the event-driven path...
+  EXPECT_GT(r.ppsfp_fallback, 0u);
+  // ...but not the whole design: the accumulator cone stays bit-parallel
+  // (covering the per-lane macro read-port scatter against GateSim).
+  EXPECT_LT(r.ppsfp_fallback, r.faults.size());
+  EXPECT_GT(r.detected, 0u);
+  EXPECT_EQ(session.registry.counter("fault.ppsfp_ram.ppsfp_fallback_faults"),
+            r.ppsfp_fallback);
+  EXPECT_EQ(session.registry.counter("fault.ppsfp_ram.ppsfp_dropped"),
+            r.ppsfp_dropped);
+}
+
+TEST(Ppsfp, DroppedAccountingOnScanDesign) {
+  const nl::Netlist n = scan_accumulator();
+  CampaignOptions opt;
+  opt.engine = Engine::kPpsfp;
+  obs::Session session;
+  opt.metric_prefix = "fault.ppsfp_acc";
+  const CampaignResult r = run_campaign(n, opt, &session);
+  // X-free scan design: nothing falls back, every detection is a drop.
+  EXPECT_EQ(r.ppsfp_fallback, 0u);
+  EXPECT_GT(r.detected, 0u);
+  EXPECT_EQ(r.ppsfp_dropped, r.detected);
+  // The drop histogram is the fault-dropping evidence: one sample per
+  // dropped fault, bucketed by the pattern index that killed it.
+  const obs::Histogram* h =
+      session.registry.histogram("fault.ppsfp_acc.ppsfp_dropped_at");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count(), r.ppsfp_dropped);
+}
+
+TEST(Ppsfp, CycleBudgetParityIsDeterministic) {
+  const nl::Netlist n = scan_accumulator();
+  CampaignOptions opt;
+  opt.cycle_budget = 3;  // shorter than the stimulus program
+  EXPECT_EQ(diff_campaign_engines(n, opt, {1, 2, 4, 8}), "");
+  opt.engine = Engine::kPpsfp;
+  const CampaignResult r = run_campaign(n, opt);
+  EXPECT_GT(r.undetected_budget, 0u);
+}
+
+// --- ledger invariance ---------------------------------------------------
+
+TEST(Ppsfp, LedgerStripTimingProjectionIsEngineInvariant) {
+  const nl::Netlist n = scan_accumulator();
+  std::string reference;
+  for (const Engine engine : {Engine::kEventDriven, Engine::kPpsfp}) {
+    obs::Session session;
+    CampaignOptions opt;
+    opt.engine = engine;
+    const CampaignResult r = run_campaign(n, opt, &session);
+    EXPECT_GT(r.detected, 0u);
+    ASSERT_EQ(session.ledger.size(), 1u);
+    // Identical fingerprints, counters, coverage and per-fault cycle
+    // histogram — the engine may only change the timing fields, so a
+    // strip-timing scflow_report diff across engines stays clean.
+    const std::string img = session.ledger.entries()[0].to_json(/*strip_timing=*/true);
+    if (reference.empty())
+      reference = img;
+    else
+      EXPECT_EQ(img, reference);
+  }
+}
+
+}  // namespace
+}  // namespace scflow::fault
