@@ -17,6 +17,7 @@
 // acceptance gate scripts/check.sh runs.
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <string>
 
 #include "fault/campaign.hpp"
@@ -57,10 +58,26 @@ int run_check() {
 
 int main(int argc, char** argv) {
   using namespace scflow;
-  if (argc > 1 && std::strcmp(argv[1], "--check") == 0) return run_check();
-  if (argc > 1) {
-    std::fprintf(stderr, "usage: %s [--check]\n", argv[0]);
-    return 2;
+  bool check = false;
+  std::string out_dir = "build/out";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--check") == 0) {
+      check = true;
+    } else if (std::strcmp(argv[i], "--out-dir") == 0 && i + 1 < argc) {
+      out_dir = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--check] [--out-dir DIR]\n", argv[0]);
+      return 2;
+    }
+  }
+  if (check) return run_check();
+
+  std::error_code ec;
+  std::filesystem::create_directories(out_dir, ec);
+  if (ec) {
+    std::fprintf(stderr, "error: cannot create --out-dir %s: %s\n",
+                 out_dir.c_str(), ec.message().c_str());
+    return 1;
   }
 
   std::printf("=== Stuck-at campaign: scan vs. pre-scan twin (RTL opt.) ===\n\n");
@@ -112,7 +129,7 @@ int main(int argc, char** argv) {
 
   std::printf("\n=== SEU campaign: transient flop upsets ===\n\n");
   fault::SeuOptions seu_opt;
-  seu_opt.vcd_path = "seu_divergence.vcd";
+  seu_opt.vcd_path = out_dir + "/seu_divergence.vcd";
   const fault::SeuResult seu = fault::run_seu_campaign(gates, seu_opt);
   std::printf("%zu upsets injected: %zu reached an output, %zu recovered silently, "
               "%zu fully masked\n",

@@ -14,6 +14,7 @@
 // flow; render/diff it with tools/scflow_report.
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <string>
 
@@ -27,15 +28,27 @@ int main(int argc, char** argv) {
 
   bool verify_cec = false;
   std::string ledger_path;
+  std::string out_dir = "build/out";
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--cec") == 0) {
       verify_cec = true;
     } else if (std::strcmp(argv[i], "--ledger") == 0 && i + 1 < argc) {
       ledger_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--out-dir") == 0 && i + 1 < argc) {
+      out_dir = argv[++i];
     } else {
-      std::fprintf(stderr, "usage: %s [--cec] [--ledger FILE]\n", argv[0]);
+      std::fprintf(stderr, "usage: %s [--cec] [--ledger FILE] [--out-dir DIR]\n",
+                   argv[0]);
       return 2;
     }
+  }
+
+  std::error_code ec;
+  std::filesystem::create_directories(out_dir, ec);
+  if (ec) {
+    std::fprintf(stderr, "error: cannot create --out-dir %s: %s\n",
+                 out_dir.c_str(), ec.message().c_str());
+    return 1;
   }
 
   std::printf("=== Synthesis flow: Fig. 10 area comparison ===\n\n");
@@ -66,17 +79,19 @@ int main(int argc, char** argv) {
 
   // Emit the Verilog artefacts the paper's flow hands to simulation.
   const rtl::Design design = rtl::build_src_design(rtl::rtl_opt_config());
+  const std::string rtl_path = out_dir + "/src_rtl_opt.v";
+  const std::string gates_path = out_dir + "/src_rtl_opt_gates.v";
   {
-    std::ofstream f("src_rtl_opt.v");
+    std::ofstream f(rtl_path);
     f << vlog::write_behavioural(design);
-    std::printf("wrote behavioural RTL Verilog      -> src_rtl_opt.v\n");
+    std::printf("wrote behavioural RTL Verilog      -> %s\n", rtl_path.c_str());
   }
   {
     nl::GateOptStats stats;
     const nl::Netlist gates = flow::synthesize_to_gates(design, &stats, &reg, "synth", opts);
-    std::ofstream f("src_rtl_opt_gates.v");
+    std::ofstream f(gates_path);
     f << vlog::write_structural(gates);
-    std::printf("wrote gate-level structural Verilog -> src_rtl_opt_gates.v\n");
+    std::printf("wrote gate-level structural Verilog -> %s\n", gates_path.c_str());
     std::printf("  gate optimisation: %zu -> %zu cells (%zu rewrites, %d passes)\n",
                 stats.cells_before, stats.cells_after, stats.rewrites,
                 stats.iterations);

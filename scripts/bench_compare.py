@@ -32,7 +32,8 @@ import sys
 
 # Counters recorded per benchmark (google-benchmark emits many more;
 # these are the ones with trajectory value).
-METRICS = ("patt_cyc_per_s", "cyc_per_s", "items_per_second", "faults_per_s")
+METRICS = ("patt_cyc_per_s", "cyc_per_s", "items_per_second", "faults_per_s",
+           "sessions_samples_per_s")
 
 
 def strip_name(raw):

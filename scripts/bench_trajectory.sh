@@ -24,7 +24,7 @@ TMP=$(mktemp -d)
 trap 'rm -rf "$TMP"' EXIT
 
 cmake -B build -S . >/dev/null
-cmake --build build -j"$JOBS" --target bench_fig9_cosim bench_fault >/dev/null
+cmake --build build -j"$JOBS" --target bench_fig9_cosim bench_fault bench_serve >/dev/null
 
 # Provenance for the gbench "context" stamp (scflow_rev/host/threads via
 # bench_json_main.hpp) — the same rev lands in the trajectory file below.
@@ -45,6 +45,12 @@ echo "== bench_fault --engine ppsfp --faults 0 (repeat $REPEAT) =="
 ./build/bench/bench_fault --engine ppsfp --faults 0 --threads 4 \
   --repeat "$REPEAT" --gbench-json "$TMP/fault.gbench.json" >/dev/null
 
+# Streaming SRC service soak (512 sessions over 8 rate pairs, 4 lanes) —
+# the aggregate conversion throughput of the session scheduler.
+echo "== bench_serve --threads 4 (repeat $REPEAT) =="
+./build/bench/bench_serve --threads 4 \
+  --repeat "$REPEAT" --gbench-json "$TMP/serve.gbench.json" >/dev/null
+
 python3 scripts/bench_compare.py emit \
   --rev "$(git rev-parse HEAD)" \
   --out "$OUT" \
@@ -57,9 +63,11 @@ python3 scripts/bench_compare.py emit \
   --pin 'fault/fault_beh_opt.faults_per_s' \
   --pin 'fault/fault_rtl_unopt.faults_per_s' \
   --pin 'fault/fault_rtl_opt.faults_per_s' \
+  --pin 'serve/serve_soak.sessions_samples_per_s' \
   "fig9_cosim[interpreted]=$TMP/interpreted.gbench.json" \
   "fig9_cosim[compiled]=$TMP/compiled.gbench.json" \
-  "fault=$TMP/fault.gbench.json"
+  "fault=$TMP/fault.gbench.json" \
+  "serve=$TMP/serve.gbench.json"
 
 python3 - "$OUT" <<'EOF'
 import json, sys
@@ -73,4 +81,6 @@ for design in ("GateBEH", "GateRTL"):
 for slug in ("vhdl_ref", "beh_unopt", "beh_opt", "rtl_unopt", "rtl_opt"):
     fps = b["fault"][f"fault_{slug}.faults_per_s"]
     print(f"  fault {slug}: {fps:.3g} faults/s (full list, ppsfp)")
+rate = b["serve"]["serve_soak.sessions_samples_per_s"]
+print(f"  serve soak: {rate:.3g} sessions x samples/s (512 sessions, 4 lanes)")
 EOF

@@ -47,6 +47,16 @@ echo "== fault: full-list PPSFP campaigns, scan vs pre-scan coverage gate =="
 build/examples/fault_campaign --check >/dev/null
 RAN_PASSES+=("fault")
 
+echo "== serve: streaming SRC soak, 1000 sessions x thread sweep {1,2,4,8} =="
+# The session service runs the seeded workload over all eight rate pairs
+# (the four paper pairs included) at every lane count, asserting the
+# zero-loss conservation laws, the round-robin starvation bound, and that
+# every session's output stream hashes bit-identically across thread
+# counts.  The service's unit suite (lifecycle, backpressure, fairness,
+# determinism) runs via ctest above and again under the sanitizers below.
+build/tools/src_serve --check >/dev/null
+RAN_PASSES+=("serve")
+
 echo "== obs: run ledger determinism + scflow_report render/diff gate =="
 # One flow run = refinement_flow (report + Perfetto trace + ledger), then
 # synthesis_flow --cec appending to the same ledger JSONL.  Two such runs
@@ -106,7 +116,7 @@ else
   cmake -B build-tsan -S . -DSCFLOW_SANITIZE=thread >/dev/null
   cmake --build build-tsan -j"$JOBS" --target \
     test_gate_parallel test_gate_level test_gate_alloc test_fault \
-    test_ppsfp test_fuzz_equivalence test_compiled_sim
+    test_ppsfp test_fuzz_equivalence test_compiled_sim test_serve
   for t in test_gate_parallel test_gate_level test_gate_alloc; do
     echo "-- TSan: $t"
     TSAN_OPTIONS=halt_on_error=1 "build-tsan/tests/$t"
@@ -126,6 +136,11 @@ else
   echo "-- TSan: test_compiled_sim (batch runner)"
   TSAN_OPTIONS=halt_on_error=1 build-tsan/tests/test_compiled_sim \
     --gtest_filter='CompiledBatch.*'
+  # The streaming SRC service: SPSC rings crossed by client threads, the
+  # multi-lane session scheduler, and the concurrent push/pull-while-step
+  # case — the service's entire threading contract under the race detector.
+  echo "-- TSan: test_serve"
+  TSAN_OPTIONS=halt_on_error=1 build-tsan/tests/test_serve
   # The fuzz oracle suite is heavyweight under TSan; one shard (125 random
   # netlists, random lane counts) keeps the race coverage without the cost.
   echo "-- TSan: test_fuzz_equivalence (shard 0)"

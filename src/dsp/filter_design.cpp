@@ -62,4 +62,18 @@ std::vector<std::int16_t> quantise_prototype_half(const std::vector<double>& pro
   return half;
 }
 
+std::vector<std::int16_t> quantise_prototype_half_unity_dc(const std::vector<double>& proto) {
+  const int length = static_cast<int>(proto.size());
+  double dc = 0.0;
+  for (double v : proto) dc += v;
+  const double scale = 0.98 * 32768.0 / std::abs(dc);
+
+  std::vector<std::int16_t> half(length / 2 + 1);
+  for (int i = 0; i < static_cast<int>(half.size()); ++i) {
+    const double q = std::nearbyint(proto[i] * scale);
+    half[i] = static_cast<std::int16_t>(std::max(-32768.0, std::min(32767.0, q)));
+  }
+  return half;
+}
+
 }  // namespace scflow::dsp

@@ -24,6 +24,13 @@ std::vector<double> design_prototype(int length, int phases,
 std::vector<std::int16_t> quantise_prototype_half(const std::vector<double>& proto,
                                                   int phases);
 
+/// Quantises the symmetric prototype to Q1.15, normalised so the FULL
+/// filter DC gain sits just below unity (0.98 * 2^15).  This is the
+/// normalisation an anti-alias decimation stage needs: every output is
+/// one complete convolution over all branches, so the whole-filter sum —
+/// not the worst branch — is the DC gain.  Returns the stored half.
+std::vector<std::int16_t> quantise_prototype_half_unity_dc(const std::vector<double>& proto);
+
 /// Zeroth-order modified Bessel function (Kaiser window helper).
 double bessel_i0(double x);
 

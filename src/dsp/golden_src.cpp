@@ -11,6 +11,15 @@ AlgorithmicSrc::AlgorithmicSrc(SrcMode mode, TimeBase time_base, bool inject_cor
                          : SrcParams::kDividerLatencyCycles * SrcParams::kClockPs),
       filter_(make_default_rom()) {}
 
+AlgorithmicSrc::AlgorithmicSrc(std::int64_t nominal_increment, TimeBase time_base)
+    : time_base_(time_base),
+      inject_corner_bug_(false),
+      quantizer_(SrcParams::kClockPs),
+      tracker_(nominal_increment, time_base == TimeBase::kQuantizedCycles
+                                      ? std::uint64_t{SrcParams::kDividerLatencyCycles}
+                                      : SrcParams::kDividerLatencyCycles * SrcParams::kClockPs),
+      filter_(make_default_rom()) {}
+
 void AlgorithmicSrc::set_mode(SrcMode mode) { tracker_.set_mode(mode); }
 
 std::uint64_t AlgorithmicSrc::tracker_time(std::uint64_t t_ps) const {

@@ -33,6 +33,12 @@ class AlgorithmicSrc {
   AlgorithmicSrc(SrcMode mode, TimeBase time_base,
                  bool inject_corner_bug = false);
 
+  /// Arbitrary-ratio variant: seeds the rate tracker with an explicit
+  /// nominal Q3.15 increment instead of a SrcMode's table entry.  For the
+  /// four paper pairs this is bit-identical to the SrcMode constructor —
+  /// the gcd-decomposed streaming path (dsp::RationalSrc) rides on that.
+  AlgorithmicSrc(std::int64_t nominal_increment, TimeBase time_base);
+
   void set_mode(SrcMode mode);
 
   /// A stereo input sample arriving at absolute time @p t_ps.

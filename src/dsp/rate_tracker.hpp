@@ -28,9 +28,24 @@ class RateTracker {
     set_mode(mode);
   }
 
+  /// Arbitrary-ratio variant (streaming service sessions): the nominal
+  /// increment is given directly instead of looked up from a SrcMode.
+  /// For the four paper pairs the two constructors are bit-identical,
+  /// since SrcParams::nominal_increment(mode) is exactly the rounded
+  /// fs_in/fs_out quotient this path receives.
+  RateTracker(std::int64_t nominal_increment, std::uint64_t commit_latency)
+      : commit_latency_(commit_latency) {
+    set_nominal_increment(nominal_increment);
+  }
+
   void set_mode(SrcMode mode) {
     mode_ = mode;
-    increment_ = SrcParams::nominal_increment(mode);
+    set_nominal_increment(SrcParams::nominal_increment(mode));
+  }
+
+  /// Resets tracking state and seeds the increment register (Q3.15).
+  void set_nominal_increment(std::int64_t increment) {
+    increment_ = increment;
     pending_.clear();
     in_ = Window{};
     out_ = Window{};

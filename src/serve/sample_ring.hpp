@@ -1,0 +1,81 @@
+// Single-producer / single-consumer lock-free ring of stereo samples —
+// the per-session transport between a client thread and whichever
+// scheduler lane converts the session this step.  Bounded, so it IS the
+// backpressure mechanism: push returns how many samples fit, pop returns
+// how many were there; neither blocks, nothing is dropped silently.
+//
+// Threading contract: exactly one producer thread and one consumer
+// thread at a time.  head_ is written only by the producer, tail_ only
+// by the consumer; each side reads the other's index with acquire and
+// publishes its own with release, so the payload writes are visible
+// before the index that covers them.  The service hands a session to at
+// most one lane per step (with a join between steps), so "the consumer"
+// may be a different OS thread each step without violating the contract.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "dsp/src_params.hpp"
+
+namespace scflow::serve {
+
+class SampleRing {
+ public:
+  /// Capacity is rounded up to a power of two (minimum 2).
+  explicit SampleRing(std::size_t capacity) {
+    std::size_t size = 2;
+    while (size < capacity) size <<= 1;
+    buf_.resize(size);
+    mask_ = size - 1;
+  }
+  SampleRing(const SampleRing&) = delete;
+  SampleRing& operator=(const SampleRing&) = delete;
+
+  [[nodiscard]] std::size_t capacity() const { return buf_.size(); }
+
+  /// Producer side: appends up to @p n samples, returns how many fit.
+  std::size_t push(const dsp::StereoSample* src, std::size_t n) {
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    const std::uint64_t tail = tail_.load(std::memory_order_acquire);
+    const std::size_t free_slots = buf_.size() - static_cast<std::size_t>(head - tail);
+    const std::size_t take = n < free_slots ? n : free_slots;
+    for (std::size_t i = 0; i < take; ++i) {
+      buf_[static_cast<std::size_t>(head + i) & mask_] = src[i];
+    }
+    head_.store(head + take, std::memory_order_release);
+    return take;
+  }
+
+  /// Consumer side: removes up to @p n samples, returns how many came out.
+  std::size_t pop(dsp::StereoSample* dst, std::size_t n) {
+    const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    const std::uint64_t head = head_.load(std::memory_order_acquire);
+    const std::size_t avail = static_cast<std::size_t>(head - tail);
+    const std::size_t take = n < avail ? n : avail;
+    for (std::size_t i = 0; i < take; ++i) {
+      dst[i] = buf_[static_cast<std::size_t>(tail + i) & mask_];
+    }
+    tail_.store(tail + take, std::memory_order_release);
+    return take;
+  }
+
+  /// Occupancy snapshot (exact from either endpoint's own thread,
+  /// a safe approximation from anywhere else).
+  [[nodiscard]] std::size_t size() const {
+    const std::uint64_t head = head_.load(std::memory_order_acquire);
+    const std::uint64_t tail = tail_.load(std::memory_order_acquire);
+    return static_cast<std::size_t>(head - tail);
+  }
+  [[nodiscard]] std::size_t free_space() const { return buf_.size() - size(); }
+
+ private:
+  std::vector<dsp::StereoSample> buf_;
+  std::size_t mask_ = 0;
+  alignas(64) std::atomic<std::uint64_t> head_{0};  ///< producer-owned
+  alignas(64) std::atomic<std::uint64_t> tail_{0};  ///< consumer-owned
+};
+
+}  // namespace scflow::serve

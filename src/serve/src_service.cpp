@@ -1,0 +1,321 @@
+#include "serve/src_service.hpp"
+
+#include <string>
+
+#include "hdlsim/batch_runner.hpp"
+#include "obs/registry.hpp"
+#include "obs/session.hpp"
+
+namespace scflow::serve {
+
+struct SrcService::SessionState {
+  SessionState(const SessionConfig& cfg, const ServiceOptions& opt)
+      : config(cfg),
+        src(cfg.fs_in_hz, cfg.fs_out_hz, cfg.time_base),
+        max_out_per_input(src.plan().max_outputs_per_input()),
+        in(opt.input_ring),
+        // A ring smaller than one input's worth of outputs could never
+        // clear the scheduling watermark; round up.
+        out(opt.output_ring > max_out_per_input ? opt.output_ring : max_out_per_input),
+        conv_out(max_out_per_input) {}
+
+  SessionConfig config;
+  dsp::RationalSrc src;
+  std::size_t max_out_per_input;
+  SampleRing in;
+  SampleRing out;
+  std::vector<dsp::StereoSample> conv_out;  ///< lane-local conversion scratch
+  SessionStats stats;
+  obs::Fnv1a hasher;
+};
+
+SrcService::SrcService(ServiceOptions options)
+    : options_(options),
+      runner_(std::make_unique<hdlsim::BatchRunner>(options.threads)) {
+  slots_.reserve(options_.max_sessions);
+}
+
+SrcService::~SrcService() = default;
+
+SrcService::SessionState* SrcService::resolve(SessionId id, bool allow_closing) const {
+  if (!id.valid() || id.slot >= slots_.size()) return nullptr;
+  const Slot& slot = slots_[id.slot];
+  if (slot.generation != id.generation) return nullptr;
+  if (slot.state == SlotState::kOpen ||
+      (allow_closing && slot.state == SlotState::kClosing)) {
+    return slot.session.get();
+  }
+  return nullptr;
+}
+
+SessionId SrcService::open(const SessionConfig& config) {
+  std::uint32_t idx = 0;
+  if (!free_slots_.empty()) {
+    idx = free_slots_.back();
+  } else if (slots_.size() < options_.max_sessions) {
+    idx = static_cast<std::uint32_t>(slots_.size());
+  } else {
+    return {};  // at capacity
+  }
+  // Construct first: plan_ratio() throws on unsupported rates and the
+  // slot table must stay untouched in that case.
+  auto session = std::make_unique<SessionState>(config, options_);
+  if (!free_slots_.empty()) {
+    free_slots_.pop_back();
+  } else {
+    slots_.emplace_back();
+  }
+  Slot& slot = slots_[idx];
+  slot.state = SlotState::kOpen;
+  slot.session = std::move(session);
+  ++open_count_;
+  ++opened_total_;
+  return {idx, slot.generation};
+}
+
+bool SrcService::close(SessionId id) {
+  if (resolve(id) == nullptr) return false;
+  slots_[id.slot].state = SlotState::kClosing;
+  --open_count_;
+  ++closed_total_;
+  return true;
+}
+
+std::size_t SrcService::push(SessionId id, const dsp::StereoSample* samples,
+                             std::size_t n) {
+  SessionState* s = resolve(id);
+  if (s == nullptr) return 0;
+  const std::size_t accepted = s->in.push(samples, n);
+  s->stats.accepted += accepted;
+  s->stats.push_rejected += n - accepted;
+  return accepted;
+}
+
+std::size_t SrcService::pull(SessionId id, dsp::StereoSample* out, std::size_t cap) {
+  SessionState* s = resolve(id, /*allow_closing=*/true);
+  if (s == nullptr) return 0;
+  const std::size_t got = s->out.pop(out, cap);
+  s->stats.pulled += got;
+  return got;
+}
+
+std::size_t SrcService::in_free(SessionId id) const {
+  const SessionState* s = resolve(id);
+  return s == nullptr ? 0 : s->in.free_space();
+}
+
+std::size_t SrcService::out_available(SessionId id) const {
+  const SessionState* s = resolve(id, /*allow_closing=*/true);
+  return s == nullptr ? 0 : s->out.size();
+}
+
+const SessionStats* SrcService::stats(SessionId id) const {
+  const SessionState* s = resolve(id, /*allow_closing=*/true);
+  return s == nullptr ? nullptr : &s->stats;
+}
+
+void SrcService::service_one(SessionState& s) const {
+  ++s.stats.dispatches;
+  for (std::size_t i = 0; i < options_.work_quantum; ++i) {
+    // Watermark: only consume an input when a full worst-case burst of
+    // outputs is guaranteed to fit — inputs are never popped just to be
+    // dropped on a full output ring.
+    if (s.out.free_space() < s.max_out_per_input) break;
+    dsp::StereoSample in;
+    if (s.in.pop(&in, 1) == 0) break;
+    const std::size_t n = s.src.push(in, s.conv_out.data(), s.conv_out.size());
+    ++s.stats.converted_in;
+    if (n == 0) continue;
+    for (std::size_t k = 0; k < n; ++k) {
+      const auto left = static_cast<std::uint16_t>(s.conv_out[k].left);
+      const auto right = static_cast<std::uint16_t>(s.conv_out[k].right);
+      s.hasher.update_u64((std::uint64_t{left} << 16) | right);
+    }
+    s.stats.output_hash = s.hasher.digest();
+    s.stats.produced += s.out.push(s.conv_out.data(), n);
+  }
+}
+
+void SrcService::reclaim() {
+  for (std::uint32_t idx = 0; idx < slots_.size(); ++idx) {
+    Slot& slot = slots_[idx];
+    if (slot.state != SlotState::kClosing) continue;
+    const SessionState& s = *slot.session;
+    const std::uint64_t key =
+        (std::uint64_t{s.config.fs_in_hz} << 32) | s.config.fs_out_hz;
+    RatioAgg& agg = closed_ratio_aggs_[key];
+    ++agg.sessions;
+    agg.accepted += s.stats.accepted;
+    agg.push_rejected += s.stats.push_rejected;
+    agg.converted_in += s.stats.converted_in;
+    agg.produced += s.stats.produced;
+    agg.pulled += s.stats.pulled;
+    slot.session.reset();
+    slot.state = SlotState::kFree;
+    ++slot.generation;
+    free_slots_.push_back(idx);
+  }
+}
+
+std::size_t SrcService::step() {
+  reclaim();  // safe: no lane holds a session between steps
+  ++steps_;
+  const std::size_t n_slots = slots_.size();
+  if (n_slots == 0) return 0;
+
+  dispatch_list_.clear();
+  starved_list_.clear();
+  const std::size_t cap =
+      options_.max_sessions_per_step == 0 ? n_slots : options_.max_sessions_per_step;
+  for (std::size_t k = 0; k < n_slots; ++k) {
+    const std::size_t idx = (rr_cursor_ + k) % n_slots;
+    Slot& slot = slots_[idx];
+    if (slot.state != SlotState::kOpen) continue;
+    SessionState& s = *slot.session;
+    const bool ready =
+        s.in.size() > 0 && s.out.free_space() >= s.max_out_per_input;
+    if (!ready) {
+      // Not starving — it has no work, or the client isn't draining.
+      s.stats.starve_streak = 0;
+      continue;
+    }
+    if (dispatch_list_.size() < cap) {
+      dispatch_list_.push_back(idx);
+    } else {
+      starved_list_.push_back(idx);
+    }
+  }
+
+  for (std::size_t idx : starved_list_) {
+    SessionStats& st = slots_[idx].session->stats;
+    ++st.starve_streak;
+    if (st.starve_streak > st.starve_streak_max) st.starve_streak_max = st.starve_streak;
+    if (st.starve_streak > starve_streak_max_) starve_streak_max_ = st.starve_streak;
+  }
+  if (dispatch_list_.empty()) return 0;
+
+  // Next step scans from just past the last grant, so this step's
+  // starved sessions lead the next rotation — the fairness bound.
+  rr_cursor_ = (dispatch_list_.back() + 1) % n_slots;
+
+  runner_->run(dispatch_list_.size(), [this](std::size_t job, unsigned /*lane*/) {
+    SessionState& s = *slots_[dispatch_list_[job]].session;
+    s.stats.starve_streak = 0;
+    service_one(s);
+  });
+  dispatch_total_ += dispatch_list_.size();
+  for (const auto& stat : runner_->job_stats()) {
+    job_ns_.record(stat.end_ns - stat.start_ns);
+  }
+  return dispatch_list_.size();
+}
+
+std::size_t SrcService::run_until_idle(std::size_t max_steps) {
+  std::size_t taken = 0;
+  while (taken < max_steps) {
+    ++taken;
+    if (step() == 0) break;
+  }
+  return taken;
+}
+
+namespace {
+
+std::uint64_t options_fingerprint(const ServiceOptions& opt) {
+  // Semantic options only: thread count is scheduling, not meaning, and
+  // must not split otherwise-identical ledger entries.
+  obs::Fnv1a fp;
+  fp.update_u64(opt.max_sessions);
+  fp.update_u64(opt.input_ring);
+  fp.update_u64(opt.output_ring);
+  fp.update_u64(opt.work_quantum);
+  fp.update_u64(opt.max_sessions_per_step);
+  return fp.digest();
+}
+
+}  // namespace
+
+void SrcService::record_into(obs::Session& session, std::string_view run_label) const {
+  // Closed-session aggregates plus everything still live.
+  std::map<std::uint64_t, RatioAgg> aggs = closed_ratio_aggs_;
+  for (const Slot& slot : slots_) {
+    if (slot.state == SlotState::kFree) continue;
+    const SessionState& s = *slot.session;
+    const std::uint64_t key =
+        (std::uint64_t{s.config.fs_in_hz} << 32) | s.config.fs_out_hz;
+    RatioAgg& agg = aggs[key];
+    ++agg.sessions;
+    agg.accepted += s.stats.accepted;
+    agg.push_rejected += s.stats.push_rejected;
+    agg.converted_in += s.stats.converted_in;
+    agg.produced += s.stats.produced;
+    agg.pulled += s.stats.pulled;
+  }
+
+  RatioAgg total;
+  for (const auto& [key, agg] : aggs) {
+    (void)key;
+    total.sessions += agg.sessions;
+    total.accepted += agg.accepted;
+    total.push_rejected += agg.push_rejected;
+    total.converted_in += agg.converted_in;
+    total.produced += agg.produced;
+    total.pulled += agg.pulled;
+  }
+
+  obs::Registry& reg = session.registry;
+  reg.count("serve.sessions_opened", opened_total_);
+  reg.count("serve.sessions_closed", closed_total_);
+  reg.count("serve.steps", steps_);
+  reg.count("serve.dispatches", dispatch_total_);
+  reg.count("serve.samples_in", total.accepted);
+  reg.count("serve.samples_out", total.produced);
+  reg.count("serve.samples_pulled", total.pulled);
+  reg.count("serve.push_rejected", total.push_rejected);
+  reg.set_counter("serve.starve_streak_max", starve_streak_max_);
+  reg.merge_histogram("serve.job_ns", job_ns_);
+
+  const std::uint64_t opt_fp = options_fingerprint(options_);
+  obs::Fnv1a run_fp;
+  for (const auto& [key, agg] : aggs) {
+    const auto fs_in = static_cast<std::uint32_t>(key >> 32);
+    const auto fs_out = static_cast<std::uint32_t>(key);
+    obs::LedgerEntry e;
+    e.phase = "serve.ratio";
+    e.design = std::to_string(fs_in) + "->" + std::to_string(fs_out);
+    obs::Fnv1a in_hash;
+    in_hash.update_u64(key);
+    e.input_hash = in_hash.digest();
+    e.options_fingerprint = opt_fp;
+    e.add_counter("sessions", agg.sessions);
+    e.add_counter("samples_in", agg.accepted);
+    e.add_counter("push_rejected", agg.push_rejected);
+    e.add_counter("converted_in", agg.converted_in);
+    e.add_counter("samples_out", agg.produced);
+    e.add_counter("samples_pulled", agg.pulled);
+    session.ledger.append(std::move(e));
+    run_fp.update_u64(key);
+    run_fp.update_u64(agg.sessions);
+  }
+
+  obs::LedgerEntry run;
+  run.phase = "serve.run";
+  run.design = std::string(run_label);
+  run.input_hash = run_fp.digest();  // session-count x ratio fingerprint
+  run.options_fingerprint = opt_fp;
+  run.duration_ns = job_ns_.sum();
+  run.add_counter("sessions_opened", opened_total_);
+  run.add_counter("sessions_closed", closed_total_);
+  run.add_counter("ratios", aggs.size());
+  run.add_counter("steps", steps_);
+  run.add_counter("dispatches", dispatch_total_);
+  run.add_counter("samples_in", total.accepted);
+  run.add_counter("push_rejected", total.push_rejected);
+  run.add_counter("samples_out", total.produced);
+  run.add_counter("samples_pulled", total.pulled);
+  run.add_counter("starve_streak_max", starve_streak_max_);
+  run.add_histogram("job_ns", job_ns_);
+  session.ledger.append(std::move(run));
+}
+
+}  // namespace scflow::serve

@@ -1,0 +1,191 @@
+// Streaming SRC service (ROADMAP item 3): session-oriented sample-rate
+// conversion for thousands of concurrent streams.  A client opens a
+// session with an arbitrary rational input/output rate pair (any ratio
+// dsp::plan_ratio accepts — the four paper pairs run bit-exact with the
+// golden model), pushes chunked stereo audio and pulls converted audio.
+//
+// Flow control is watermark-based and explicit: push() returns how many
+// samples the bounded input ring accepted, pull() returns how many were
+// available — neither blocks and nothing is dropped silently.  A session
+// whose output ring is full simply stops being scheduled until the
+// client drains it (the unconsumed inputs stay queued).
+//
+// Scheduling: step() scans the slot table in round-robin rotation,
+// collects sessions that are ready (input queued AND enough output
+// space for one full input's worth of results) and fans the first
+// max_sessions_per_step of them over hdlsim::BatchRunner lanes, each
+// dispatch bounded by work_quantum input samples.  The rotation cursor
+// restarts after the last dispatched slot, so sessions passed over in
+// one step lead the next — their starvation streak is bounded by
+// ceil(ready / max_sessions_per_step) steps (asserted in tests).
+//
+// Determinism: a session is touched by at most one lane per step and the
+// runner joins between steps, so each session's output stream — and its
+// running FNV-1a output hash — depends only on its own input sequence,
+// never on the lane count or claiming order (bit-identical for
+// threads in {1,2,4,8}; see tests/test_serve.cpp).
+//
+// Threading contract: open/close/step/record_into belong to one control
+// thread; push/pull/stats may run concurrently from one client thread
+// per session (SampleRing is SPSC).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "dsp/rational_src.hpp"
+#include "obs/histogram.hpp"
+#include "obs/ledger.hpp"
+#include "serve/sample_ring.hpp"
+
+namespace scflow::obs {
+struct Session;
+}
+namespace scflow::hdlsim {
+class BatchRunner;
+}
+
+namespace scflow::serve {
+
+/// Slot-plus-generation handle: reusing a slot after close() bumps the
+/// generation, so a stale id held by a client resolves to nothing
+/// instead of to the next tenant's stream.
+struct SessionId {
+  static constexpr std::uint32_t kInvalidSlot = 0xffff'ffffu;
+  std::uint32_t slot = kInvalidSlot;
+  std::uint32_t generation = 0;
+  [[nodiscard]] bool valid() const { return slot != kInvalidSlot; }
+  friend bool operator==(const SessionId&, const SessionId&) = default;
+};
+
+struct SessionConfig {
+  std::uint32_t fs_in_hz = 48'000;
+  std::uint32_t fs_out_hz = 48'000;
+  dsp::RationalSrc::TimeBase time_base = dsp::RationalSrc::TimeBase::kContinuousPs;
+};
+
+/// Per-session accounting.  The conservation laws the backpressure tests
+/// pin: accepted == converted_in + (input ring occupancy), and
+/// produced == pulled + (output ring occupancy) — nothing ever vanishes.
+struct SessionStats {
+  std::uint64_t accepted = 0;       ///< inputs the ring took from push()
+  std::uint64_t push_rejected = 0;  ///< inputs push() had to turn away
+  std::uint64_t converted_in = 0;   ///< inputs consumed by the converter
+  std::uint64_t produced = 0;       ///< outputs written to the output ring
+  std::uint64_t pulled = 0;         ///< outputs handed back through pull()
+  std::uint64_t dispatches = 0;     ///< scheduler grants
+  std::uint32_t starve_streak = 0;  ///< consecutive ready-but-skipped steps
+  std::uint32_t starve_streak_max = 0;
+  std::uint64_t output_hash = 0;    ///< FNV-1a over the produced stream
+};
+
+struct ServiceOptions {
+  /// BatchRunner lane semantics: 1 = convert inline on the control
+  /// thread, N > 1 = N-1 workers plus the control thread, 0 = one lane
+  /// per hardware thread.
+  unsigned threads = 1;
+  std::size_t max_sessions = 4096;
+  std::size_t input_ring = 1024;   ///< per-session input ring capacity
+  std::size_t output_ring = 1024;  ///< per-session output ring capacity
+  /// Work quantum: at most this many input samples are converted per
+  /// session per dispatch, so one deep backlog cannot monopolise a lane.
+  std::size_t work_quantum = 256;
+  /// 0 = dispatch every ready session each step.
+  std::size_t max_sessions_per_step = 0;
+};
+
+class SrcService {
+ public:
+  explicit SrcService(ServiceOptions options = {});
+  SrcService(const SrcService&) = delete;
+  SrcService& operator=(const SrcService&) = delete;
+  ~SrcService();
+
+  [[nodiscard]] const ServiceOptions& options() const { return options_; }
+
+  /// Opens a session.  Returns an invalid id when max_sessions are live;
+  /// throws std::invalid_argument for rates plan_ratio rejects.
+  SessionId open(const SessionConfig& config);
+  /// Marks the session closed.  Stats stay readable until the next
+  /// step(), which reclaims the slot (no lane can be holding it then).
+  bool close(SessionId id);
+
+  /// Client side.  push returns how many of @p n samples were accepted;
+  /// pull returns how many converted samples were written to @p out.
+  std::size_t push(SessionId id, const dsp::StereoSample* samples, std::size_t n);
+  std::size_t pull(SessionId id, dsp::StereoSample* out, std::size_t cap);
+  [[nodiscard]] std::size_t in_free(SessionId id) const;
+  [[nodiscard]] std::size_t out_available(SessionId id) const;
+  /// Null for a stale or never-issued id.
+  [[nodiscard]] const SessionStats* stats(SessionId id) const;
+
+  /// One scheduler round; returns the number of sessions dispatched.
+  std::size_t step();
+  /// Steps until no session is ready (or @p max_steps); returns steps taken.
+  std::size_t run_until_idle(std::size_t max_steps = ~std::size_t{0});
+
+  [[nodiscard]] std::size_t session_count() const { return open_count_; }
+  [[nodiscard]] std::uint64_t steps() const { return steps_; }
+  [[nodiscard]] std::uint64_t dispatches() const { return dispatch_total_; }
+  [[nodiscard]] std::uint32_t starve_streak_max() const { return starve_streak_max_; }
+  [[nodiscard]] const obs::Histogram& job_ns_histogram() const { return job_ns_; }
+
+  /// Records the service's lifetime aggregates into @p session: registry
+  /// counters under "serve.*", one "serve.ratio" ledger entry per
+  /// distinct rate pair (sorted, deterministic) and one "serve.run"
+  /// summary entry whose input hash fingerprints the session-count ×
+  /// ratio population.  Everything except "*_ns" metrics is bit-identical
+  /// across thread counts.
+  void record_into(obs::Session& session, std::string_view run_label = "run") const;
+
+ private:
+  enum class SlotState : std::uint8_t { kFree, kOpen, kClosing };
+
+  struct SessionState;
+
+  struct Slot {
+    std::uint32_t generation = 1;
+    SlotState state = SlotState::kFree;
+    std::unique_ptr<SessionState> session;
+  };
+
+  /// Aggregate of closed sessions sharing one rate pair; live sessions
+  /// are folded in at record_into time.
+  struct RatioAgg {
+    std::uint64_t sessions = 0;
+    std::uint64_t accepted = 0;
+    std::uint64_t push_rejected = 0;
+    std::uint64_t converted_in = 0;
+    std::uint64_t produced = 0;
+    std::uint64_t pulled = 0;
+  };
+
+  [[nodiscard]] SessionState* resolve(SessionId id, bool allow_closing = false) const;
+  void service_one(SessionState& s) const;
+  void reclaim();
+
+  ServiceOptions options_;
+  std::unique_ptr<hdlsim::BatchRunner> runner_;
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_slots_;
+  std::size_t rr_cursor_ = 0;
+  std::size_t open_count_ = 0;
+
+  std::uint64_t opened_total_ = 0;
+  std::uint64_t closed_total_ = 0;
+  std::uint64_t steps_ = 0;
+  std::uint64_t dispatch_total_ = 0;
+  std::uint32_t starve_streak_max_ = 0;
+  obs::Histogram job_ns_;  ///< per-dispatch wall time (control-thread merged)
+
+  std::map<std::uint64_t, RatioAgg> closed_ratio_aggs_;  ///< key: fs_in<<32 | fs_out
+
+  // Step scratch (control thread only).
+  std::vector<std::size_t> dispatch_list_;
+  std::vector<std::size_t> starved_list_;
+};
+
+}  // namespace scflow::serve

@@ -39,6 +39,52 @@ bool load_or_die(const std::string& path, LoadedLedger* out) {
   return true;
 }
 
+// Service-dashboard rendering for streaming-SRC ledgers: "serve.run"
+// entries become a headline line each and "serve.ratio" entries a
+// per-rate-pair utilisation table.  Printed after the generic per-phase
+// tables whenever a ledger carries serve.* entries, so
+// `scflow_report show serve.jsonl` doubles as the service dashboard.
+void print_serve_dashboard(const LoadedLedger& ledger) {
+  bool any = false;
+  for (const auto& e : ledger.entries)
+    if (e.phase == "serve.run" || e.phase == "serve.ratio") any = true;
+  if (!any) return;
+
+  std::printf("\nstreaming SRC service:\n");
+  for (const auto& e : ledger.entries) {
+    if (e.phase != "serve.run") continue;
+    const double ms = static_cast<double>(e.duration_ns) / 1e6;
+    std::printf(
+        "  run %-12s %llu sessions over %llu ratios, %llu samples in -> "
+        "%llu out, %llu steps, %llu dispatches, busy %.1f ms, "
+        "starve max %llu\n",
+        e.design.c_str(),
+        static_cast<unsigned long long>(e.counter("sessions_opened")),
+        static_cast<unsigned long long>(e.counter("ratios")),
+        static_cast<unsigned long long>(e.counter("samples_in")),
+        static_cast<unsigned long long>(e.counter("samples_out")),
+        static_cast<unsigned long long>(e.counter("steps")),
+        static_cast<unsigned long long>(e.counter("dispatches")), ms,
+        static_cast<unsigned long long>(e.counter("starve_streak_max")));
+  }
+  bool header = false;
+  for (const auto& e : ledger.entries) {
+    if (e.phase != "serve.ratio") continue;
+    if (!header) {
+      std::printf("  %-16s %9s %12s %10s %12s %12s\n", "ratio", "sessions",
+                  "samples_in", "rejected", "samples_out", "pulled");
+      header = true;
+    }
+    std::printf("  %-16s %9llu %12llu %10llu %12llu %12llu\n",
+                e.design.c_str(),
+                static_cast<unsigned long long>(e.counter("sessions")),
+                static_cast<unsigned long long>(e.counter("samples_in")),
+                static_cast<unsigned long long>(e.counter("push_rejected")),
+                static_cast<unsigned long long>(e.counter("samples_out")),
+                static_cast<unsigned long long>(e.counter("samples_pulled")));
+  }
+}
+
 int cmd_show(const std::vector<std::string>& args) {
   std::string path;
   std::string phase;
@@ -64,6 +110,7 @@ int cmd_show(const std::vector<std::string>& args) {
     ledger.entries = std::move(kept);
   }
   std::fputs(scflow::obs::format_ledger_table(ledger).c_str(), stdout);
+  print_serve_dashboard(ledger);
   if (hist) {
     const std::string h = scflow::obs::format_ledger_histograms(ledger);
     if (!h.empty()) {

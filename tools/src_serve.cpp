@@ -1,0 +1,275 @@
+// Seeded workload driver for the streaming SRC service: opens N sessions
+// across a ratio table (the four paper pairs plus staged ratios), pushes
+// seeded noise in chunks, steps the scheduler, pulls converted audio,
+// closes everything, and verifies the service's zero-loss contract.
+//
+// `--check` runs the soak acceptance gate: >= 1000 sessions over >= 8
+// ratios, the thread sweep {1,2,4,8}, asserting that (a) no sample is
+// dropped anywhere (accepted == converted == produced == pulled after
+// drain), (b) every session's output stream hash is bit-identical across
+// all thread counts, and (c) the round-robin starvation streak stays
+// within the rotation bound.  Exit status is non-zero on any violation.
+//
+// `--ledger FILE` / `--report FILE` dump the service's obs artifacts
+// (serve.ratio / serve.run ledger entries, serve.* counters) —
+// `scflow_report show --ledger FILE` renders them as a dashboard.
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iterator>
+#include <string>
+#include <vector>
+
+#include "dsp/stimulus.hpp"
+#include "obs/session.hpp"
+#include "serve/src_service.hpp"
+
+namespace {
+
+using scflow::dsp::StereoSample;
+using scflow::serve::ServiceOptions;
+using scflow::serve::SessionId;
+using scflow::serve::SessionStats;
+using scflow::serve::SrcService;
+
+constexpr std::uint32_t kRatioTable[][2] = {
+    {44'100, 48'000}, {48'000, 44'100}, {48'000, 48'000}, {32'000, 48'000},
+    {8'000, 48'000},  {48'000, 8'000},  {22'050, 48'000}, {44'100, 8'000},
+};
+constexpr std::size_t kRatioCount = std::size(kRatioTable);
+
+struct SessionResult {
+  std::uint32_t fs_in = 0;
+  std::uint32_t fs_out = 0;
+  std::uint64_t output_hash = 0;
+  std::uint64_t produced = 0;
+  std::uint64_t pulled = 0;
+  std::uint64_t accepted = 0;
+  std::uint64_t converted_in = 0;
+  std::uint32_t starve_streak_max = 0;
+};
+
+struct WorkloadResult {
+  std::vector<SessionResult> sessions;
+  std::uint64_t wall_ns = 0;
+  std::uint64_t samples_in = 0;
+  std::uint32_t starve_streak_max = 0;
+  std::uint64_t job_ns_p99 = 0;
+  std::uint64_t steps = 0;
+  bool drained_clean = true;
+};
+
+// Runs the seeded workload with a FIXED push/step/pull interleaving —
+// identical for every thread count, which is what makes the cross-thread
+// hash comparison meaningful.
+WorkloadResult run_workload(std::size_t n_sessions, std::size_t n_samples,
+                            unsigned threads, std::uint64_t seed,
+                            std::size_t step_cap, scflow::obs::Session* obs_out,
+                            const char* run_label) {
+  ServiceOptions opt;
+  opt.threads = threads;
+  opt.max_sessions = n_sessions;
+  opt.input_ring = 256;
+  opt.output_ring = 1'024;
+  opt.work_quantum = 128;
+  opt.max_sessions_per_step = step_cap;
+  SrcService service(opt);
+
+  std::vector<SessionId> ids(n_sessions);
+  std::vector<std::vector<StereoSample>> stimuli(n_sessions);
+  for (std::size_t i = 0; i < n_sessions; ++i) {
+    const auto& ratio = kRatioTable[i % kRatioCount];
+    ids[i] = service.open({ratio[0], ratio[1]});
+    if (!ids[i].valid()) {
+      std::fprintf(stderr, "error: open() failed for session %zu\n", i);
+      std::exit(1);
+    }
+    stimuli[i] = scflow::dsp::make_noise_stimulus(n_samples, seed + i);
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::size_t> fed(n_sessions, 0);
+  std::vector<std::uint64_t> pulled(n_sessions, 0);
+  std::vector<StereoSample> out(512);
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (std::size_t i = 0; i < n_sessions; ++i) {
+      if (fed[i] < n_samples) {
+        fed[i] += service.push(ids[i], stimuli[i].data() + fed[i],
+                               n_samples - fed[i]);
+        if (fed[i] < n_samples) progress = true;
+      }
+    }
+    if (service.step() > 0) progress = true;
+    for (std::size_t i = 0; i < n_sessions; ++i) {
+      std::size_t got;
+      while ((got = service.pull(ids[i], out.data(), out.size())) > 0) {
+        pulled[i] += got;
+        progress = true;
+      }
+    }
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+
+  WorkloadResult result;
+  result.wall_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count());
+  result.samples_in = static_cast<std::uint64_t>(n_sessions) * n_samples;
+  result.starve_streak_max = service.starve_streak_max();
+  result.job_ns_p99 = service.job_ns_histogram().p99();
+  result.steps = service.steps();
+  for (std::size_t i = 0; i < n_sessions; ++i) {
+    const SessionStats* stats = service.stats(ids[i]);
+    if (stats == nullptr) {
+      result.drained_clean = false;
+      continue;
+    }
+    SessionResult r;
+    r.fs_in = kRatioTable[i % kRatioCount][0];
+    r.fs_out = kRatioTable[i % kRatioCount][1];
+    r.output_hash = stats->output_hash;
+    r.produced = stats->produced;
+    r.pulled = pulled[i];
+    r.accepted = stats->accepted;
+    r.converted_in = stats->converted_in;
+    r.starve_streak_max = stats->starve_streak_max;
+    // Zero-loss contract for this run.
+    if (r.accepted != n_samples || r.converted_in != n_samples ||
+        r.produced != stats->pulled || r.pulled != stats->pulled) {
+      result.drained_clean = false;
+    }
+    result.sessions.push_back(r);
+    service.close(ids[i]);
+  }
+  service.step();  // reclaim, folding the closed sessions into the aggregates
+  if (obs_out != nullptr) service.record_into(*obs_out, run_label);
+  return result;
+}
+
+int run_check(std::size_t n_sessions, std::size_t n_samples, std::uint64_t seed) {
+  // The soak gate: >= 1000 sessions across all 8 ratios.
+  if (n_sessions < 1'000) n_sessions = 1'000;
+  const std::size_t step_cap = 128;
+  const std::uint32_t rotation_bound =
+      static_cast<std::uint32_t>((n_sessions + step_cap - 1) / step_cap) + 1;
+
+  int failures = 0;
+  std::vector<SessionResult> baseline;
+  for (unsigned threads : {1u, 2u, 4u, 8u}) {
+    const WorkloadResult r =
+        run_workload(n_sessions, n_samples, threads, seed, step_cap, nullptr,
+                     "check");
+    std::printf(
+        "threads=%u: %zu sessions, %llu samples in, wall %.1f ms, "
+        "steps %llu, job p99 %.1f us, starve max %u\n",
+        threads, r.sessions.size(),
+        static_cast<unsigned long long>(r.samples_in),
+        static_cast<double>(r.wall_ns) / 1e6,
+        static_cast<unsigned long long>(r.steps),
+        static_cast<double>(r.job_ns_p99) / 1e3, r.starve_streak_max);
+    if (!r.drained_clean || r.sessions.size() != n_sessions) {
+      std::printf("FAIL: dropped samples or missing sessions at threads=%u\n",
+                  threads);
+      ++failures;
+    }
+    if (r.starve_streak_max > rotation_bound) {
+      std::printf("FAIL: starvation streak %u exceeds rotation bound %u\n",
+                  r.starve_streak_max, rotation_bound);
+      ++failures;
+    }
+    if (baseline.empty()) {
+      baseline = r.sessions;
+      continue;
+    }
+    std::size_t mismatches = 0;
+    for (std::size_t i = 0; i < baseline.size() && i < r.sessions.size(); ++i) {
+      if (r.sessions[i].output_hash != baseline[i].output_hash ||
+          r.sessions[i].produced != baseline[i].produced) {
+        ++mismatches;
+      }
+    }
+    if (mismatches != 0) {
+      std::printf("FAIL: %zu sessions diverged from threads=1 at threads=%u\n",
+                  mismatches, threads);
+      ++failures;
+    }
+  }
+  std::printf("serve soak: %s\n", failures == 0 ? "PASS" : "FAIL");
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t n_sessions = 64;
+  std::size_t n_samples = 1'200;
+  unsigned threads = 4;
+  std::uint64_t seed = 1;
+  std::size_t step_cap = 0;
+  bool check = false;
+  std::string ledger_path;
+  std::string report_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--check") == 0) {
+      check = true;
+    } else if (std::strcmp(argv[i], "--sessions") == 0 && i + 1 < argc) {
+      n_sessions = std::strtoul(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--samples") == 0 && i + 1 < argc) {
+      n_samples = std::strtoul(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      threads = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--step-cap") == 0 && i + 1 < argc) {
+      step_cap = std::strtoul(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--ledger") == 0 && i + 1 < argc) {
+      ledger_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--report") == 0 && i + 1 < argc) {
+      report_path = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--check] [--sessions N] [--samples N] "
+                   "[--threads N] [--seed S] [--step-cap N] "
+                   "[--ledger FILE] [--report FILE]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  if (check) return run_check(n_sessions, n_samples, seed);
+
+  scflow::obs::Session obs;
+  const bool telemetry = !ledger_path.empty() || !report_path.empty();
+  const WorkloadResult r =
+      run_workload(n_sessions, n_samples, threads, seed, step_cap,
+                   telemetry ? &obs : nullptr, "soak");
+  const double wall_s = static_cast<double>(r.wall_ns) / 1e9;
+  std::printf("sessions:            %zu (over %zu ratios)\n", r.sessions.size(),
+              std::min(n_sessions, kRatioCount));
+  std::printf("input samples:       %llu\n",
+              static_cast<unsigned long long>(r.samples_in));
+  std::printf("wall time:           %.1f ms\n", wall_s * 1e3);
+  std::printf("throughput:          %.0f sessions x samples/s\n",
+              static_cast<double>(r.samples_in) / wall_s);
+  std::printf("scheduler steps:     %llu\n",
+              static_cast<unsigned long long>(r.steps));
+  std::printf("dispatch p99:        %.1f us\n",
+              static_cast<double>(r.job_ns_p99) / 1e3);
+  std::printf("starve streak max:   %u\n", r.starve_streak_max);
+  std::printf("zero-loss contract:  %s\n", r.drained_clean ? "ok" : "VIOLATED");
+
+  if (telemetry) {
+    obs.ledger.meta = scflow::obs::collect_run_metadata(argv[0]);
+    if (!obs.dump(report_path, "", ledger_path)) {
+      std::fprintf(stderr, "error: cannot write telemetry artifacts\n");
+      return 1;
+    }
+    if (!report_path.empty()) std::printf("metrics report: %s\n", report_path.c_str());
+    if (!ledger_path.empty()) std::printf("run ledger: %s\n", ledger_path.c_str());
+  }
+  return r.drained_clean ? 0 : 1;
+}
