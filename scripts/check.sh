@@ -57,6 +57,25 @@ echo "== serve: streaming SRC soak, 1000 sessions x thread sweep {1,2,4,8} =="
 build/tools/src_serve --check >/dev/null
 RAN_PASSES+=("serve")
 
+echo "== chaos: seeded fault-injection soak (32 seeds) + snapshot round-trip =="
+# The resilience gate: every seed's ChaosPlan injects lane stalls,
+# disconnects, oversized pushes, ring storms and allocation failures as
+# pure functions of the seed, across the same thread sweep — surviving
+# sessions must hash bit-identically and the fault census itself must be
+# scheduling-invariant.  Over the 32-seed soak every fault class must
+# fire at least once.  Then the crash-consistency gate: a mid-stream
+# snapshot restored at a different lane count must continue
+# byte-identically, and corrupted images must be rejected with a
+# diagnostic.  The chaos ledger lands in build/chaos/ (CI uploads it) —
+# NOT build/obs/, which the obs pass wipes.
+CHAOS_DIR="$(pwd)/build/chaos"
+rm -rf "$CHAOS_DIR" && mkdir -p "$CHAOS_DIR"
+build/tools/src_serve --chaos-soak 32 --seed 1 \
+  --ledger "$CHAOS_DIR/chaos_ledger.jsonl" --report "$CHAOS_DIR/chaos_report.json"
+build/tools/src_serve --snapshot-roundtrip >/dev/null
+build/tools/scflow_report validate "$CHAOS_DIR/chaos_ledger.jsonl" >/dev/null
+RAN_PASSES+=("chaos")
+
 echo "== obs: run ledger determinism + scflow_report render/diff gate =="
 # One flow run = refinement_flow (report + Perfetto trace + ledger), then
 # synthesis_flow --cec appending to the same ledger JSONL.  Two such runs
@@ -116,7 +135,7 @@ else
   cmake -B build-tsan -S . -DSCFLOW_SANITIZE=thread >/dev/null
   cmake --build build-tsan -j"$JOBS" --target \
     test_gate_parallel test_gate_level test_gate_alloc test_fault \
-    test_ppsfp test_fuzz_equivalence test_compiled_sim test_serve
+    test_ppsfp test_fuzz_equivalence test_compiled_sim test_serve test_resilience
   for t in test_gate_parallel test_gate_level test_gate_alloc; do
     echo "-- TSan: $t"
     TSAN_OPTIONS=halt_on_error=1 "build-tsan/tests/$t"
@@ -141,6 +160,12 @@ else
   # case — the service's entire threading contract under the race detector.
   echo "-- TSan: test_serve"
   TSAN_OPTIONS=halt_on_error=1 build-tsan/tests/test_serve
+  # The resilience layer under the race detector: the SPSC ring stress,
+  # eviction/lease bookkeeping around live client threads, and the
+  # chaos-enabled multi-lane runs (lane-stall injection hammers the
+  # lane_stalls_ atomic from every worker).
+  echo "-- TSan: test_resilience"
+  TSAN_OPTIONS=halt_on_error=1 build-tsan/tests/test_resilience
   # The fuzz oracle suite is heavyweight under TSan; one shard (125 random
   # netlists, random lane counts) keeps the race coverage without the cost.
   echo "-- TSan: test_fuzz_equivalence (shard 0)"

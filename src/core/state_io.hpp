@@ -1,0 +1,85 @@
+// Binary state serialization primitives for crash-consistent snapshots
+// (serve resilience layer): a little-endian byte writer and a sticky-
+// failure bounds-checked reader.  Explicit byte packing keeps the image
+// stable across platforms; the reader NEVER reads past the buffer — a
+// truncated or corrupt payload flips ok() and every later read returns a
+// zero value, so restore code can run to the end and check ok() once
+// instead of guarding every field (no crash on hostile input).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace scflow::core {
+
+class StateWriter {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+  void u16(std::uint16_t v) { append(v, 2); }
+  void u32(std::uint32_t v) { append(v, 4); }
+  void u64(std::uint64_t v) { append(v, 8); }
+  void i16(std::int16_t v) { u16(static_cast<std::uint16_t>(v)); }
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+  void bytes(const void* data, std::size_t n) {
+    buf_.append(static_cast<const char*>(data), n);
+  }
+
+  [[nodiscard]] const std::string& data() const { return buf_; }
+  [[nodiscard]] std::size_t size() const { return buf_.size(); }
+
+ private:
+  void append(std::uint64_t v, int n) {
+    for (int i = 0; i < n; ++i) buf_.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+  std::string buf_;
+};
+
+class StateReader {
+ public:
+  explicit StateReader(std::string_view buf) : buf_(buf) {}
+
+  std::uint8_t u8() { return static_cast<std::uint8_t>(take(1)); }
+  std::uint16_t u16() { return static_cast<std::uint16_t>(take(2)); }
+  std::uint32_t u32() { return static_cast<std::uint32_t>(take(4)); }
+  std::uint64_t u64() { return take(8); }
+  std::int16_t i16() { return static_cast<std::int16_t>(u16()); }
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+  bool read_bytes(void* out, std::size_t n) {
+    if (!ok_ || buf_.size() - pos_ < n) {
+      ok_ = false;
+      std::memset(out, 0, n);
+      return false;
+    }
+    std::memcpy(out, buf_.data() + pos_, n);
+    pos_ += n;
+    return true;
+  }
+
+  /// False once any read ran past the end of the buffer (sticky).
+  [[nodiscard]] bool ok() const { return ok_; }
+  /// True iff every byte was consumed and no read failed.
+  [[nodiscard]] bool exhausted() const { return ok_ && pos_ == buf_.size(); }
+  [[nodiscard]] std::size_t remaining() const { return buf_.size() - pos_; }
+
+ private:
+  std::uint64_t take(int n) {
+    if (!ok_ || buf_.size() - pos_ < static_cast<std::size_t>(n)) {
+      ok_ = false;
+      return 0;
+    }
+    std::uint64_t v = 0;
+    for (int i = 0; i < n; ++i) {
+      v |= static_cast<std::uint64_t>(static_cast<unsigned char>(buf_[pos_ + i])) << (8 * i);
+    }
+    pos_ += static_cast<std::size_t>(n);
+    return v;
+  }
+
+  std::string_view buf_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace scflow::core

@@ -22,6 +22,26 @@ AlgorithmicSrc::AlgorithmicSrc(std::int64_t nominal_increment, TimeBase time_bas
 
 void AlgorithmicSrc::set_mode(SrcMode mode) { tracker_.set_mode(mode); }
 
+void AlgorithmicSrc::save_state(core::StateWriter& w) const {
+  w.u8(started_ ? 1 : 0);
+  w.i64(depth_);
+  w.u64(bug_triggers_);
+  w.u64(outputs_);
+  for (const InputBuffer& b : buffer_) b.save_state(w);
+  tracker_.save_state(w);
+}
+
+bool AlgorithmicSrc::load_state(core::StateReader& r) {
+  started_ = r.u8() != 0;
+  depth_ = r.i64();
+  bug_triggers_ = r.u64();
+  outputs_ = r.u64();
+  for (InputBuffer& b : buffer_) {
+    if (!b.load_state(r)) return false;
+  }
+  return tracker_.load_state(r) && r.ok();
+}
+
 std::uint64_t AlgorithmicSrc::tracker_time(std::uint64_t t_ps) const {
   return time_base_ == TimeBase::kContinuousPs ? t_ps : quantizer_.quantize_cycles(t_ps);
 }

@@ -48,6 +48,14 @@ class AlgorithmicSrc {
   /// startup fill level is reached.
   StereoSample pull_output(std::uint64_t t_ps);
 
+  /// Snapshot support (serve resilience layer): serializes everything the
+  /// constructor does NOT determine — startup flag, depth accumulator,
+  /// both channel rings, the rate tracker's measurement state — so a
+  /// restored converter continues bit-identically.  The caller must
+  /// reconstruct with the same (increment / mode, time base) first.
+  void save_state(core::StateWriter& w) const;
+  [[nodiscard]] bool load_state(core::StateReader& r);
+
   // Introspection (used by the refinement-equivalence tests).
   [[nodiscard]] bool started() const { return started_; }
   [[nodiscard]] std::int64_t depth() const { return depth_; }

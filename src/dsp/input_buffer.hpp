@@ -7,6 +7,7 @@
 #include <array>
 #include <cstdint>
 
+#include "core/state_io.hpp"
 #include "dsp/src_params.hpp"
 
 namespace scflow::dsp {
@@ -67,6 +68,18 @@ class InputBuffer {
 
   /// Total samples written (the ring position is head % kSize).
   [[nodiscard]] std::uint64_t head() const { return head_; }
+
+  /// Snapshot support (serve resilience layer): the whole ring image plus
+  /// the monotonic head, so convolution history survives a restore.
+  void save_state(core::StateWriter& w) const {
+    w.u64(head_);
+    for (std::int16_t v : data_) w.i16(v);
+  }
+  [[nodiscard]] bool load_state(core::StateReader& r) {
+    head_ = r.u64();
+    for (std::int16_t& v : data_) v = r.i16();
+    return r.ok();
+  }
 
  private:
   std::array<std::int16_t, kSize> data_{};

@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <deque>
 
+#include "core/state_io.hpp"
 #include "dsp/src_params.hpp"
 
 namespace scflow::dsp {
@@ -62,6 +63,40 @@ class RateTracker {
   [[nodiscard]] bool update_pending() const { return !pending_.empty(); }
   [[nodiscard]] SrcMode mode() const { return mode_; }
 
+  /// Snapshot support (serve resilience layer): serializes the full
+  /// measurement state — committed increment, the divider's pending
+  /// queue, both period windows — so a restored tracker continues the
+  /// exact event-for-event trajectory.  Construction-time parameters
+  /// (mode / commit latency) are NOT serialized; the caller re-seeds
+  /// them by reconstructing the tracker first.
+  void save_state(core::StateWriter& w) const {
+    w.i64(increment_);
+    w.u64(pending_.size());
+    for (const Pending& p : pending_) {
+      w.i64(p.inc);
+      w.u64(p.ready);
+    }
+    save_window(w, in_);
+    save_window(w, out_);
+  }
+  [[nodiscard]] bool load_state(core::StateReader& r) {
+    increment_ = r.i64();
+    const std::uint64_t n = r.u64();
+    // The divider can hold at most one aborted + one live quotient; a
+    // large count here means the payload is garbage, not a deep queue.
+    if (n > 16) return false;
+    pending_.clear();
+    for (std::uint64_t i = 0; i < n; ++i) {
+      Pending p;
+      p.inc = r.i64();
+      p.ready = r.u64();
+      pending_.push_back(p);
+    }
+    load_window(r, in_);
+    load_window(r, out_);
+    return r.ok();
+  }
+
   /// The exact integer division the hardware divider implements.
   static std::int64_t divide_increment(std::uint64_t out_window, std::uint64_t in_window) {
     if (in_window == 0) return SrcParams::kIncMax;
@@ -107,6 +142,23 @@ class RateTracker {
     }
     w.prev = t;
     w.have_prev = true;
+  }
+
+  static void save_window(core::StateWriter& w, const Window& win) {
+    w.u64(win.prev);
+    w.u8(win.have_prev ? 1 : 0);
+    w.u64(win.elapsed);
+    w.u32(static_cast<std::uint32_t>(win.count));
+    w.u64(win.window);
+    w.u8(win.have_window ? 1 : 0);
+  }
+  static void load_window(core::StateReader& r, Window& win) {
+    win.prev = r.u64();
+    win.have_prev = r.u8() != 0;
+    win.elapsed = r.u64();
+    win.count = static_cast<int>(r.u32());
+    win.window = r.u64();
+    win.have_window = r.u8() != 0;
   }
 
   void commit_due(std::uint64_t t) {

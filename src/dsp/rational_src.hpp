@@ -112,6 +112,11 @@ class IntegerStage {
   /// Feeds one input sample; appends 0..factor outputs to @p out.
   std::size_t feed(StereoSample s, std::vector<StereoSample>& out);
 
+  /// Snapshot support: history rings + cursors (coefficients are
+  /// construction-determined and not serialized).
+  void save_state(core::StateWriter& w) const;
+  [[nodiscard]] bool load_state(core::StateReader& r);
+
  private:
   [[nodiscard]] std::int16_t convolve_branch(int ch, int branch) const;
   [[nodiscard]] std::int16_t convolve_full(int ch) const;
@@ -148,6 +153,17 @@ class RationalSrc {
 
   [[nodiscard]] std::uint64_t inputs_consumed() const { return inputs_; }
   [[nodiscard]] std::uint64_t outputs_produced() const { return outputs_; }
+
+  /// Snapshot support (serve resilience layer): serializes the complete
+  /// mid-stream state — event-timeline cursors, the fractional core, every
+  /// integer stage's filter history, and the undrained-output carry — so
+  /// that a converter reconstructed with the same (fs_in, fs_out, time
+  /// base) and then load_state()ed produces the byte-identical remaining
+  /// output stream.  load_state returns false (leaving the converter
+  /// unusable) on truncated or shape-mismatched payloads; it never reads
+  /// out of bounds.
+  void save_state(core::StateWriter& w) const;
+  [[nodiscard]] bool load_state(core::StateReader& r);
 
  private:
   void drain_core_until(std::uint64_t horizon_ps);

@@ -171,11 +171,22 @@ bool parse_entry(const JsonValue& v, LedgerEntry* e, std::string* error) {
 
 }  // namespace
 
-bool parse_ledger(std::string_view jsonl, LoadedLedger* out, std::string* error) {
+bool parse_ledger(std::string_view jsonl, LoadedLedger* out, std::string* error,
+                  bool skip_malformed) {
   *out = LoadedLedger{};
   std::size_t line_no = 0;
   std::size_t pos = 0;
   bool saw_header = false;
+  // In lenient mode a damaged line is recorded and skipped; in strict
+  // mode it fails the whole parse with the same message.
+  const auto reject = [&](std::size_t ln, std::string msg) {
+    if (skip_malformed) {
+      out->malformed.push_back({ln, std::move(msg)});
+      return true;  // keep going
+    }
+    if (error != nullptr) *error = "line " + std::to_string(ln) + ": " + msg;
+    return false;
+  };
   while (pos < jsonl.size()) {
     std::size_t nl = jsonl.find('\n', pos);
     if (nl == std::string_view::npos) nl = jsonl.size();
@@ -186,16 +197,15 @@ bool parse_ledger(std::string_view jsonl, LoadedLedger* out, std::string* error)
     JsonValue v;
     std::string perr;
     if (!json_parse(line, &v, &perr) || v.kind != JsonValue::Kind::kObject) {
-      if (error != nullptr)
-        *error = "line " + std::to_string(line_no) + ": " + (perr.empty() ? "not an object" : perr);
-      return false;
+      if (!reject(line_no, perr.empty() ? "not an object" : perr)) return false;
+      continue;
     }
     if (const JsonValue* schema = v.find("schema"); schema != nullptr) {
       if (schema->as_string() != kLedgerSchema) {
-        if (error != nullptr)
-          *error = "line " + std::to_string(line_no) + ": unknown schema '" +
-                   schema->as_string() + "'";
-        return false;
+        if (!reject(line_no, "unknown schema '" + schema->as_string() + "'")) {
+          return false;
+        }
+        continue;
       }
       if (!saw_header) {
         saw_header = true;
@@ -210,9 +220,10 @@ bool parse_ledger(std::string_view jsonl, LoadedLedger* out, std::string* error)
     LedgerEntry e;
     std::string eerr;
     if (!parse_entry(v, &e, &eerr)) {
-      if (error != nullptr) *error = "line " + std::to_string(line_no) + ": " + eerr;
-      return false;
+      if (!reject(line_no, eerr.empty() ? "malformed entry" : eerr)) return false;
+      continue;
     }
+    bool entry_ok = true;
     if (const JsonValue* hs = v.find("histograms");
         hs != nullptr && hs->kind == JsonValue::Kind::kObject) {
       for (const auto& [k, hv] : hs->members) {
@@ -232,9 +243,9 @@ bool parse_ledger(std::string_view jsonl, LoadedLedger* out, std::string* error)
           }
           img << "}}";
           if (!Histogram::from_json(img.str(), &h)) {
-            if (error != nullptr)
-              *error = "line " + std::to_string(line_no) + ": bad histogram '" + k + "'";
-            return false;
+            if (!reject(line_no, "bad histogram '" + k + "'")) return false;
+            entry_ok = false;
+            break;
           }
         } else if (const JsonValue* c = hv.find("count"); c != nullptr) {
           // Stripped-timing projection: count only.
@@ -243,16 +254,21 @@ bool parse_ledger(std::string_view jsonl, LoadedLedger* out, std::string* error)
         e.add_histogram(k, std::move(h));
       }
     }
-    out->entries.push_back(std::move(e));
+    if (entry_ok) out->entries.push_back(std::move(e));
   }
-  if (!saw_header && !out->entries.empty()) {
-    if (error != nullptr) *error = "missing ledger header line";
-    return false;
+  if (!saw_header && !(out->entries.empty() && out->malformed.empty())) {
+    if (skip_malformed) {
+      out->malformed.push_back({0, "missing ledger header line"});
+    } else {
+      if (error != nullptr) *error = "missing ledger header line";
+      return false;
+    }
   }
   return true;
 }
 
-bool load_ledger(const std::string& path, LoadedLedger* out, std::string* error) {
+bool load_ledger(const std::string& path, LoadedLedger* out, std::string* error,
+                 bool skip_malformed) {
   std::FILE* f = std::fopen(path.c_str(), "rb");
   if (f == nullptr) {
     if (error != nullptr) *error = "cannot open " + path;
@@ -263,7 +279,7 @@ bool load_ledger(const std::string& path, LoadedLedger* out, std::string* error)
   std::size_t n = 0;
   while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) text.append(buf, n);
   std::fclose(f);
-  return parse_ledger(text, out, error);
+  return parse_ledger(text, out, error, skip_malformed);
 }
 
 namespace {

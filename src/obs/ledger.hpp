@@ -36,6 +36,10 @@ class Fnv1a {
   void update_u64(std::uint64_t v);
   void update_str(std::string_view s);  ///< length-prefixed (no concat ambiguity)
   [[nodiscard]] std::uint64_t digest() const { return h_; }
+  /// Resumes a streaming hash from a previously observed digest (FNV-1a's
+  /// running state IS its digest) — snapshot/restore of per-session
+  /// output hashes in the serve resilience layer rides on this.
+  void restore_digest(std::uint64_t digest) { h_ = digest; }
 
  private:
   std::uint64_t h_ = 14695981039346656037ULL;
@@ -110,19 +114,34 @@ class Ledger {
   std::vector<LedgerEntry> entries_;
 };
 
+/// One line the lenient parser had to skip (truncated tail, bit flip,
+/// partial write): where and why, so tools can report it precisely.
+struct MalformedLine {
+  std::size_t line_no = 0;  ///< 1-based; 0 flags a file-level problem
+  std::string error;
+};
+
 /// A ledger read back from disk.
 struct LoadedLedger {
   RunMetadata meta;
   std::vector<LedgerEntry> entries;
+  std::vector<MalformedLine> malformed;  ///< populated in lenient mode only
 };
 
-/// Parses a ledger JSONL file.  Returns false (with *error) on I/O or
-/// schema problems; every line must be valid JSON of the right shape.
+/// Parses a ledger JSONL file.  Strict mode (default): returns false
+/// (with *error) on I/O or schema problems; every line must be valid
+/// JSON of the right shape.  Lenient mode (@p skip_malformed): damaged
+/// lines — truncated tails, bit flips, partial writes — are skipped and
+/// recorded in LoadedLedger::malformed with their line numbers, every
+/// intact entry is kept, and the call fails only when the file cannot
+/// be read at all.
 [[nodiscard]] bool load_ledger(const std::string& path, LoadedLedger* out,
-                               std::string* error = nullptr);
+                               std::string* error = nullptr,
+                               bool skip_malformed = false);
 /// Same, from an in-memory JSONL string.
 [[nodiscard]] bool parse_ledger(std::string_view jsonl, LoadedLedger* out,
-                                std::string* error = nullptr);
+                                std::string* error = nullptr,
+                                bool skip_malformed = false);
 
 /// One metric difference between matched entries.
 struct MetricDelta {

@@ -1,0 +1,38 @@
+#include "serve/chaos.hpp"
+
+namespace scflow::serve {
+
+const char* chaos_class_name(ChaosClass c) {
+  switch (c) {
+    case ChaosClass::kLaneStall:
+      return "lane_stall";
+    case ChaosClass::kDisconnect:
+      return "disconnect";
+    case ChaosClass::kOversizedPush:
+      return "oversized_push";
+    case ChaosClass::kRingStorm:
+      return "ring_storm";
+    case ChaosClass::kAllocFail:
+      return "alloc_fail";
+  }
+  return "unknown";
+}
+
+std::uint64_t ChaosPlan::mix(std::uint64_t seed, std::uint8_t salt, std::uint64_t a,
+                             std::uint64_t b) {
+  // splitmix64 finalizer over the combined coordinates — full avalanche,
+  // so adjacent (step, slot) pairs decorrelate and the per-class salt
+  // keeps the fault classes' schedules independent of each other.
+  std::uint64_t x = seed;
+  x ^= 0x9e3779b97f4a7c15ULL * (salt + 1);
+  x += a * 0xbf58476d1ce4e5b9ULL;
+  x += b * 0x94d049bb133111ebULL;
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+}  // namespace scflow::serve

@@ -1,0 +1,98 @@
+#include "serve/resilience.hpp"
+
+#include "core/state_io.hpp"
+#include "obs/ledger.hpp"
+#include "serve/src_service.hpp"
+
+namespace scflow::serve {
+
+const char* admit_status_name(AdmitStatus s) {
+  switch (s) {
+    case AdmitStatus::kAdmitted:
+      return "admitted";
+    case AdmitStatus::kOverloaded:
+      return "overloaded";
+    case AdmitStatus::kRateUnsupported:
+      return "rate_unsupported";
+    case AdmitStatus::kAllocFailed:
+      return "alloc_failed";
+  }
+  return "unknown";
+}
+
+namespace {
+
+std::uint64_t payload_checksum(std::string_view payload) {
+  obs::Fnv1a h;
+  h.update_bytes(payload.data(), payload.size());
+  return h.digest();
+}
+
+}  // namespace
+
+std::string snapshot_service(SrcService& service) {
+  // Record the save first so the image's own census includes it — a
+  // restored service reports exactly as many saves as actually happened.
+  ++service.res_.snapshot_saves;
+
+  core::StateWriter payload;
+  service.save_state(payload);
+
+  core::StateWriter envelope;
+  envelope.bytes(kSnapshotMagic.data(), kSnapshotMagic.size());
+  envelope.u32(kSnapshotVersion);
+  envelope.u64(payload.size());
+  envelope.u64(payload_checksum(payload.data()));
+  envelope.bytes(payload.data().data(), payload.size());
+  // Full image size including the envelope — the number an operator
+  // budgets for.  Set after save_state so it never serializes itself.
+  service.res_.snapshot_bytes_last = envelope.size();
+  return envelope.data();
+}
+
+bool restore_service(std::string_view image, SrcService& into, std::string* error) {
+  const auto fail = [error](const char* why) {
+    if (error != nullptr) *error = why;
+    return false;
+  };
+
+  core::StateReader header(image);
+  char magic[8] = {};
+  if (!header.read_bytes(magic, sizeof magic)) {
+    return fail("truncated snapshot: shorter than the envelope header");
+  }
+  if (std::string_view(magic, sizeof magic) != kSnapshotMagic) {
+    return fail("bad snapshot magic (not a service snapshot)");
+  }
+  const std::uint32_t version = header.u32();
+  const std::uint64_t payload_size = header.u64();
+  const std::uint64_t checksum = header.u64();
+  if (!header.ok()) {
+    return fail("truncated snapshot: envelope header cut short");
+  }
+  if (version != kSnapshotVersion) {
+    return fail("unsupported snapshot version");
+  }
+  if (header.remaining() < payload_size) {
+    return fail("truncated snapshot: payload shorter than the header claims");
+  }
+  if (header.remaining() > payload_size) {
+    return fail("corrupt snapshot: trailing bytes after the payload");
+  }
+  const std::string_view payload =
+      image.substr(image.size() - static_cast<std::size_t>(payload_size));
+  if (payload_checksum(payload) != checksum) {
+    return fail("snapshot checksum mismatch (corrupt payload)");
+  }
+
+  core::StateReader reader(payload);
+  std::string inner;
+  if (!into.load_state(reader, &inner)) {
+    if (error != nullptr) *error = "snapshot payload rejected: " + inner;
+    return false;
+  }
+  ++into.res_.snapshot_restores;
+  return true;
+}
+
+}  // namespace scflow::serve

@@ -16,6 +16,7 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <stdexcept>
 #include <vector>
 
 #include "dsp/src_params.hpp"
@@ -24,8 +25,19 @@ namespace scflow::serve {
 
 class SampleRing {
  public:
-  /// Capacity is rounded up to a power of two (minimum 2).
-  explicit SampleRing(std::size_t capacity) {
+  /// Capacity is rounded up to a power of two (minimum 2).  A zero
+  /// capacity is a configuration error, not a degenerate ring: every
+  /// push would lie about backpressure, so it throws.
+  explicit SampleRing(std::size_t capacity) : SampleRing(capacity, 0) {}
+
+  /// Same, with both monotonic counters seeded at @p start_counter —
+  /// lets tests exercise the u64 head/tail wraparound region directly
+  /// instead of pushing 2^64 samples to reach it.
+  SampleRing(std::size_t capacity, std::uint64_t start_counter)
+      : head_(start_counter), tail_(start_counter) {
+    if (capacity == 0) {
+      throw std::invalid_argument("SampleRing: capacity must be non-zero");
+    }
     std::size_t size = 2;
     while (size < capacity) size <<= 1;
     buf_.resize(size);
@@ -70,6 +82,20 @@ class SampleRing {
     return static_cast<std::size_t>(head - tail);
   }
   [[nodiscard]] std::size_t free_space() const { return buf_.size() - size(); }
+
+  /// Snapshot support: appends the queued contents (oldest first) to
+  /// @p out without consuming them, and returns the tail counter so a
+  /// restored ring can be reconstructed at the same logical position.
+  /// Quiescent use only (no concurrent producer/consumer) — the
+  /// service snapshots between steps with no clients running.
+  std::uint64_t snapshot_into(std::vector<dsp::StereoSample>& out) const {
+    const std::uint64_t tail = tail_.load(std::memory_order_acquire);
+    const std::uint64_t head = head_.load(std::memory_order_acquire);
+    for (std::uint64_t i = tail; i != head; ++i) {
+      out.push_back(buf_[static_cast<std::size_t>(i) & mask_]);
+    }
+    return tail;
+  }
 
  private:
   std::vector<dsp::StereoSample> buf_;

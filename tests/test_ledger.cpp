@@ -8,6 +8,7 @@
 #include <chrono>
 #include <cstdio>
 #include <fstream>
+#include <iterator>
 #include <limits>
 #include <set>
 #include <string>
@@ -355,6 +356,98 @@ TEST(Ledger, FaultCampaignLedgerIsBitIdenticalAcrossThreadCounts) {
       EXPECT_EQ(img, reference) << "threads=" << threads;
     }
   }
+}
+
+// --- lenient parsing of damaged ledgers ----------------------------------
+//
+// A crashed run leaves a byte-truncated tail; bit rot flips characters
+// mid-file.  Strict loads must fail with the line number; lenient loads
+// (skip_malformed) must salvage every intact entry and report each
+// damaged line so `scflow_report validate` can render the damage.
+
+std::string write_three_entry_ledger(const std::string& path) {
+  Ledger ledger;
+  ledger.meta = collect_run_metadata("test_ledger");
+  ledger.append(make_entry("synth", "a", 0));
+  ledger.append(make_entry("fault", "b", 1));
+  ledger.append(make_entry("cosim", "c", 2));
+  std::remove(path.c_str());
+  EXPECT_TRUE(ledger.write(path));
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in), {});
+}
+
+void write_raw(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+TEST(LedgerCorruption, ByteTruncatedTailIsSkippedWithLineNumber) {
+  const std::string path = ::testing::TempDir() + "ledger_truncated.jsonl";
+  const std::string text = write_three_entry_ledger(path);
+  // Chop the file mid-way through the LAST entry's JSON.
+  const std::size_t cut = text.rfind("\"phase\":\"cosim\"");
+  ASSERT_NE(cut, std::string::npos);
+  write_raw(path, text.substr(0, cut + 20));
+
+  LoadedLedger strict;
+  std::string err;
+  EXPECT_FALSE(load_ledger(path, &strict, &err));
+  EXPECT_NE(err.find("line 4"), std::string::npos) << err;
+
+  LoadedLedger lenient;
+  err.clear();
+  ASSERT_TRUE(load_ledger(path, &lenient, &err, /*skip_malformed=*/true)) << err;
+  EXPECT_EQ(lenient.entries.size(), 2u);  // intact entries salvaged
+  ASSERT_EQ(lenient.malformed.size(), 1u);
+  EXPECT_EQ(lenient.malformed[0].line_no, 4u);
+  EXPECT_FALSE(lenient.malformed[0].error.empty());
+  std::remove(path.c_str());
+}
+
+TEST(LedgerCorruption, BitFlippedMiddleLineIsSkippedOthersSurvive) {
+  const std::string path = ::testing::TempDir() + "ledger_bitflip.jsonl";
+  std::string text = write_three_entry_ledger(path);
+  // Corrupt line 3 (the second entry): flip its opening brace.
+  std::size_t pos = 0;
+  for (int nl = 0; nl < 2; ++nl) pos = text.find('\n', pos) + 1;
+  ASSERT_EQ(text[pos], '{');
+  text[pos] = '[';
+  write_raw(path, text);
+
+  LoadedLedger lenient;
+  std::string err;
+  ASSERT_TRUE(load_ledger(path, &lenient, &err, /*skip_malformed=*/true)) << err;
+  ASSERT_EQ(lenient.entries.size(), 2u);
+  EXPECT_EQ(lenient.entries[0].phase, "synth");
+  EXPECT_EQ(lenient.entries[1].phase, "cosim");  // the entry AFTER the damage
+  ASSERT_EQ(lenient.malformed.size(), 1u);
+  EXPECT_EQ(lenient.malformed[0].line_no, 3u);
+
+  LoadedLedger strict;
+  err.clear();
+  EXPECT_FALSE(load_ledger(path, &strict, &err));
+  EXPECT_NE(err.find("line 3"), std::string::npos) << err;
+  std::remove(path.c_str());
+}
+
+TEST(LedgerCorruption, MissingHeaderReportedAtFileLevel) {
+  const std::string path = ::testing::TempDir() + "ledger_noheader.jsonl";
+  const std::string text = write_three_entry_ledger(path);
+  write_raw(path, text.substr(text.find('\n') + 1));  // drop the header line
+
+  LoadedLedger strict;
+  std::string err;
+  EXPECT_FALSE(load_ledger(path, &strict, &err));
+
+  LoadedLedger lenient;
+  err.clear();
+  ASSERT_TRUE(load_ledger(path, &lenient, &err, /*skip_malformed=*/true)) << err;
+  EXPECT_EQ(lenient.entries.size(), 3u);  // entries are intact
+  ASSERT_EQ(lenient.malformed.size(), 1u);
+  EXPECT_EQ(lenient.malformed[0].line_no, 0u);  // file-level problem
+  EXPECT_NE(lenient.malformed[0].error.find("header"), std::string::npos);
+  std::remove(path.c_str());
 }
 
 // --- exact uint64 JSON parsing (the hash fields need all 64 bits) ---------

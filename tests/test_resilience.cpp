@@ -1,0 +1,564 @@
+// Resilience-layer tests for the streaming SRC service: SampleRing edge
+// cases (u64 counter wraparound, zero capacity, concurrent SPSC stress),
+// session leases and graceful eviction (drain-before-evict, generation
+// invalidation), admission control and load shedding, deterministic
+// chaos injection (plan purity, thread-invariant fault schedules), and
+// the crash-consistent snapshot/restore envelope (bit-identical
+// continuation, corruption rejection).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "dsp/stimulus.hpp"
+#include "obs/session.hpp"
+#include "serve/chaos.hpp"
+#include "serve/resilience.hpp"
+#include "serve/sample_ring.hpp"
+#include "serve/src_service.hpp"
+
+namespace scflow::serve {
+namespace {
+
+using dsp::StereoSample;
+
+// --- SampleRing edges ----------------------------------------------------
+
+TEST(SampleRingEdge, ZeroCapacityThrows) {
+  EXPECT_THROW(SampleRing ring(0), std::invalid_argument);
+}
+
+TEST(SampleRingEdge, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(SampleRing(1).capacity(), 2u);
+  EXPECT_EQ(SampleRing(2).capacity(), 2u);
+  EXPECT_EQ(SampleRing(3).capacity(), 4u);
+  EXPECT_EQ(SampleRing(1000).capacity(), 1024u);
+}
+
+TEST(SampleRingEdge, CounterWraparoundPreservesFifoOrder) {
+  // Seed head/tail 4 below the u64 wrap point, then stream enough
+  // samples through to carry both counters across 2^64 -> 0.  The
+  // head - tail arithmetic must stay exact through the wrap.
+  constexpr std::uint64_t kStart = ~std::uint64_t{0} - 3;
+  SampleRing ring(8, kStart);
+  EXPECT_EQ(ring.size(), 0u);
+  EXPECT_EQ(ring.free_space(), 8u);
+
+  std::int16_t next_in = 0;
+  std::int16_t next_out = 0;
+  std::uint64_t streamed = 0;
+  while (streamed < 64) {  // well past the wrap at streamed == 4
+    StereoSample chunk[5];
+    for (auto& s : chunk) {
+      s.left = next_in;
+      s.right = static_cast<std::int16_t>(-next_in);
+      ++next_in;
+    }
+    const std::size_t took = ring.push(chunk, 5);
+    ASSERT_LE(took, 5u);
+    next_in = static_cast<std::int16_t>(next_out + static_cast<std::int16_t>(ring.size()));
+    streamed += took;
+    StereoSample out[3];
+    const std::size_t got = ring.pop(out, 3);
+    for (std::size_t i = 0; i < got; ++i) {
+      EXPECT_EQ(out[i].left, next_out);
+      EXPECT_EQ(out[i].right, static_cast<std::int16_t>(-next_out));
+      ++next_out;
+    }
+    EXPECT_LE(ring.size(), ring.capacity());
+    EXPECT_EQ(ring.size() + ring.free_space(), ring.capacity());
+  }
+  StereoSample out[8];
+  std::size_t got;
+  while ((got = ring.pop(out, 8)) > 0) {
+    for (std::size_t i = 0; i < got; ++i) {
+      EXPECT_EQ(out[i].left, next_out);
+      ++next_out;
+    }
+  }
+  EXPECT_EQ(ring.size(), 0u);
+}
+
+TEST(SampleRingEdge, ConcurrentSpscStressKeepsEverySample) {
+  // One producer, one consumer, tiny ring: maximum contention on the
+  // head/tail handoff.  Under TSan this exercises the acquire/release
+  // pairing; everywhere it checks nothing is lost or reordered.
+  constexpr std::size_t kTotal = 50'000;
+  SampleRing ring(4);
+  std::thread producer([&] {
+    std::uint32_t v = 0;
+    StereoSample s;
+    while (v < kTotal) {
+      s.left = static_cast<std::int16_t>(v & 0x7fff);
+      s.right = static_cast<std::int16_t>((v >> 15) & 0x7fff);
+      if (ring.push(&s, 1) == 1) ++v;
+      else std::this_thread::yield();
+    }
+  });
+  std::uint32_t expect = 0;
+  StereoSample out[8];
+  while (expect < kTotal) {
+    const std::size_t got = ring.pop(out, 8);
+    if (got == 0) std::this_thread::yield();
+    for (std::size_t i = 0; i < got; ++i) {
+      ASSERT_EQ(out[i].left, static_cast<std::int16_t>(expect & 0x7fff));
+      ASSERT_EQ(out[i].right, static_cast<std::int16_t>((expect >> 15) & 0x7fff));
+      ++expect;
+    }
+  }
+  producer.join();
+  EXPECT_EQ(ring.size(), 0u);
+}
+
+// --- leases & eviction ---------------------------------------------------
+
+ServiceOptions small_service(std::size_t max_sessions = 4) {
+  ServiceOptions opt;
+  opt.max_sessions = max_sessions;
+  opt.input_ring = 64;
+  opt.output_ring = 64;
+  opt.work_quantum = 32;
+  return opt;
+}
+
+TEST(Leases, IdleSessionIsEvictedAndCounted) {
+  ServiceOptions opt = small_service();
+  opt.idle_timeout_steps = 3;
+  SrcService service(opt);
+  const SessionId id = service.open({48'000, 48'000});
+  const auto stim = dsp::make_noise_stimulus(40, 7);
+  EXPECT_EQ(service.push(id, stim.data(), stim.size()), stim.size());
+  service.run_until_idle();
+  std::vector<StereoSample> out(64);
+  while (service.pull(id, out.data(), out.size()) > 0) {}
+  EXPECT_EQ(service.phase(id), SessionPhase::kOpen);
+
+  // No client activity, nothing queued: the lease lapses and the session
+  // goes straight to kEvicted (already drained).
+  for (int i = 0; i < 5; ++i) service.step();
+  EXPECT_EQ(service.phase(id), SessionPhase::kEvicted);
+  const ResilienceStats res = service.resilience_stats();
+  EXPECT_EQ(res.evict_idle, 1u);
+  EXPECT_EQ(res.evict_lifetime, 0u);
+  EXPECT_EQ(res.evict_drained, 1u);
+  EXPECT_EQ(service.session_count(), 0u);
+}
+
+TEST(Leases, LifetimeLeaseEvictsEvenAnActiveSession) {
+  ServiceOptions opt = small_service();
+  opt.max_lifetime_steps = 4;
+  SrcService service(opt);
+  const SessionId id = service.open({44'100, 48'000});
+  const auto stim = dsp::make_noise_stimulus(8, 3);
+  std::vector<StereoSample> out(64);
+  // The client keeps pushing and pulling every step — idle never trips,
+  // but the lifetime lease still does.
+  for (int i = 0; i < 8; ++i) {
+    (void)service.push(id, stim.data(), stim.size());
+    service.step();
+    while (service.pull(id, out.data(), out.size()) > 0) {}
+    if (service.phase(id) != SessionPhase::kOpen) break;
+  }
+  // Drain whatever the eviction left queued.
+  service.run_until_idle();
+  while (service.pull(id, out.data(), out.size()) > 0) {}
+  EXPECT_EQ(service.phase(id), SessionPhase::kEvicted);
+  EXPECT_EQ(service.resilience_stats().evict_lifetime, 1u);
+}
+
+TEST(Leases, EvictionDrainsQueuedInputsBeforeTerminal) {
+  // Wedge the output ring so the session stalls with inputs queued, let
+  // the idle lease lapse, then verify the drain contract: pushes are
+  // refused (counted), queued inputs still convert, and only then does
+  // the session reach kEvicted.  No accepted sample is dropped.
+  ServiceOptions opt = small_service();
+  opt.output_ring = 16;   // rounds to 16; two quanta wedge it
+  opt.input_ring = 256;
+  opt.work_quantum = 16;
+  opt.idle_timeout_steps = 2;
+  SrcService service(opt);
+  const SessionId id = service.open({48'000, 48'000});
+  const auto stim = dsp::make_noise_stimulus(64, 11);
+  ASSERT_EQ(service.push(id, stim.data(), stim.size()), stim.size());
+  // Convert until the output ring is full and the session stalls.
+  for (int i = 0; i < 10; ++i) service.step();
+  const SessionStats before = *service.stats(id);
+  EXPECT_LT(before.converted_in, 64u);  // stalled mid-stream
+  EXPECT_GT(before.converted_in, 0u);
+
+  // Stall long enough for the idle lease: the session enters kEvicting
+  // with inputs still queued.
+  for (int i = 0; i < 4; ++i) service.step();
+  EXPECT_EQ(service.phase(id), SessionPhase::kEvicting);
+
+  // Pushes to an evicting session are refused and counted.
+  const std::size_t accepted = service.push(id, stim.data(), 8);
+  EXPECT_EQ(accepted, 0u);
+  EXPECT_GE(service.resilience_stats().evict_push_rejected, 8u);
+
+  // The client drains; the service keeps scheduling the evicting session
+  // until its queue is empty, then retires it to kEvicted.
+  std::vector<StereoSample> out(64);
+  std::uint64_t pulled = 0;
+  for (int i = 0; i < 50 && service.phase(id) != SessionPhase::kEvicted; ++i) {
+    std::size_t got;
+    while ((got = service.pull(id, out.data(), out.size())) > 0) pulled += got;
+    service.step();
+  }
+  while (true) {
+    const std::size_t got = service.pull(id, out.data(), out.size());
+    if (got == 0) break;
+    pulled += got;
+  }
+  EXPECT_EQ(service.phase(id), SessionPhase::kEvicted);
+  const SessionStats* after = service.stats(id);
+  ASSERT_NE(after, nullptr);
+  EXPECT_EQ(after->accepted, 64u);
+  EXPECT_EQ(after->converted_in, 64u);  // everything accepted was converted
+  EXPECT_EQ(after->produced, pulled);   // everything produced was pulled
+  EXPECT_EQ(service.resilience_stats().evict_drained, 1u);
+}
+
+TEST(Leases, SweepReclaimsEvictedSlotAndInvalidatesHandle) {
+  ServiceOptions opt = small_service(1);
+  opt.idle_timeout_steps = 1;
+  SrcService service(opt);
+  const SessionId id = service.open({48'000, 44'100});
+  const auto stim = dsp::make_noise_stimulus(32, 5);
+  ASSERT_EQ(service.push(id, stim.data(), stim.size()), stim.size());
+  service.run_until_idle();
+  for (int i = 0; i < 3; ++i) service.step();
+  ASSERT_EQ(service.phase(id), SessionPhase::kEvicted);
+  const std::uint64_t produced = service.stats(id)->produced;
+  ASSERT_GT(produced, 0u);  // deliberately left unpulled
+
+  EXPECT_EQ(service.sweep_evicted(), 1u);
+  EXPECT_EQ(service.resilience_stats().evict_unpulled, produced);
+  EXPECT_EQ(service.stats(id), nullptr);
+  EXPECT_EQ(service.phase(id), SessionPhase::kUnknown);
+  EXPECT_EQ(service.push(id, stim.data(), 4), 0u);
+
+  // The slot is reusable; the stale handle never resolves to the tenant.
+  const SessionId next = service.open({48'000, 48'000});
+  ASSERT_TRUE(next.valid());
+  EXPECT_EQ(next.slot, id.slot);
+  EXPECT_NE(next.generation, id.generation);
+  EXPECT_EQ(service.stats(id), nullptr);
+  EXPECT_NE(service.stats(next), nullptr);
+}
+
+// --- admission control & shedding ---------------------------------------
+
+TEST(Admission, RejectsUnsupportedRateWithReason) {
+  SrcService service(small_service());
+  const AdmitResult r = service.try_open({0, 48'000});
+  EXPECT_EQ(r.status, AdmitStatus::kRateUnsupported);
+  EXPECT_FALSE(r.id.valid());
+  EXPECT_EQ(service.resilience_stats().admit_rate_unsupported, 1u);
+  EXPECT_THROW((void)service.open({0, 48'000}), std::invalid_argument);
+  EXPECT_STREQ(admit_status_name(r.status), "rate_unsupported");
+}
+
+TEST(Admission, FullTableRejectsAsOverloadedWithoutWatermark) {
+  SrcService service(small_service(2));
+  ASSERT_EQ(service.try_open({48'000, 48'000}).status, AdmitStatus::kAdmitted);
+  ASSERT_EQ(service.try_open({48'000, 48'000}).status, AdmitStatus::kAdmitted);
+  const AdmitResult r = service.try_open({48'000, 48'000});
+  EXPECT_EQ(r.status, AdmitStatus::kOverloaded);
+  EXPECT_FALSE(r.id.valid());
+  EXPECT_EQ(service.resilience_stats().admit_overloaded, 1u);
+  EXPECT_EQ(service.session_count(), 2u);
+}
+
+TEST(Admission, WatermarkShedsLowestProgressSession) {
+  ServiceOptions opt = small_service(2);
+  opt.shed_high_watermark = 2;
+  SrcService service(opt);
+  const SessionId lagging = service.open({48'000, 48'000});
+  const SessionId leading = service.open({48'000, 48'000});
+  const auto stim = dsp::make_noise_stimulus(32, 9);
+  // leading converts its inputs; lagging queues 32 and never runs.
+  ASSERT_EQ(service.push(leading, stim.data(), stim.size()), stim.size());
+  service.run_until_idle();
+  ASSERT_EQ(service.push(lagging, stim.data(), stim.size()), stim.size());
+
+  const AdmitResult r = service.try_open({44'100, 48'000});
+  EXPECT_EQ(r.status, AdmitStatus::kAdmitted);
+  const ResilienceStats res = service.resilience_stats();
+  EXPECT_EQ(res.shed_sessions, 1u);
+  EXPECT_EQ(res.shed_dropped_inputs, 32u);  // lagging's queue, counted
+  EXPECT_EQ(service.stats(lagging), nullptr);   // victim is gone
+  EXPECT_NE(service.stats(leading), nullptr);   // survivor untouched
+  EXPECT_EQ(service.session_count(), 2u);
+}
+
+// --- chaos plan ----------------------------------------------------------
+
+TEST(ChaosPlan, DecisionHashIsPureAndSeedSensitive) {
+  const std::uint64_t a = ChaosPlan::mix(1, 0, 10, 3);
+  EXPECT_EQ(a, ChaosPlan::mix(1, 0, 10, 3));       // pure
+  EXPECT_NE(a, ChaosPlan::mix(2, 0, 10, 3));       // seed matters
+  EXPECT_NE(a, ChaosPlan::mix(1, 1, 10, 3));       // class salt matters
+  EXPECT_NE(a, ChaosPlan::mix(1, 0, 11, 3));       // coordinates matter
+  EXPECT_NE(a, ChaosPlan::mix(1, 0, 10, 4));
+}
+
+TEST(ChaosPlan, RatesBoundFiring) {
+  ChaosOptions never;
+  never.stall_per_dispatch = 0;
+  ChaosOptions always;
+  always.stall_per_dispatch = 1u << 16;  // 65536/65536
+  const ChaosPlan off(never);
+  const ChaosPlan on(always);
+  for (std::uint64_t step = 0; step < 100; ++step) {
+    EXPECT_FALSE(off.stall_lane(step, 0));
+    EXPECT_TRUE(on.stall_lane(step, 0));
+  }
+  // Two plans with identical options agree everywhere.
+  const ChaosPlan x{ChaosOptions{}};
+  const ChaosPlan y{ChaosOptions{}};
+  for (std::uint64_t r = 0; r < 200; ++r) {
+    EXPECT_EQ(x.disconnect(r, 3), y.disconnect(r, 3));
+    EXPECT_EQ(x.oversized_push(r, 3), y.oversized_push(r, 3));
+    EXPECT_EQ(x.fail_allocation(r), y.fail_allocation(r));
+  }
+}
+
+TEST(ChaosPlan, ClassNamesAreStable) {
+  EXPECT_STREQ(chaos_class_name(ChaosClass::kLaneStall), "lane_stall");
+  EXPECT_STREQ(chaos_class_name(ChaosClass::kAllocFail), "alloc_fail");
+}
+
+// Runs a fixed chaos workload (service-side injections only: stalls and
+// allocation failures) and returns every session's output hash plus the
+// fault census.
+struct ChaosRun {
+  std::vector<std::uint64_t> hashes;
+  ResilienceStats census;
+};
+
+ChaosRun run_chaos_fixture(unsigned threads) {
+  ChaosOptions copt;
+  copt.seed = 42;
+  copt.stall_per_dispatch = 1u << 13;  // ~12%: plenty of stalls
+  copt.alloc_fail_per_open = 1u << 13;
+  const ChaosPlan plan(copt);
+  ServiceOptions opt;
+  opt.threads = threads;
+  opt.max_sessions = 8;
+  opt.input_ring = 128;
+  opt.output_ring = 512;
+  opt.work_quantum = 32;
+  SrcService service(opt);
+  service.set_chaos(&plan);
+
+  constexpr std::uint32_t kRates[][2] = {{44'100, 48'000}, {48'000, 44'100},
+                                         {32'000, 48'000}, {48'000, 48'000}};
+  std::vector<SessionId> ids;
+  for (int i = 0; i < 8; ++i) {
+    AdmitResult r{};
+    for (int attempt = 0; attempt < 8; ++attempt) {
+      r = service.try_open({kRates[i % 4][0], kRates[i % 4][1]});
+      if (r.status != AdmitStatus::kAllocFailed) break;
+    }
+    EXPECT_EQ(r.status, AdmitStatus::kAdmitted);
+    ids.push_back(r.id);
+  }
+  std::vector<StereoSample> out(256);
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    const auto stim = dsp::make_noise_stimulus(300, 100 + i);
+    std::size_t fed = 0;
+    while (fed < stim.size()) {
+      fed += service.push(ids[i], stim.data() + fed, stim.size() - fed);
+      service.step();
+      while (service.pull(ids[i], out.data(), out.size()) > 0) {}
+    }
+  }
+  service.run_until_idle();
+  ChaosRun run;
+  for (const SessionId id : ids) {
+    while (service.pull(id, out.data(), out.size()) > 0) {}
+    run.hashes.push_back(service.stats(id)->output_hash);
+  }
+  run.census = service.resilience_stats();
+  return run;
+}
+
+TEST(ChaosDeterminism, FaultScheduleAndHashesAreThreadInvariant) {
+  const ChaosRun base = run_chaos_fixture(1);
+  EXPECT_GT(base.census.chaos_stalls, 0u);         // the plan actually fired
+  EXPECT_GT(base.census.chaos_alloc_failures, 0u);
+  for (unsigned threads : {2u, 4u}) {
+    const ChaosRun other = run_chaos_fixture(threads);
+    EXPECT_EQ(other.hashes, base.hashes) << "threads=" << threads;
+    EXPECT_EQ(other.census.chaos_stalls, base.census.chaos_stalls);
+    EXPECT_EQ(other.census.chaos_alloc_failures, base.census.chaos_alloc_failures);
+  }
+}
+
+// --- snapshot / restore --------------------------------------------------
+
+TEST(Snapshot, RoundTripContinuesBitIdentically) {
+  ServiceOptions opt = small_service();
+  opt.input_ring = 128;
+  opt.output_ring = 128;
+  opt.work_quantum = 32;
+
+  const auto stim_a = dsp::make_noise_stimulus(200, 21);
+  const auto stim_b = dsp::make_noise_stimulus(200, 22);
+
+  // Golden: run halfway, snapshot mid-stream (rings non-empty), finish.
+  SrcService golden(opt);
+  const SessionId a = golden.open({44'100, 48'000});
+  const SessionId b = golden.open({48'000, 44'100});
+  ASSERT_EQ(golden.push(a, stim_a.data(), 100), 100u);
+  ASSERT_EQ(golden.push(b, stim_b.data(), 100), 100u);
+  golden.step();
+  golden.step();
+  const std::string image = snapshot_service(golden);
+  ASSERT_GT(image.size(), 32u);
+  EXPECT_EQ(golden.resilience_stats().snapshot_saves, 1u);
+
+  const auto finish = [&](SrcService& s, std::vector<StereoSample>* out_a,
+                          std::vector<StereoSample>* out_b) {
+    std::vector<StereoSample> buf(256);
+    std::size_t fed_a = 100, fed_b = 100;
+    bool progress = true;
+    while (progress) {
+      progress = false;
+      if (fed_a < 200) {
+        fed_a += s.push(a, stim_a.data() + fed_a, 200 - fed_a);
+        progress = true;
+      }
+      if (fed_b < 200) {
+        fed_b += s.push(b, stim_b.data() + fed_b, 200 - fed_b);
+        progress = true;
+      }
+      if (s.step() > 0) progress = true;
+      std::size_t got;
+      while ((got = s.pull(a, buf.data(), buf.size())) > 0) {
+        out_a->insert(out_a->end(), buf.begin(), buf.begin() + static_cast<std::ptrdiff_t>(got));
+        progress = true;
+      }
+      while ((got = s.pull(b, buf.data(), buf.size())) > 0) {
+        out_b->insert(out_b->end(), buf.begin(), buf.begin() + static_cast<std::ptrdiff_t>(got));
+        progress = true;
+      }
+    }
+  };
+  std::vector<StereoSample> gold_a, gold_b;
+  finish(golden, &gold_a, &gold_b);
+
+  // Restore at a different lane count and drive the identical schedule.
+  ServiceOptions opt2 = opt;
+  opt2.threads = 2;
+  SrcService restored(opt2);
+  std::string err;
+  ASSERT_TRUE(restore_service(image, restored, &err)) << err;
+  EXPECT_EQ(restored.resilience_stats().snapshot_restores, 1u);
+  EXPECT_EQ(restored.phase(a), SessionPhase::kOpen);
+  std::vector<StereoSample> cont_a, cont_b;
+  finish(restored, &cont_a, &cont_b);
+
+  ASSERT_EQ(cont_a.size(), gold_a.size());
+  ASSERT_EQ(cont_b.size(), gold_b.size());
+  EXPECT_EQ(std::memcmp(cont_a.data(), gold_a.data(),
+                        gold_a.size() * sizeof(StereoSample)), 0);
+  EXPECT_EQ(std::memcmp(cont_b.data(), gold_b.data(),
+                        gold_b.size() * sizeof(StereoSample)), 0);
+  EXPECT_EQ(restored.stats(a)->output_hash, golden.stats(a)->output_hash);
+  EXPECT_EQ(restored.stats(b)->output_hash, golden.stats(b)->output_hash);
+  EXPECT_EQ(restored.stats(a)->accepted, golden.stats(a)->accepted);
+  EXPECT_EQ(restored.stats(b)->converted_in, golden.stats(b)->converted_in);
+}
+
+TEST(Snapshot, CorruptImagesAreRejectedWithDiagnostics) {
+  SrcService source(small_service());
+  const SessionId id = source.open({48'000, 48'000});
+  const auto stim = dsp::make_noise_stimulus(50, 1);
+  (void)source.push(id, stim.data(), stim.size());
+  source.step();
+  const std::string image = snapshot_service(source);
+
+  const auto expect_rejected = [&](std::string img, const char* what) {
+    SrcService victim(small_service());
+    std::string err;
+    EXPECT_FALSE(restore_service(img, victim, &err)) << what;
+    EXPECT_FALSE(err.empty()) << what;
+    // The failed restore left the service fresh and usable.
+    EXPECT_TRUE(victim.open({48'000, 48'000}).valid()) << what;
+  };
+  expect_rejected(image.substr(0, 7), "shorter than the magic");
+  expect_rejected(image.substr(0, 20), "header cut short");
+  expect_rejected(image.substr(0, image.size() / 2), "payload truncated");
+  std::string flipped = image;
+  flipped[image.size() / 2] ^= 0x10;
+  expect_rejected(flipped, "bit flip in the payload");
+  std::string magic = image;
+  magic[0] = 'Z';
+  expect_rejected(magic, "bad magic");
+  expect_rejected(image + "x", "trailing bytes");
+  expect_rejected(std::string(), "empty image");
+}
+
+TEST(Snapshot, RestoreRequiresFreshService) {
+  SrcService source(small_service());
+  (void)source.open({48'000, 48'000});
+  const std::string image = snapshot_service(source);
+
+  SrcService used(small_service());
+  (void)used.open({44'100, 48'000});
+  std::string err;
+  EXPECT_FALSE(restore_service(image, used, &err));
+  EXPECT_FALSE(err.empty());
+}
+
+TEST(Snapshot, VersionFieldIsChecked) {
+  SrcService source(small_service());
+  const std::string image = snapshot_service(source);
+  std::string wrong = image;
+  wrong[8] = static_cast<char>(0x7f);  // version u32 little-endian LSB
+  SrcService victim(small_service());
+  std::string err;
+  EXPECT_FALSE(restore_service(wrong, victim, &err));
+  EXPECT_NE(err.find("version"), std::string::npos) << err;
+}
+
+// --- observability -------------------------------------------------------
+
+TEST(ResilienceObs, CensusLandsInRegistryAndLedger) {
+  ServiceOptions opt = small_service(2);
+  opt.idle_timeout_steps = 1;
+  SrcService service(opt);
+  const SessionId id = service.open({48'000, 48'000});
+  (void)id;
+  for (int i = 0; i < 4; ++i) service.step();     // idle-evict it
+  (void)service.try_open({0, 48'000});            // one rate rejection
+  service.note_chaos(ChaosClass::kDisconnect);    // one driver-side fault
+  const std::string image = snapshot_service(service);
+
+  obs::Session session;
+  service.record_into(session, "resilience_test");
+  EXPECT_EQ(session.registry.counter("serve.evict.idle"), 1u);
+  EXPECT_EQ(session.registry.counter("serve.evict.drained"), 1u);
+  EXPECT_EQ(session.registry.counter("serve.admit.rate_unsupported"), 1u);
+  EXPECT_EQ(session.registry.counter("serve.chaos.disconnects"), 1u);
+  EXPECT_EQ(session.registry.counter("serve.snapshot.saves"), 1u);
+  EXPECT_EQ(session.registry.counter("serve.snapshot.bytes_last"), image.size());
+
+  bool found = false;
+  for (const auto& e : session.ledger.entries()) {
+    if (e.phase != "serve.resilience") continue;
+    found = true;
+    EXPECT_EQ(e.counter("evict_idle"), 1u);
+    EXPECT_EQ(e.counter("chaos_disconnects"), 1u);
+    EXPECT_EQ(e.counter("snapshot_saves"), 1u);
+  }
+  EXPECT_TRUE(found) << "no serve.resilience ledger entry";
+}
+
+}  // namespace
+}  // namespace scflow::serve

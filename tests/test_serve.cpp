@@ -383,7 +383,8 @@ TEST(ServeObs, RecordsRatioEntriesAndRunSummary) {
 
   obs::Session session;
   service.record_into(session, "unit");
-  ASSERT_EQ(session.ledger.size(), 3u);  // two ratios + run summary
+  // Two ratios + the resilience census + the run summary.
+  ASSERT_EQ(session.ledger.size(), 4u);
 
   const auto& entries = session.ledger.entries();
   const obs::LedgerEntry* ratio_a = nullptr;

@@ -47,7 +47,9 @@ bool load_or_die(const std::string& path, LoadedLedger* out) {
 void print_serve_dashboard(const LoadedLedger& ledger) {
   bool any = false;
   for (const auto& e : ledger.entries)
-    if (e.phase == "serve.run" || e.phase == "serve.ratio") any = true;
+    if (e.phase == "serve.run" || e.phase == "serve.ratio" ||
+        e.phase == "serve.resilience")
+      any = true;
   if (!any) return;
 
   std::printf("\nstreaming SRC service:\n");
@@ -82,6 +84,46 @@ void print_serve_dashboard(const LoadedLedger& ledger) {
                 static_cast<unsigned long long>(e.counter("push_rejected")),
                 static_cast<unsigned long long>(e.counter("samples_out")),
                 static_cast<unsigned long long>(e.counter("samples_pulled")));
+  }
+  for (const auto& e : ledger.entries) {
+    if (e.phase != "serve.resilience") continue;
+    std::printf(
+        "  resilience %-8s evicted %llu idle + %llu lifetime (%llu drained, "
+        "%llu unpulled), shed %llu (%llu in / %llu out dropped), "
+        "rejected %llu overload + %llu bad-rate\n",
+        e.design.c_str(),
+        static_cast<unsigned long long>(e.counter("evict_idle")),
+        static_cast<unsigned long long>(e.counter("evict_lifetime")),
+        static_cast<unsigned long long>(e.counter("evict_drained")),
+        static_cast<unsigned long long>(e.counter("evict_unpulled")),
+        static_cast<unsigned long long>(e.counter("shed_sessions")),
+        static_cast<unsigned long long>(e.counter("shed_dropped_inputs")),
+        static_cast<unsigned long long>(e.counter("shed_dropped_outputs")),
+        static_cast<unsigned long long>(e.counter("admit_overloaded")),
+        static_cast<unsigned long long>(e.counter("admit_rate_unsupported")));
+    const unsigned long long chaos_total =
+        e.counter("chaos_stalls") + e.counter("chaos_disconnects") +
+        e.counter("chaos_oversized_pushes") + e.counter("chaos_ring_storms") +
+        e.counter("chaos_alloc_failures");
+    if (chaos_total > 0) {
+      std::printf(
+          "  chaos      %-8s %llu faults: %llu stalls, %llu disconnects, "
+          "%llu oversized pushes, %llu ring storms, %llu alloc failures\n",
+          e.design.c_str(), chaos_total,
+          static_cast<unsigned long long>(e.counter("chaos_stalls")),
+          static_cast<unsigned long long>(e.counter("chaos_disconnects")),
+          static_cast<unsigned long long>(e.counter("chaos_oversized_pushes")),
+          static_cast<unsigned long long>(e.counter("chaos_ring_storms")),
+          static_cast<unsigned long long>(e.counter("chaos_alloc_failures")));
+    }
+    if (e.counter("snapshot_saves") > 0 || e.counter("snapshot_restores") > 0) {
+      std::printf(
+          "  snapshot   %-8s %llu saves, %llu restores, last image %llu bytes\n",
+          e.design.c_str(),
+          static_cast<unsigned long long>(e.counter("snapshot_saves")),
+          static_cast<unsigned long long>(e.counter("snapshot_restores")),
+          static_cast<unsigned long long>(e.counter("snapshot_bytes_last")));
+    }
   }
 }
 
@@ -163,9 +205,25 @@ bool validate_file(const std::string& path) {
 
   std::string error;
   if (text.find("\"schema\":\"scflow-ledger-") != std::string::npos) {
+    // Lenient load: a truncated tail or bit-flipped line must not hide
+    // the intact entries — report each damaged line, then fail the file.
     LoadedLedger ledger;
-    if (!scflow::obs::load_ledger(path, &ledger, &error)) {
+    if (!scflow::obs::load_ledger(path, &ledger, &error, /*skip_malformed=*/true)) {
       std::fprintf(stderr, "scflow_report: %s: %s\n", path.c_str(), error.c_str());
+      return false;
+    }
+    for (const auto& m : ledger.malformed) {
+      if (m.line_no == 0) {
+        std::fprintf(stderr, "scflow_report: %s: %s\n", path.c_str(), m.error.c_str());
+      } else {
+        std::fprintf(stderr, "scflow_report: %s:%zu: skipped malformed line: %s\n",
+                     path.c_str(), m.line_no, m.error.c_str());
+      }
+    }
+    if (!ledger.malformed.empty()) {
+      std::fprintf(stderr,
+                   "scflow_report: %s: %zu malformed line(s), %zu entries intact\n",
+                   path.c_str(), ledger.malformed.size(), ledger.entries.size());
       return false;
     }
     std::printf("%s: ok (ledger, %zu entries)\n", path.c_str(), ledger.entries.size());
